@@ -1,0 +1,81 @@
+// Command gendata materialises the synthetic evaluation datasets
+// (Table 2 stand-ins) as XML files on disk, so they can be inspected
+// or fed to external tools.
+//
+// Usage:
+//
+//	gendata -dataset D5 -out /tmp/d5
+//	gendata -dataset hamlet -out /tmp/hamlet
+//	gendata -dataset all -out /tmp/corpus -limit 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	name := flag.String("dataset", "", "dataset to generate: D1..D6, hamlet, or all")
+	out := flag.String("out", "", "output directory (created if missing)")
+	limit := flag.Int("limit", 0, "write at most this many files per dataset (0 = all)")
+	flag.Parse()
+
+	if *name == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "gendata: -dataset and -out are required")
+		os.Exit(2)
+	}
+	names := []string{*name}
+	if *name == "all" {
+		names = []string{"D1", "D2", "D3", "D4", "D5", "D6", "hamlet"}
+	}
+	for _, n := range names {
+		if err := generate(n, *out, *limit); err != nil {
+			fmt.Fprintf(os.Stderr, "gendata: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// generate writes one dataset's files under dir/<name>/.
+func generate(name, dir string, limit int) error {
+	var files []*xmltree.Document
+	if name == "hamlet" {
+		files = []*xmltree.Document{datagen.Hamlet()}
+	} else {
+		ds, err := datagen.Generate(name)
+		if err != nil {
+			return err
+		}
+		files = ds.Files
+	}
+	if limit > 0 && limit < len(files) {
+		files = files[:limit]
+	}
+	target := filepath.Join(dir, name)
+	if err := os.MkdirAll(target, 0o755); err != nil {
+		return err
+	}
+	total := 0
+	for i, doc := range files {
+		path := filepath.Join(target, fmt.Sprintf("%s-%04d.xml", name, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if _, err := doc.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		total += doc.Len()
+	}
+	fmt.Printf("%s: wrote %d files, %d nodes, under %s\n", name, len(files), total, target)
+	return nil
+}

@@ -1,0 +1,118 @@
+// Command xmllabel labels an XML document (a file or a generated
+// dataset) with one or all labeling schemes and reports label storage
+// statistics — a one-document slice of Figure 5.
+//
+// Usage:
+//
+//	xmllabel -file doc.xml -scheme V-CDBS-Containment
+//	xmllabel -dataset D5 -scheme all
+//	xmllabel -hamlet -scheme QED-Prefix -insert-before-act 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/datagen"
+	"repro/internal/registry"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	file := flag.String("file", "", "XML file to label")
+	dataset := flag.String("dataset", "", "generated dataset to label (D1..D6)")
+	hamlet := flag.Bool("hamlet", false, "label the generated Hamlet document")
+	schemeName := flag.String("scheme", "all", "scheme name from the registry, or 'all'")
+	insertAct := flag.Int("insert-before-act", 0, "with -hamlet: insert an element before act[i] and report re-labels")
+	flag.Parse()
+
+	docs, label, err := loadDocs(*file, *dataset, *hamlet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmllabel:", err)
+		os.Exit(1)
+	}
+
+	var entries []registry.Entry
+	if *schemeName == "all" {
+		entries = registry.All()
+	} else {
+		e, err := registry.Lookup(*schemeName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmllabel:", err)
+			os.Exit(1)
+		}
+		entries = []registry.Entry{e}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "input: %s\n", label)
+	fmt.Fprintln(w, "Scheme\tnodes\ttotal label bits\tbits/node\trelabels")
+	for _, entry := range entries {
+		var total int64
+		nodes := 0
+		relabels := -1
+		for _, doc := range docs {
+			lab, err := entry.Build(doc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xmllabel:", err)
+				os.Exit(1)
+			}
+			total += lab.TotalLabelBits()
+			nodes += lab.Len()
+			if *hamlet && *insertAct >= 1 && *insertAct <= 5 {
+				acts := actIDs(doc)
+				_, n, err := lab.InsertSiblingBefore(acts[*insertAct-1])
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "xmllabel:", err)
+					os.Exit(1)
+				}
+				relabels = n
+			}
+		}
+		rel := "-"
+		if relabels >= 0 {
+			rel = fmt.Sprint(relabels)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%s\n", entry.Name, nodes, total, float64(total)/float64(nodes), rel)
+	}
+	w.Flush()
+}
+
+// loadDocs resolves the input selection to a document list.
+func loadDocs(file, dataset string, hamlet bool) ([]*xmltree.Document, string, error) {
+	switch {
+	case hamlet:
+		return []*xmltree.Document{datagen.Hamlet()}, "generated Hamlet", nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		doc, err := xmltree.Parse(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return []*xmltree.Document{doc}, file, nil
+	case dataset != "":
+		ds, err := datagen.Generate(dataset)
+		if err != nil {
+			return nil, "", err
+		}
+		return ds.Files, fmt.Sprintf("dataset %s (%d files)", dataset, len(ds.Files)), nil
+	}
+	return nil, "", fmt.Errorf("one of -file, -dataset or -hamlet is required")
+}
+
+// actIDs returns the node ids of act children of the root.
+func actIDs(doc *xmltree.Document) []int {
+	var acts []int
+	for i, n := range doc.Nodes() {
+		if n.Kind == xmltree.Element && n.Name == "act" && n.Parent == doc.Root {
+			acts = append(acts, i)
+		}
+	}
+	return acts
+}

@@ -1,0 +1,119 @@
+// Command xquery evaluates path queries over an XML file or a
+// generated dataset under a chosen labeling scheme, timing the
+// label-driven evaluation — an interactive slice of Figure 6.
+//
+// Usage:
+//
+//	xquery -file doc.xml -scheme V-CDBS-Containment '/root/item[2]'
+//	xquery -dataset D5 -scale 10 -scheme Prime -q6            # the Table 3 suite
+//	xquery -hamlet '/play/act[4]/scene/speech'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/registry"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func main() {
+	file := flag.String("file", "", "XML file to query")
+	dataset := flag.String("dataset", "", "generated dataset to query (D1..D6)")
+	hamlet := flag.Bool("hamlet", false, "query the generated Hamlet document")
+	scale := flag.Int("scale", 1, "replication factor for -dataset D5")
+	schemeName := flag.String("scheme", "V-CDBS-Containment", "labeling scheme")
+	suite := flag.Bool("q6", false, "run the paper's Q1-Q6 suite instead of argument queries")
+	flag.Parse()
+
+	queries := flag.Args()
+	if *suite {
+		for _, q := range bench.Queries() {
+			queries = append(queries, q.Path)
+		}
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "xquery: no queries given (pass paths as arguments or -q6)")
+		os.Exit(2)
+	}
+
+	docs, err := loadDocs(*file, *dataset, *hamlet, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xquery:", err)
+		os.Exit(1)
+	}
+	entry, err := registry.Lookup(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xquery:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	var corpus xpath.Corpus
+	for _, doc := range docs {
+		lab, err := entry.Build(doc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xquery:", err)
+			os.Exit(1)
+		}
+		e, err := xpath.NewEngine(doc, lab)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xquery:", err)
+			os.Exit(1)
+		}
+		corpus = append(corpus, e)
+	}
+	fmt.Printf("indexed %d file(s) with %s in %v\n\n", len(docs), entry.Name, time.Since(start).Round(time.Millisecond))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Query\tmatches\ttime")
+	for _, qs := range queries {
+		q, err := xpath.Parse(qs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xquery:", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		n, err := corpus.Count(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xquery:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%v\n", qs, n, time.Since(t0).Round(time.Microsecond))
+	}
+	w.Flush()
+}
+
+// loadDocs resolves the input selection.
+func loadDocs(file, dataset string, hamlet bool, scale int) ([]*xmltree.Document, error) {
+	switch {
+	case hamlet:
+		return []*xmltree.Document{datagen.Hamlet()}, nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		doc, err := xmltree.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return []*xmltree.Document{doc}, nil
+	case dataset == "D5" && scale != 1:
+		return datagen.D5(scale).Files, nil
+	case dataset != "":
+		ds, err := datagen.Generate(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Files, nil
+	}
+	return nil, fmt.Errorf("one of -file, -dataset or -hamlet is required")
+}

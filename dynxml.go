@@ -1,0 +1,202 @@
+// Package dynxml is a Go implementation of the CDBS (Compact Dynamic
+// Binary String) encoding and the surrounding dynamic XML labeling
+// machinery from Li, Ling and Hu, "Efficient Processing of Updates in
+// Dynamic XML Data" (ICDE 2006).
+//
+// The package offers three layers:
+//
+//   - Dynamic order codes: CDBS binary strings (Between, Encode) and
+//     QED quaternary codes, which let you insert a new key between any
+//     two existing keys without touching them — the paper's core
+//     contribution, reusable for any order-maintenance problem
+//     (ranked lists, fractional indexing, …).
+//   - Labeled XML documents: Label parses or accepts a document and
+//     labels it with any of the paper's thirteen schemes (containment,
+//     prefix and prime families). Labelings answer
+//     ancestor/parent/sibling/order queries from labels alone and
+//     support insertions; dynamic schemes never re-label.
+//   - Queries: an XPath-fragment engine whose structural joins run on
+//     the labeling's predicates.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured evaluation results.
+package dynxml
+
+import (
+	"io"
+
+	"repro/internal/bitstr"
+	"repro/internal/cdbs"
+	"repro/internal/dyndoc"
+	"repro/internal/qed"
+	"repro/internal/registry"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// ---------------------------------------------------------------------------
+// CDBS codes
+
+// Code is a CDBS code: a binary string ending in 1, ordered
+// lexicographically.
+type Code = bitstr.BitString
+
+// EmptyCode is the empty code, used as an open bound for Between.
+var EmptyCode = bitstr.Empty
+
+// ParseCode parses a textual binary string such as "0011".
+func ParseCode(s string) (Code, error) { return bitstr.Parse(s) }
+
+// Between returns a code strictly between l and r (Algorithm 1 of the
+// paper). Either bound may be EmptyCode, meaning open.
+func Between(l, r Code) (Code, error) { return cdbs.Between(l, r) }
+
+// TwoBetween returns two ordered codes strictly between l and r
+// (Corollary 3.3).
+func TwoBetween(l, r Code) (m1, m2 Code, err error) { return cdbs.TwoBetween(l, r) }
+
+// Encode returns the compact initial V-CDBS codes for 1..n
+// (Algorithm 2).
+func Encode(n int) ([]Code, error) { return cdbs.Encode(n) }
+
+// EncodeFixed returns the F-CDBS codes for 1..n and their fixed width.
+func EncodeFixed(n int) ([]Code, int, error) { return cdbs.EncodeFixed(n) }
+
+// Position computes the 1-based ordinal of an initial code by
+// inverting Algorithm 2 (Section 5.1).
+func Position(code Code, n int) (int, error) { return cdbs.Position(code, n) }
+
+// OrderList is an order-maintenance list of CDBS codes: insert at any
+// position forever, with overflow handled per policy.
+type OrderList = cdbs.List
+
+// Storage variants and overflow policies for NewOrderList.
+const (
+	VCDBS = cdbs.VCDBS
+	FCDBS = cdbs.FCDBS
+
+	WidenOnOverflow   = cdbs.Widen
+	RelabelOnOverflow = cdbs.Relabel
+	// LocalRelabelOnOverflow flattens only the hot region — the
+	// repository's answer to the paper's skewed-insertion future work.
+	LocalRelabelOnOverflow = cdbs.LocalRelabel
+)
+
+// NewOrderList builds an order list over the initial encoding of n
+// items with the Widen overflow policy.
+func NewOrderList(n int, v cdbs.Variant) (*OrderList, error) { return cdbs.NewList(n, v) }
+
+// NewOrderListPolicy builds an order list with an explicit overflow
+// policy.
+func NewOrderListPolicy(n int, v cdbs.Variant, p cdbs.OverflowPolicy) (*OrderList, error) {
+	return cdbs.NewListPolicy(n, v, p)
+}
+
+// ---------------------------------------------------------------------------
+// QED codes
+
+// QEDCode is a quaternary QED code (digits 1–3, "0" reserved as
+// separator), the overflow-free encoding of Section 6.
+type QEDCode = qed.Code
+
+// ParseQED parses a textual quaternary code such as "132".
+func ParseQED(s string) (QEDCode, error) { return qed.Parse(s) }
+
+// QEDBetween returns a QED code strictly between l and r; it never
+// fails on valid ordered input.
+func QEDBetween(l, r QEDCode) (QEDCode, error) { return qed.Between(l, r) }
+
+// QEDEncode returns compact initial QED codes for 1..n.
+func QEDEncode(n int) ([]QEDCode, error) { return qed.Encode(n) }
+
+// ---------------------------------------------------------------------------
+// Documents and labelings
+
+// Document is an ordered XML document tree.
+type Document = xmltree.Document
+
+// Node is one document node.
+type Node = xmltree.Node
+
+// ParseXML parses an XML document from a reader.
+func ParseXML(r io.Reader) (*Document, error) { return xmltree.Parse(r) }
+
+// ParseXMLString parses an XML document from a string.
+func ParseXMLString(s string) (*Document, error) { return xmltree.ParseString(s) }
+
+// Labeling is a labeled document: relationship predicates answered
+// from labels, plus re-label-free insertion where the scheme allows.
+type Labeling = scheme.Labeling
+
+// Schemes lists every available labeling scheme name, e.g.
+// "V-CDBS-Containment", "QED-Prefix", "Prime".
+func Schemes() []string { return registry.Names() }
+
+// Label labels doc with the named scheme.
+func Label(doc *Document, schemeName string) (Labeling, error) {
+	entry, err := registry.Lookup(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	return entry.Build(doc)
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// Query is a parsed path expression over the supported XPath fragment
+// (child, descendant, preceding-sibling and following axes; name and *
+// tests; positional and relative-path predicates).
+type Query = xpath.Query
+
+// Engine evaluates queries over one labeled document.
+type Engine = xpath.Engine
+
+// ParseQuery parses a path expression such as
+// "/play//personae[./title]/pgroup[.//grpdescr]/persona".
+func ParseQuery(s string) (*Query, error) { return xpath.Parse(s) }
+
+// NewEngine indexes a document for querying under its labeling.
+func NewEngine(doc *Document, lab Labeling) (*Engine, error) { return xpath.NewEngine(doc, lab) }
+
+// ---------------------------------------------------------------------------
+// Live documents
+
+// LiveDocument binds a document, a labeling and a query index into one
+// editable, queryable unit: insert and delete elements while running
+// path queries, with the dynamic schemes never re-labeling a node.
+type LiveDocument = dyndoc.Document
+
+// Live wraps doc as a LiveDocument under the named scheme.
+func Live(doc *Document, schemeName string) (*LiveDocument, error) {
+	entry, err := registry.Lookup(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	return dyndoc.New(doc, entry.Build)
+}
+
+// ParseLive parses XML text into a LiveDocument under the named
+// scheme.
+func ParseLive(text, schemeName string) (*LiveDocument, error) {
+	entry, err := registry.Lookup(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	return dyndoc.Parse(text, entry.Build)
+}
+
+// SharedDocument is a LiveDocument safe for concurrent use: queries
+// run under a read lock, edits under the write lock.
+type SharedDocument = dyndoc.Concurrent
+
+// ParseShared parses XML text into a SharedDocument under the named
+// scheme.
+func ParseShared(text, schemeName string) (*SharedDocument, error) {
+	entry, err := registry.Lookup(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	return dyndoc.ParseConcurrent(text, entry.Build)
+}

@@ -1,0 +1,177 @@
+package dynxml
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestCodeFacade(t *testing.T) {
+	l, err := ParseCode("0011")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ParseCode("01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Between(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "00111" {
+		t.Errorf("Between = %q", m)
+	}
+	m1, m2, err := TwoBetween(l, r)
+	if err != nil || !(l.Less(m1) && m1.Less(m2) && m2.Less(r)) {
+		t.Errorf("TwoBetween = %v,%v,%v", m1, m2, err)
+	}
+	codes, err := Encode(18)
+	if err != nil || len(codes) != 18 {
+		t.Fatalf("Encode: %v", err)
+	}
+	pos, err := Position(codes[9], 18)
+	if err != nil || pos != 10 {
+		t.Errorf("Position = %d,%v", pos, err)
+	}
+	fixed, w, err := EncodeFixed(18)
+	if err != nil || w != 5 || len(fixed) != 18 {
+		t.Errorf("EncodeFixed: %d,%v", w, err)
+	}
+}
+
+func TestOrderListFacade(t *testing.T) {
+	l, err := NewOrderList(10, VCDBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.InsertAt(5); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 11 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	strict, err := NewOrderListPolicy(4, FCDBS, RelabelOnOverflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = strict
+}
+
+func TestQEDFacade(t *testing.T) {
+	l, err := ParseQED("2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ParseQED("3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := QEDBetween(l, r)
+	if err != nil || !(l.Less(m) && m.Less(r)) {
+		t.Errorf("QEDBetween = %v, %v", m, err)
+	}
+	codes, err := QEDEncode(5)
+	if err != nil || len(codes) != 5 {
+		t.Errorf("QEDEncode: %v", err)
+	}
+}
+
+func TestLabelAndQueryFacade(t *testing.T) {
+	doc, err := ParseXMLString("<play><title/><act><scene/></act><act/></play>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Schemes()) < 13 {
+		t.Fatalf("only %d schemes", len(Schemes()))
+	}
+	for _, name := range Schemes() {
+		lab, err := Label(doc, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e, err := NewEngine(doc, lab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ParseQuery("/play/act")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := e.Count(q)
+		if err != nil || n != 2 {
+			t.Errorf("%s: Count = %d, %v", name, n, err)
+		}
+	}
+	if _, err := Label(doc, "bogus"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// ExampleBetween demonstrates endless insertion between two codes.
+func ExampleBetween() {
+	l, r := EmptyCode, EmptyCode
+	first, _ := Between(l, r)
+	second, _ := Between(first, r)
+	between, _ := Between(first, second)
+	fmt.Println(first, second, between)
+	// Output: 1 11 101
+}
+
+// ExampleLabel shows re-label-free insertion under V-CDBS containment.
+func ExampleLabel() {
+	doc, _ := ParseXMLString("<r><a/><b/></r>")
+	lab, _ := Label(doc, "V-CDBS-Containment")
+	// Insert a new element between <a/> and <b/> (before child 1).
+	_, relabeled, _ := lab.InsertChildAt(0, 1)
+	fmt.Println("relabeled:", relabeled)
+	// Output: relabeled: 0
+}
+
+func TestExampleDocRoundTrip(t *testing.T) {
+	in := "<r><a>x</a><b/></r>"
+	doc, err := ParseXMLString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc.String(), "<a>x</a>") {
+		t.Errorf("round trip lost data: %s", doc.String())
+	}
+}
+
+func TestSharedDocumentFacade(t *testing.T) {
+	doc, err := ParseShared("<r><a/></r>", "V-CDBS-Containment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := doc.InsertElement(0, 1, "b"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := doc.Count("/r/*")
+	if err != nil || n != 2 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	if _, err := ParseShared("<r/>", "bogus"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	raw, err := ParseXMLString("<r><a/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Live(raw, "QED-Prefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Len() != 2 {
+		t.Fatalf("Len = %d", live.Len())
+	}
+	if _, err := Live(raw, "bogus"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := ParseLive("<broken", "QED-Prefix"); err == nil {
+		t.Fatal("bad XML accepted")
+	}
+}

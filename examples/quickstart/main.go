@@ -1,0 +1,72 @@
+// Quickstart: the CDBS encoding in five minutes.
+//
+// It shows the paper's two foundations — insertion between any two
+// codes without touching them (Algorithm 1), and an initial encoding
+// as compact as plain binary (Algorithm 2) — plus the order-list
+// convenience wrapper.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dynxml "repro"
+)
+
+func main() {
+	// 1. Initial encoding: compact codes for 1..10, already in
+	// lexicographic order.
+	codes, err := dynxml.Encode(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("initial codes: ")
+	for _, c := range codes {
+		fmt.Printf("%s ", c)
+	}
+	fmt.Println()
+
+	// 2. Insert between two neighbors — the existing codes never
+	// change, and this works forever.
+	l, r := codes[4], codes[5]
+	for i := 0; i < 5; i++ {
+		m, err := dynxml.Between(l, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("between %s and %s -> %s\n", l, r, m)
+		r = m // keep squeezing into the same gap
+	}
+
+	// 3. Positions are still computable for initial codes
+	// (Section 5.1: inverting Algorithm 2).
+	pos, err := dynxml.Position(codes[6], 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("code %s is number %d of 10\n", codes[6], pos)
+
+	// 4. OrderList wraps all of this: insert at any position, overflow
+	// handled automatically.
+	list, err := dynxml.NewOrderList(3, dynxml.VCDBS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := list.InsertAt(0); err != nil { // prepend
+		log.Fatal(err)
+	}
+	if _, _, err := list.InsertAt(list.Len()); err != nil { // append
+		log.Fatal(err)
+	}
+	if _, _, err := list.InsertAt(2); err != nil { // middle
+		log.Fatal(err)
+	}
+	fmt.Print("order list:   ")
+	for i := 0; i < list.Len(); i++ {
+		fmt.Printf("%s ", list.Code(i))
+	}
+	fmt.Println()
+	fmt.Printf("storage: %d bits for %d keys\n", list.TotalBits(), list.Len())
+}

@@ -1,0 +1,171 @@
+// Package bench regenerates every table and figure of the CDBS
+// paper's evaluation (Section 7) plus the size-analysis checks of
+// Section 4.2 and the overflow ablation of Section 6. Each experiment
+// returns structured rows; cmd/experiments renders them as the paper's
+// tables, and bench_test.go at the repository root wraps them as Go
+// benchmarks.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/registry"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Query is one Table 3 workload entry.
+type Query struct {
+	ID   string
+	Path string
+}
+
+// Queries returns Q1–Q6 exactly as Table 3 lists them.
+func Queries() []Query {
+	return []Query{
+		{"Q1", "/play/act[4]"},
+		{"Q2", "/play//personae[./title]/pgroup[.//grpdescr]/persona"},
+		{"Q3", "/play/personae/persona[12]/preceding-sibling::*"},
+		{"Q4", "//act[2]/following::speaker"},
+		{"Q5", "//act/scene/speech"},
+		{"Q6", "/play/*//line"},
+	}
+}
+
+// PaperQueryCounts returns Table 3's "nodes retrieved" column for the
+// ×10-scaled D5, for comparison in EXPERIMENTS.md.
+func PaperQueryCounts() map[string]int {
+	return map[string]int{
+		"Q1": 370, "Q2": 2690, "Q3": 4240,
+		"Q4": 184060, "Q5": 309330, "Q6": 1078330,
+	}
+}
+
+// DefaultSchemes returns the scheme names used across the update
+// experiments, in Table 4's row order.
+func DefaultSchemes() []string {
+	return []string{
+		"Prime",
+		"OrdPath1-Prefix",
+		"OrdPath2-Prefix",
+		"QED-Prefix",
+		"Float-point-Containment",
+		"V-Binary-Containment",
+		"F-Binary-Containment",
+		"V-CDBS-Containment",
+		"F-CDBS-Containment",
+		"QED-Containment",
+	}
+}
+
+// buildLabeling constructs one scheme over one file.
+func buildLabeling(schemeName string, doc *xmltree.Document) (scheme.Labeling, error) {
+	entry, err := registry.Lookup(schemeName)
+	if err != nil {
+		return nil, err
+	}
+	return entry.Build(doc)
+}
+
+// hamletActs returns the Hamlet document together with the node ids of
+// its five act elements (children of the play root, document order).
+func hamletActs() (*xmltree.Document, []int) {
+	doc := datagen.Hamlet()
+	nodes := doc.Nodes()
+	var acts []int
+	for i, n := range nodes {
+		if n.Kind == xmltree.Element && n.Name == "act" && n.Parent == doc.Root {
+			acts = append(acts, i)
+		}
+	}
+	return doc, acts
+}
+
+// timeIt measures fn in milliseconds.
+func timeIt(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return float64(time.Since(start)) / float64(time.Millisecond), err
+}
+
+// forEachFile runs fn over every file with a bounded worker pool,
+// returning the first error. Results are delivered through fn's index.
+func forEachFile(files []*xmltree.Document, fn func(i int, f *xmltree.Document) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(files) {
+		workers = len(files)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int64 = -1
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(files) {
+					return
+				}
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					return
+				}
+				if err := fn(i, files[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// corpusFor labels every file of a dataset with one scheme and builds
+// query engines, fanning the per-file work across CPUs. The returned
+// build time is wall-clock and reported separately from query time, as
+// index construction is in the paper's setup phase.
+func corpusFor(schemeName string, files []*xmltree.Document) (xpath.Corpus, float64, error) {
+	entry, err := registry.Lookup(schemeName)
+	if err != nil {
+		return nil, 0, err
+	}
+	corpus := make(xpath.Corpus, len(files))
+	ms, err := timeIt(func() error {
+		return forEachFile(files, func(i int, f *xmltree.Document) error {
+			lab, err := entry.Build(f)
+			if err != nil {
+				return err
+			}
+			e, err := xpath.NewEngine(f, lab)
+			if err != nil {
+				return err
+			}
+			corpus[i] = e
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: building %s corpus: %w", schemeName, err)
+	}
+	return corpus, ms, nil
+}

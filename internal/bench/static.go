@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cdbs"
+	"repro/internal/datagen"
+	"repro/internal/qed"
+	"repro/internal/registry"
+	"repro/internal/xmltree"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — Table 1: the four encodings of the integers 1..N.
+
+// Table1Row is one line of Table 1.
+type Table1Row struct {
+	Number  int
+	VBinary string
+	VCDBS   string
+	FBinary string
+	FCDBS   string
+}
+
+// Table1Result reproduces Table 1, including the total-size line.
+type Table1Result struct {
+	Rows        []Table1Row
+	VBinaryBits int
+	VCDBSBits   int
+	FBinaryBits int
+	FCDBSBits   int
+}
+
+// Table1 regenerates Table 1 for the numbers 1..n (the paper uses 18).
+func Table1(n int) (*Table1Result, error) {
+	vcdbs, err := cdbs.Encode(n)
+	if err != nil {
+		return nil, err
+	}
+	fcdbs, width, err := cdbs.EncodeFixed(n)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Rows: make([]Table1Row, n)}
+	for i := 1; i <= n; i++ {
+		vb := fmt.Sprintf("%b", i)
+		fb := fmt.Sprintf("%0*b", width, i)
+		row := Table1Row{
+			Number:  i,
+			VBinary: vb,
+			VCDBS:   vcdbs[i-1].String(),
+			FBinary: fb,
+			FCDBS:   fcdbs[i-1].String(),
+		}
+		res.Rows[i-1] = row
+		res.VBinaryBits += len(vb)
+		res.VCDBSBits += vcdbs[i-1].Len()
+		res.FBinaryBits += width
+		res.FCDBSBits += fcdbs[i-1].Len()
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Section 4.2: measured totals vs the closed-form formulas.
+
+// SizeRow compares measured and formula sizes at one N.
+type SizeRow struct {
+	N              int
+	ExactVCode     int     // measured V-Binary == V-CDBS code bits
+	FormulaVCode   float64 // formula (2)
+	ExactVTotal    int     // with length fields
+	FormulaVTotal  float64 // formula (3)
+	ExactFTotal    int
+	FormulaFTotal  float64 // formula (5)
+	QEDTotal       int     // measured QED bits incl. separators, for scale
+	MeasuredVMatch bool    // Encode(n) total equals the V-Binary total
+}
+
+// SizeFormulas evaluates the Section 4.2 analysis at each n.
+func SizeFormulas(ns []int) ([]SizeRow, error) {
+	out := make([]SizeRow, 0, len(ns))
+	for _, n := range ns {
+		codes, err := cdbs.Encode(n)
+		if err != nil {
+			return nil, err
+		}
+		measured := 0
+		for _, c := range codes {
+			measured += c.Len()
+		}
+		qcodes, err := qed.Encode(n)
+		if err != nil {
+			return nil, err
+		}
+		qtotal := 0
+		for _, c := range qcodes {
+			qtotal += c.BitsWithSeparator()
+		}
+		out = append(out, SizeRow{
+			N:              n,
+			ExactVCode:     cdbs.ExactVBinaryCodeBits(n),
+			FormulaVCode:   cdbs.FormulaVCode(n),
+			ExactVTotal:    cdbs.ExactVTotalBits(n),
+			FormulaVTotal:  cdbs.FormulaVTotal(n),
+			ExactFTotal:    cdbs.ExactFTotalBits(n),
+			FormulaFTotal:  cdbs.FormulaFTotal(n),
+			QEDTotal:       qtotal,
+			MeasuredVMatch: measured == cdbs.ExactVBinaryCodeBits(n),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 5: label sizes per scheme per dataset.
+
+// Fig5Row is one bar of Figure 5.
+type Fig5Row struct {
+	Dataset     string
+	Scheme      string
+	Nodes       int
+	TotalBits   int64
+	BitsPerNode float64
+	BuildMillis float64
+}
+
+// Figure5 labels each dataset with each scheme and reports total label
+// storage. Dataset names are "D1".."D6"; scheme names come from the
+// registry (nil means all registry schemes).
+func Figure5(datasets []string, schemes []string) ([]Fig5Row, error) {
+	if schemes == nil {
+		schemes = allRegistryNames()
+	}
+	var out []Fig5Row
+	for _, dn := range datasets {
+		ds, err := datagen.Generate(dn)
+		if err != nil {
+			return nil, err
+		}
+		for _, sn := range schemes {
+			entry, err := registry.Lookup(sn)
+			if err != nil {
+				return nil, err
+			}
+			var total, nodes64 int64
+			ms, err := timeIt(func() error {
+				return forEachFile(ds.Files, func(_ int, f *xmltree.Document) error {
+					lab, err := entry.Build(f)
+					if err != nil {
+						return err
+					}
+					atomic.AddInt64(&total, lab.TotalLabelBits())
+					atomic.AddInt64(&nodes64, int64(lab.Len()))
+					return nil
+				})
+			})
+			nodes := int(nodes64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", sn, dn, err)
+			}
+			out = append(out, Fig5Row{
+				Dataset:     dn,
+				Scheme:      sn,
+				Nodes:       nodes,
+				TotalBits:   total,
+				BitsPerNode: float64(total) / float64(nodes),
+				BuildMillis: ms,
+			})
+		}
+	}
+	return out, nil
+}

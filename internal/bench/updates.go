@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cdbs"
+	"repro/internal/datagen"
+	"repro/internal/labelstore"
+	"repro/internal/registry"
+	"repro/internal/scheme"
+	"repro/internal/xpath"
+)
+
+// allRegistryNames lists every registered scheme in table order.
+func allRegistryNames() []string {
+	entries := registry.All()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Table 3 / Figure 6: query response times on the scaled D5.
+
+// Fig6Row is one bar of Figure 6.
+type Fig6Row struct {
+	Scheme      string
+	Query       string
+	Matches     int
+	Millis      float64
+	BuildMillis float64 // index construction, reported once per scheme
+}
+
+// Figure6 runs Q1–Q6 over D5 scaled by the given factor (the paper
+// uses 10) under each scheme.
+func Figure6(scale int, schemes []string) ([]Fig6Row, error) {
+	if schemes == nil {
+		schemes = DefaultSchemes()
+	}
+	ds := datagen.D5(scale)
+	var out []Fig6Row
+	for _, sn := range schemes {
+		corpus, buildMs, err := corpusFor(sn, ds.Files)
+		if err != nil {
+			return nil, err
+		}
+		for qi, q := range Queries() {
+			parsed, err := xpath.Parse(q.Path)
+			if err != nil {
+				return nil, err
+			}
+			matches := 0
+			ms, err := timeIt(func() error {
+				var qerr error
+				matches, qerr = corpus.Count(parsed)
+				return qerr
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %s: %w", sn, q.ID, err)
+			}
+			row := Fig6Row{Scheme: sn, Query: q.ID, Matches: matches, Millis: ms}
+			if qi == 0 {
+				row.BuildMillis = buildMs
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Table 4: number of nodes to re-label for the five Hamlet
+// insertions.
+
+// Table4Row is one row of Table 4.
+type Table4Row struct {
+	Scheme string
+	Cases  [5]int
+}
+
+// Table4 inserts an act element before act[1..5] of Hamlet under each
+// scheme and reports how many existing nodes were re-labeled (for
+// Prime: how many SC values were recomputed).
+func Table4(schemes []string) ([]Table4Row, error) {
+	if schemes == nil {
+		schemes = DefaultSchemes()
+	}
+	var out []Table4Row
+	for _, sn := range schemes {
+		row := Table4Row{Scheme: sn}
+		for c := 0; c < 5; c++ {
+			doc, acts := hamletActs()
+			lab, err := buildLabeling(sn, doc)
+			if err != nil {
+				return nil, err
+			}
+			_, relabeled, err := lab.InsertSiblingBefore(acts[c])
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s case %d: %w", sn, c+1, err)
+			}
+			row.Cases[c] = relabeled
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// PaperTable4 returns the paper's Table 4 for comparison.
+func PaperTable4() []Table4Row {
+	return []Table4Row{
+		{Scheme: "Prime", Cases: [5]int{1320, 1025, 787, 487, 261}},
+		{Scheme: "OrdPath1-Prefix"},
+		{Scheme: "OrdPath2-Prefix"},
+		{Scheme: "QED-Prefix"},
+		{Scheme: "Float-point-Containment"},
+		{Scheme: "V-Binary-Containment", Cases: [5]int{6596, 5121, 3932, 2431, 1300}},
+		{Scheme: "F-Binary-Containment", Cases: [5]int{6596, 5121, 3932, 2431, 1300}},
+		{Scheme: "V-CDBS-Containment"},
+		{Scheme: "F-CDBS-Containment"},
+		{Scheme: "QED-Containment"},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Figure 7: total update time (processing + I/O) for the five
+// Hamlet insertions.
+
+// Fig7Row is one scheme's series in Figure 7.
+type Fig7Row struct {
+	Scheme      string
+	CaseMillis  [5]float64
+	Log2Millis  [5]float64 // the figure's Y axis
+	Relabeled   [5]int
+	LabelWrites [5]int64
+}
+
+// Figure7 measures, per insertion case, the time to compute the new
+// labels plus the time to persist every label the insertion dirtied
+// (one write per affected node, one fsync per update transaction),
+// using a labelstore in dir (empty means a temp dir).
+func Figure7(schemes []string, dir string) ([]Fig7Row, error) {
+	if schemes == nil {
+		schemes = DefaultSchemes()
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "cdbs-fig7-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	var out []Fig7Row
+	for si, sn := range schemes {
+		row := Fig7Row{Scheme: sn}
+		for c := 0; c < 5; c++ {
+			doc, acts := hamletActs()
+			lab, err := buildLabeling(sn, doc)
+			if err != nil {
+				return nil, err
+			}
+			store, err := labelstore.Create(filepath.Join(dir, fmt.Sprintf("s%d-c%d.log", si, c)))
+			if err != nil {
+				return nil, err
+			}
+			marshaler, _ := lab.(scheme.LabelMarshaler)
+			// Fallback payload size if the scheme cannot marshal.
+			fallback := make([]byte, int(lab.TotalLabelBits()/int64(lab.Len())/8)+1)
+			var relabeled int
+			ms, err := timeIt(func() error {
+				newID, n, err := lab.InsertSiblingBefore(acts[c])
+				if err != nil {
+					return err
+				}
+				relabeled = n
+				// Persist the new node's real label bytes and one
+				// record per re-written label, then commit.
+				payload := fallback
+				if marshaler != nil {
+					if p, merr := marshaler.MarshalLabel(newID); merr == nil {
+						payload = p
+					}
+				}
+				if err := store.Write(uint64(newID), payload); err != nil {
+					return err
+				}
+				for w := 0; w < n; w++ {
+					if err := store.Write(uint64(w), payload); err != nil {
+						return err
+					}
+				}
+				return store.Sync()
+			})
+			writes, _, _ := store.Stats()
+			store.Close()
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s case %d: %w", sn, c+1, err)
+			}
+			row.CaseMillis[c] = ms
+			row.Log2Millis[c] = math.Log2(ms + 1e-6)
+			row.Relabeled[c] = relabeled
+			row.LabelWrites[c] = writes
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E7 — Section 7.4: frequent updates.
+
+// FrequentRow summarises one scheme under an insertion storm.
+type FrequentRow struct {
+	Scheme         string
+	Inserts        int
+	Skewed         bool
+	Millis         float64
+	MicrosPerOp    float64
+	TotalRelabeled int64
+}
+
+// FrequentSchemes returns the schemes Section 7.4 compares: the paper
+// drops Prime and Binary-Containment there because frequent tiny
+// insertions make them "a disaster" (their per-insert cost is a full
+// SC recomputation or relabel).
+func FrequentSchemes() []string {
+	return []string{
+		"OrdPath1-Prefix",
+		"OrdPath2-Prefix",
+		"QED-Prefix",
+		"Float-point-Containment",
+		"V-CDBS-Containment",
+		"F-CDBS-Containment",
+		"QED-Containment",
+	}
+}
+
+// Frequent performs a burst of insertions on Hamlet — uniformly random
+// positions or skewed to one fixed gap — and measures pure processing
+// time (the in-memory label computation the paper isolates in
+// Section 7.4).
+func Frequent(schemes []string, inserts int, skewed bool, seed int64) ([]FrequentRow, error) {
+	if schemes == nil {
+		schemes = FrequentSchemes()
+	}
+	var out []FrequentRow
+	for _, sn := range schemes {
+		doc, acts := hamletActs()
+		lab, err := buildLabeling(sn, doc)
+		if err != nil {
+			return nil, err
+		}
+		gen := rand.New(rand.NewSource(seed))
+		var total int64
+		ms, err := timeIt(func() error {
+			for i := 0; i < inserts; i++ {
+				var relabeled int
+				var err error
+				if skewed {
+					_, relabeled, err = lab.InsertSiblingBefore(acts[2])
+				} else {
+					tr := lab.Tree()
+					parent := gen.Intn(tr.Len())
+					pos := gen.Intn(len(tr.Children[parent]) + 1)
+					_, relabeled, err = lab.InsertChildAt(parent, pos)
+				}
+				if err != nil {
+					return err
+				}
+				total += int64(relabeled)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: frequent %s: %w", sn, err)
+		}
+		out = append(out, FrequentRow{
+			Scheme:         sn,
+			Inserts:        inserts,
+			Skewed:         skewed,
+			Millis:         ms,
+			MicrosPerOp:    ms * 1000 / float64(inserts),
+			TotalRelabeled: total,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E8 — Section 6 ablation: overflow behaviour under skewed insertion.
+
+// OverflowRow reports one configuration of the overflow ablation.
+type OverflowRow struct {
+	Variant        string
+	Policy         string
+	InitialN       int
+	Inserts        int
+	RelabelEvents  int
+	CodesRewritten int64
+	WidenEvents    int
+	FinalBits      int
+}
+
+// Overflow drives skewed insertion into a cdbs.List under both
+// overflow policies and both variants, quantifying the Section 6
+// trade-off: strict re-labeling versus field widening (storage
+// growth).
+func Overflow(initialN, inserts int) ([]OverflowRow, error) {
+	var out []OverflowRow
+	for _, variant := range []cdbs.Variant{cdbs.VCDBS, cdbs.FCDBS} {
+		for _, policy := range []cdbs.OverflowPolicy{cdbs.Widen, cdbs.Relabel, cdbs.LocalRelabel} {
+			l, err := cdbs.NewListPolicy(initialN, variant, policy)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < inserts; i++ {
+				if _, _, err := l.InsertAt(initialN / 2); err != nil {
+					return nil, err
+				}
+			}
+			events, rewritten := l.Relabels()
+			var name string
+			switch policy {
+			case cdbs.Relabel:
+				name = "Relabel"
+			case cdbs.LocalRelabel:
+				name = "LocalRelabel"
+			default:
+				name = "Widen"
+			}
+			out = append(out, OverflowRow{
+				Variant:        variant.String(),
+				Policy:         name,
+				InitialN:       initialN,
+				Inserts:        inserts,
+				RelabelEvents:  events,
+				CodesRewritten: rewritten,
+				WidenEvents:    l.WidenEvents(),
+				FinalBits:      l.TotalBits(),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,350 @@
+// Package bitstr implements bit-exact binary strings with the
+// lexicographical order of Definition 3.1 of the CDBS paper (Li, Ling
+// and Hu, "Efficient Processing of Updates in Dynamic XML Data", ICDE
+// 2006).
+//
+// A BitString is a sequence of bits stored MSB-first. Unlike an
+// integer, a BitString distinguishes "01" from "1": leading zeros are
+// significant, and comparison is lexicographical — bit by bit from the
+// left, with a proper prefix ordered before any of its extensions.
+//
+// BitStrings are immutable: every operation returns a new value and
+// never aliases the receiver's storage in a way that permits mutation
+// through the result.
+package bitstr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// BitString is an immutable sequence of bits. The zero value is the
+// empty bit string, ready to use.
+type BitString struct {
+	// data holds ceil(n/8) bytes, MSB-first. All bits past position
+	// n-1 in the final byte are zero; this invariant lets Equal and
+	// Compare work on whole bytes.
+	data []byte
+	n    int
+}
+
+// Empty is the empty bit string.
+var Empty = BitString{}
+
+// errBadRune reports a non-binary rune in Parse input.
+var errBadRune = errors.New("bitstr: input must contain only '0' and '1'")
+
+// Parse converts a textual binary string such as "0011" into a
+// BitString. The empty string parses to Empty.
+func Parse(s string) (BitString, error) {
+	b := builderWithCap(len(s))
+	for _, r := range s {
+		switch r {
+		case '0':
+			b.appendBit(0)
+		case '1':
+			b.appendBit(1)
+		default:
+			return Empty, fmt.Errorf("%w: found %q", errBadRune, r)
+		}
+	}
+	return b.bitString(), nil
+}
+
+// MustParse is like Parse but panics on invalid input. It is intended
+// for constants in tests and examples.
+func MustParse(s string) BitString {
+	bs, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}
+
+// FromBytes constructs a BitString from the first n bits of data
+// (MSB-first). It copies data and zeroes any trailing spare bits.
+func FromBytes(data []byte, n int) (BitString, error) {
+	if n < 0 {
+		return Empty, fmt.Errorf("bitstr: negative length %d", n)
+	}
+	if need := bytesFor(n); need > len(data) {
+		return Empty, fmt.Errorf("bitstr: %d bits need %d bytes, have %d", n, need, len(data))
+	}
+	if n == 0 {
+		return Empty, nil
+	}
+	out := make([]byte, bytesFor(n))
+	copy(out, data[:bytesFor(n)])
+	clearSpareBits(out, n)
+	return BitString{data: out, n: n}, nil
+}
+
+// bytesFor returns the number of bytes needed to hold n bits.
+func bytesFor(n int) int { return (n + 7) / 8 }
+
+// clearSpareBits zeroes the bits past position n-1 in the final byte.
+func clearSpareBits(data []byte, n int) {
+	if r := n % 8; r != 0 {
+		data[len(data)-1] &= byte(0xFF) << (8 - r)
+	}
+}
+
+// Len returns the number of bits.
+func (s BitString) Len() int { return s.n }
+
+// IsEmpty reports whether the string has no bits.
+func (s BitString) IsEmpty() bool { return s.n == 0 }
+
+// Bit returns bit i (0-based from the left) as 0 or 1. It panics if i
+// is out of range, mirroring slice indexing.
+func (s BitString) Bit(i int) byte {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitstr: bit index %d out of range [0,%d)", i, s.n))
+	}
+	return (s.data[i/8] >> (7 - i%8)) & 1
+}
+
+// LastBit returns the final bit, or 0 for the empty string with ok
+// false.
+func (s BitString) LastBit() (bit byte, ok bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	return s.Bit(s.n - 1), true
+}
+
+// EndsWithOne reports whether the string is non-empty and its last bit
+// is 1. CDBS codes must satisfy this (Lemma 4.2).
+func (s BitString) EndsWithOne() bool {
+	b, ok := s.LastBit()
+	return ok && b == 1
+}
+
+// AppendBit returns s with one extra bit appended.
+func (s BitString) AppendBit(bit byte) BitString {
+	out := make([]byte, bytesFor(s.n+1))
+	copy(out, s.data)
+	if bit != 0 {
+		out[s.n/8] |= 1 << (7 - s.n%8)
+	}
+	return BitString{data: out, n: s.n + 1}
+}
+
+// Concat returns the concatenation s ⊕ t.
+func (s BitString) Concat(t BitString) BitString {
+	if t.n == 0 {
+		return s
+	}
+	if s.n == 0 {
+		return t
+	}
+	b := builderWithCap(s.n + t.n)
+	b.appendAll(s)
+	b.appendAll(t)
+	return b.bitString()
+}
+
+// DropLastBit returns s without its final bit. It panics on the empty
+// string.
+func (s BitString) DropLastBit() BitString {
+	if s.n == 0 {
+		panic("bitstr: DropLastBit on empty string")
+	}
+	return s.Prefix(s.n - 1)
+}
+
+// Prefix returns the first n bits of s. It panics if n is out of
+// range.
+func (s BitString) Prefix(n int) BitString {
+	if n < 0 || n > s.n {
+		panic(fmt.Sprintf("bitstr: prefix length %d out of range [0,%d]", n, s.n))
+	}
+	if n == 0 {
+		return Empty
+	}
+	out := make([]byte, bytesFor(n))
+	copy(out, s.data[:bytesFor(n)])
+	clearSpareBits(out, n)
+	return BitString{data: out, n: n}
+}
+
+// PadRight returns s extended with zero bits to exactly width bits.
+// F-CDBS codes are V-CDBS codes padded this way (Section 4 of the
+// paper). It panics if width < s.Len().
+func (s BitString) PadRight(width int) BitString {
+	if width < s.n {
+		panic(fmt.Sprintf("bitstr: cannot pad %d bits down to %d", s.n, width))
+	}
+	if width == s.n {
+		return s
+	}
+	out := make([]byte, bytesFor(width))
+	copy(out, s.data)
+	return BitString{data: out, n: width}
+}
+
+// TrimTrailingZeros returns s with all trailing zero bits removed.
+// This recovers a V-CDBS code from its F-CDBS padding.
+func (s BitString) TrimTrailingZeros() BitString {
+	n := s.n
+	for n > 0 {
+		if (s.data[(n-1)/8]>>(7-(n-1)%8))&1 == 1 {
+			break
+		}
+		n--
+	}
+	return s.Prefix(n)
+}
+
+// ReplaceLastBit returns s with the final bit set to bit. It panics on
+// the empty string.
+func (s BitString) ReplaceLastBit(bit byte) BitString {
+	return s.DropLastBit().AppendBit(bit)
+}
+
+// HasPrefix reports whether p is a prefix of s (including p == s).
+func (s BitString) HasPrefix(p BitString) bool {
+	if p.n > s.n {
+		return false
+	}
+	return s.Prefix(p.n).Equal(p)
+}
+
+// Compare orders two bit strings per Definition 3.1: bits are compared
+// left to right; 0 sorts before 1; a proper prefix sorts before its
+// extensions. It returns -1, 0 or +1.
+func (s BitString) Compare(t BitString) int {
+	m := s.n
+	if t.n < m {
+		m = t.n
+	}
+	full := m / 8
+	for i := 0; i < full; i++ {
+		if s.data[i] != t.data[i] {
+			if s.data[i] < t.data[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if r := m % 8; r != 0 {
+		mask := byte(0xFF) << (8 - r)
+		a, b := s.data[full]&mask, t.data[full]&mask
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case s.n < t.n:
+		return -1
+	case s.n > t.n:
+		return 1
+	}
+	return 0
+}
+
+// Less reports s ≺ t lexicographically.
+func (s BitString) Less(t BitString) bool { return s.Compare(t) < 0 }
+
+// Equal reports bit-for-bit equality.
+func (s BitString) Equal(t BitString) bool { return s.n == t.n && s.Compare(t) == 0 }
+
+// String renders the bits as a text string of '0' and '1'.
+func (s BitString) String() string {
+	var sb strings.Builder
+	sb.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		sb.WriteByte('0' + s.Bit(i))
+	}
+	return sb.String()
+}
+
+// Bytes returns a copy of the underlying storage (ceil(Len/8) bytes,
+// MSB-first, spare bits zero).
+func (s BitString) Bytes() []byte {
+	out := make([]byte, len(s.data))
+	copy(out, s.data)
+	return out
+}
+
+// StorageBits returns the number of bits of payload storage, identical
+// to Len. It exists for symmetry with label-size accounting code.
+func (s BitString) StorageBits() int { return s.n }
+
+// FromUint returns the standard (V-Binary) binary representation of v,
+// with no leading zeros; FromUint(0) is "0". This is the encoding the
+// paper's V-Binary column of Table 1 uses.
+func FromUint(v uint64) BitString {
+	if v == 0 {
+		return MustParse("0")
+	}
+	width := 0
+	for t := v; t > 0; t >>= 1 {
+		width++
+	}
+	b := builderWithCap(width)
+	for i := width - 1; i >= 0; i-- {
+		b.appendBit(byte((v >> uint(i)) & 1))
+	}
+	return b.bitString()
+}
+
+// FromUintFixed returns v in exactly width bits (F-Binary: zero-padded
+// on the left). It panics if v does not fit.
+func FromUintFixed(v uint64, width int) BitString {
+	if width < 64 && v >= 1<<uint(width) {
+		panic(fmt.Sprintf("bitstr: %d does not fit in %d bits", v, width))
+	}
+	b := builderWithCap(width)
+	for i := width - 1; i >= 0; i-- {
+		b.appendBit(byte((v >> uint(i)) & 1))
+	}
+	return b.bitString()
+}
+
+// Uint interprets the bits as an unsigned big-endian integer. It
+// returns an error when the string is longer than 64 bits.
+func (s BitString) Uint() (uint64, error) {
+	if s.n > 64 {
+		return 0, fmt.Errorf("bitstr: %d bits exceed uint64", s.n)
+	}
+	var v uint64
+	for i := 0; i < s.n; i++ {
+		v = v<<1 | uint64(s.Bit(i))
+	}
+	return v, nil
+}
+
+// builder accumulates bits without reallocating per bit.
+type builder struct {
+	data []byte
+	n    int
+}
+
+func builderWithCap(bits int) *builder {
+	return &builder{data: make([]byte, 0, bytesFor(bits))}
+}
+
+func (b *builder) appendBit(bit byte) {
+	if b.n%8 == 0 {
+		b.data = append(b.data, 0)
+	}
+	if bit != 0 {
+		b.data[b.n/8] |= 1 << (7 - b.n%8)
+	}
+	b.n++
+}
+
+func (b *builder) appendAll(s BitString) {
+	for i := 0; i < s.n; i++ {
+		b.appendBit(s.Bit(i))
+	}
+}
+
+func (b *builder) bitString() BitString {
+	return BitString{data: b.data, n: b.n}
+}

@@ -1,0 +1,176 @@
+// Package cdbs implements the Compact Dynamic Binary String encoding
+// of Li, Ling and Hu, "Efficient Processing of Updates in Dynamic XML
+// Data" (ICDE 2006) — the paper's primary contribution.
+//
+// A CDBS code is a binary string that ends with bit 1 and is compared
+// lexicographically (Definition 3.1). Two properties make the encoding
+// useful for dynamic ordered data:
+//
+//  1. Between any two consecutive codes a new code can always be
+//     created, with order kept and without touching any existing code
+//     (Algorithm 1 / Theorem 3.1; two codes at once per Corollary 3.3).
+//  2. The initial encoding of 1..N (Algorithm 2) is exactly as compact
+//     as the plain binary number encoding of 1..N (Theorem 4.4).
+//
+// V-CDBS codes have variable length and need a per-code length field;
+// F-CDBS codes are V-CDBS codes padded with trailing zeros to a fixed
+// width (Section 4). The fixed-width length field can overflow under
+// sustained skewed insertion (Section 6, Example 6.1), which is the
+// one event that forces a re-encode; List tracks it.
+package cdbs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitstr"
+)
+
+// ErrNotEndingInOne reports a code that violates the CDBS invariant
+// that all codes end with bit 1 (required by Theorem 3.1; see
+// Example 3.3 for why).
+var ErrNotEndingInOne = errors.New("cdbs: code does not end with bit 1")
+
+// ErrNotOrdered reports Between(l, r) with l ⊀ r.
+var ErrNotOrdered = errors.New("cdbs: left code is not lexicographically smaller than right code")
+
+// Between implements Algorithm 1 (AssignMiddleBinaryString). Given
+// l ≺ r, both ending with "1", it returns m with l ≺ m ≺ r. Either or
+// both bounds may be empty (bitstr.Empty), meaning an open end: the
+// paper's Algorithm 2 calls Between this way for the sentinel
+// positions 0 and N+1.
+func Between(l, r bitstr.BitString) (bitstr.BitString, error) {
+	if !l.IsEmpty() && !l.EndsWithOne() {
+		return bitstr.Empty, fmt.Errorf("%w: left %q", ErrNotEndingInOne, l)
+	}
+	if !r.IsEmpty() && !r.EndsWithOne() {
+		return bitstr.Empty, fmt.Errorf("%w: right %q", ErrNotEndingInOne, r)
+	}
+	if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
+		return bitstr.Empty, fmt.Errorf("%w: %q vs %q", ErrNotOrdered, l, r)
+	}
+	if l.Len() >= r.Len() {
+		// Case (1): m = l ⊕ "1". With both bounds empty this yields
+		// "1", the code the paper assigns to the middle number.
+		return l.AppendBit(1), nil
+	}
+	// Case (2): m = r with the last bit "1" changed to "01".
+	return r.DropLastBit().AppendBit(0).AppendBit(1), nil
+}
+
+// TwoBetween implements Corollary 3.3: it returns m1, m2 with
+// l ≺ m1 ≺ m2 ≺ r. Containment labeling needs this to insert a fresh
+// (start, end) pair into one gap.
+func TwoBetween(l, r bitstr.BitString) (m1, m2 bitstr.BitString, err error) {
+	m1, err = Between(l, r)
+	if err != nil {
+		return bitstr.Empty, bitstr.Empty, err
+	}
+	// Lemma 3.2: m1 ends with "1", so it is a valid left bound.
+	m2, err = Between(m1, r)
+	if err != nil {
+		return bitstr.Empty, bitstr.Empty, err
+	}
+	return m1, m2, nil
+}
+
+// NBetween returns n codes m1 ≺ m2 ≺ … ≺ mn strictly between l and r,
+// assigned evenly the way Algorithm 2 assigns the initial encoding, so
+// that bulk insertion of a run of siblings keeps codes short.
+func NBetween(l, r bitstr.BitString, n int) ([]bitstr.BitString, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cdbs: NBetween count %d is negative", n)
+	}
+	out := make([]bitstr.BitString, n+2)
+	out[0], out[n+1] = l, r
+	if err := subdivide(out, 0, n+1); err != nil {
+		return nil, err
+	}
+	return out[1 : n+1], nil
+}
+
+// subdivide fills out[(lo,hi)] exclusive with evenly assigned codes,
+// mirroring procedure SubEncoding of Algorithm 2.
+func subdivide(out []bitstr.BitString, lo, hi int) error {
+	if lo+1 >= hi {
+		return nil
+	}
+	mid := (lo + hi + 1) / 2 // round((lo+hi)/2), half rounds up
+	m, err := Between(out[lo], out[hi])
+	if err != nil {
+		return err
+	}
+	out[mid] = m
+	if err := subdivide(out, lo, mid); err != nil {
+		return err
+	}
+	return subdivide(out, mid, hi)
+}
+
+// Encode implements Algorithm 2: it returns the V-CDBS codes for the
+// numbers 1..n, lexicographically ordered (Theorem 4.3), each ending
+// with "1" (Lemma 4.2), with total size equal to the V-Binary encoding
+// of 1..n (Section 4.2).
+func Encode(n int) ([]bitstr.BitString, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cdbs: cannot encode %d numbers", n)
+	}
+	return NBetween(bitstr.Empty, bitstr.Empty, n)
+}
+
+// MustEncode is Encode for known-good n; it panics on error.
+func MustEncode(n int) []bitstr.BitString {
+	codes, err := Encode(n)
+	if err != nil {
+		panic(err)
+	}
+	return codes
+}
+
+// FixedWidth returns the F-CDBS code width for n codes: the length of
+// the longest V-CDBS code, ceil(log2(n+1)).
+func FixedWidth(n int) int {
+	w := 0
+	for v := n; v > 0; v >>= 1 {
+		w++
+	}
+	// ceil(log2(n+1)) == bitlen(n) except when n+1 is a power of two,
+	// where bitlen(n) is already the answer.
+	return w
+}
+
+// EncodeFixed returns the F-CDBS codes for 1..n: the V-CDBS codes
+// padded with trailing zeros to FixedWidth(n) bits.
+func EncodeFixed(n int) ([]bitstr.BitString, int, error) {
+	codes, err := Encode(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := FixedWidth(n)
+	for i, c := range codes {
+		codes[i] = c.PadRight(w)
+	}
+	return codes, w, nil
+}
+
+// BetweenFixed inserts between two F-CDBS codes of the given width.
+// The codes carry trailing-zero padding; the insertion works on the
+// trimmed V-CDBS codes and re-pads. If the new code no longer fits in
+// width bits it is returned unpadded along with ErrOverflow: the
+// caller must widen (re-encode all codes).
+func BetweenFixed(l, r bitstr.BitString, width int) (bitstr.BitString, error) {
+	m, err := Between(l.TrimTrailingZeros(), r.TrimTrailingZeros())
+	if err != nil {
+		return bitstr.Empty, err
+	}
+	if m.Len() > width {
+		return m, fmt.Errorf("%w: code %q needs %d bits, fixed width is %d", ErrOverflow, m, m.Len(), width)
+	}
+	return m.PadRight(width), nil
+}
+
+// ErrOverflow reports that an inserted code exceeded the capacity of
+// the encoding's fixed-size field — the length field for V-CDBS or the
+// code width for F-CDBS (Section 6, Example 6.1). Recovering requires
+// re-encoding the existing codes.
+var ErrOverflow = errors.New("cdbs: overflow")

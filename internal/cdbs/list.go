@@ -1,0 +1,371 @@
+package cdbs
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+)
+
+// Variant selects between the two CDBS storage layouts of Section 4.
+type Variant int
+
+const (
+	// VCDBS stores variable-length codes, each with a fixed-width
+	// length field sized for the longest code (Example 4.2).
+	VCDBS Variant = iota
+	// FCDBS stores every code at a fixed width, padded with trailing
+	// zeros; the width is stored once per list.
+	FCDBS
+)
+
+// String names the variant the way the paper does.
+func (v Variant) String() string {
+	switch v {
+	case VCDBS:
+		return "V-CDBS"
+	case FCDBS:
+		return "F-CDBS"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// OverflowPolicy chooses what happens when an inserted code no longer
+// fits the list's fixed-size field (the per-code length field for
+// V-CDBS, the shared code width for F-CDBS). Section 6 of the paper
+// calls this the overflow problem.
+type OverflowPolicy int
+
+const (
+	// Widen grows the fixed field. Widening changes no code values —
+	// F-CDBS comparison ignores trailing zero padding, and a wider
+	// length field still describes the same code — so no node is
+	// logically re-labeled, which is how the paper's Table 4 reports
+	// zero re-labels for CDBS. A slotted physical store would still
+	// have to rewrite its pages; WidenEvents counts how often.
+	Widen OverflowPolicy = iota
+	// Relabel re-encodes the whole list with Algorithm 2, the strict
+	// reading of Example 6.1. Use it to study the overflow cost under
+	// skewed insertion.
+	Relabel
+	// LocalRelabel re-encodes only the deep region around the hot gap,
+	// using Algorithm 2's even subdivision between the region's outer
+	// neighbors. This addresses the paper's stated future work ("how
+	// to efficiently process the skewed insertion problem") with a
+	// middle ground between the two extremes: code lengths stay within
+	// a small constant of the compact optimum (unlike Widen, whose hot
+	// code grows without bound) while rewrite bursts touch only the
+	// hot region (unlike Relabel's whole-list re-encodes). Under a
+	// fully adversarial single-gap storm the amortized rewrite cost is
+	// proportional to the hot pile rather than the document — an
+	// order-maintenance structure with O(log n) amortized guarantees
+	// (Dietz–Sleator tags) remains future work beyond the paper's.
+	LocalRelabel
+)
+
+// List maintains an ordered sequence of CDBS codes under insertion and
+// deletion. It is the paper's update machinery in reusable form: an
+// order-maintenance structure. Insertions use Algorithm 1 and touch no
+// existing code, except on field overflow, which is handled per the
+// configured OverflowPolicy.
+//
+// List is not safe for concurrent use; wrap it with a mutex if shared.
+type List struct {
+	variant Variant
+	policy  OverflowPolicy
+	codes   []bitstr.BitString
+
+	// lengthFieldWidth is the per-code length field width (VCDBS).
+	lengthFieldWidth int
+	// fixedWidth is the code width (FCDBS).
+	fixedWidth int
+
+	window int // LocalRelabel window radius
+
+	relabels       int   // completed re-encodes (Relabel policy)
+	relabeledCodes int64 // codes rewritten across all re-encodes
+	widenEvents    int   // field growth events (Widen policy)
+}
+
+// NewList builds a list over the initial encoding of n items with the
+// Widen overflow policy.
+func NewList(n int, v Variant) (*List, error) {
+	return NewListPolicy(n, v, Widen)
+}
+
+// DefaultWindow is the LocalRelabel window radius used when none is
+// configured: an overflow rewrites at most 2×DefaultWindow codes.
+const DefaultWindow = 16
+
+// NewListPolicy builds a list with an explicit overflow policy.
+func NewListPolicy(n int, v Variant, p OverflowPolicy) (*List, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cdbs: list size %d is negative", n)
+	}
+	l := &List{variant: v, policy: p, window: DefaultWindow}
+	if err := l.reencode(n); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// NewListLocal builds a LocalRelabel list with an explicit window
+// radius.
+func NewListLocal(n int, v Variant, window int) (*List, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("cdbs: window %d must be positive", window)
+	}
+	l, err := NewListPolicy(n, v, LocalRelabel)
+	if err != nil {
+		return nil, err
+	}
+	l.window = window
+	return l, nil
+}
+
+// reencode replaces the contents with the initial encoding of n items
+// and resizes the fixed fields accordingly.
+func (l *List) reencode(n int) error {
+	codes, err := Encode(n)
+	if err != nil {
+		return err
+	}
+	l.codes = codes
+	l.fixedWidth = FixedWidth(n)
+	l.lengthFieldWidth = LengthFieldWidth(n)
+	if l.variant == FCDBS {
+		for i, c := range l.codes {
+			l.codes[i] = c.PadRight(l.fixedWidth)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of codes.
+func (l *List) Len() int { return len(l.codes) }
+
+// Code returns the i-th code in order. For FCDBS the returned code
+// carries its trailing-zero padding.
+func (l *List) Code(i int) bitstr.BitString { return l.codes[i] }
+
+// Codes returns a copy of all codes in order.
+func (l *List) Codes() []bitstr.BitString {
+	out := make([]bitstr.BitString, len(l.codes))
+	copy(out, l.codes)
+	return out
+}
+
+// Relabels returns how many full re-encodes have happened and how many
+// existing codes they rewrote in total. Both stay zero under the Widen
+// policy.
+func (l *List) Relabels() (events int, codesRewritten int64) {
+	return l.relabels, l.relabeledCodes
+}
+
+// WidenEvents returns how often the fixed field had to grow under the
+// Widen policy.
+func (l *List) WidenEvents() int { return l.widenEvents }
+
+// maxCodeLen returns the longest code length representable by the
+// current fixed-size field.
+func (l *List) maxCodeLen() int {
+	if l.variant == FCDBS {
+		return l.fixedWidth
+	}
+	return 1<<uint(l.lengthFieldWidth) - 1
+}
+
+// InsertAt inserts a new code before position i (0 ≤ i ≤ Len; i == Len
+// appends). It returns the new code and the number of existing codes
+// whose values had to change: zero except on overflow under the
+// Relabel policy.
+func (l *List) InsertAt(i int) (bitstr.BitString, int, error) {
+	if i < 0 || i > len(l.codes) {
+		return bitstr.Empty, 0, fmt.Errorf("cdbs: insert position %d out of range [0,%d]", i, len(l.codes))
+	}
+	left, right := bitstr.Empty, bitstr.Empty
+	if i > 0 {
+		left = l.codes[i-1]
+	}
+	if i < len(l.codes) {
+		right = l.codes[i]
+	}
+	if l.variant == FCDBS {
+		left = left.TrimTrailingZeros()
+		right = right.TrimTrailingZeros()
+	}
+	m, err := Between(left, right)
+	if err != nil {
+		return bitstr.Empty, 0, err
+	}
+	if m.Len() > l.maxCodeLen() {
+		switch l.policy {
+		case Relabel:
+			// Overflow (Example 6.1): re-encode everything, then
+			// return the freshly assigned code at position i.
+			rewritten := len(l.codes)
+			if err := l.reencode(len(l.codes) + 1); err != nil {
+				return bitstr.Empty, 0, err
+			}
+			l.relabels++
+			l.relabeledCodes += int64(rewritten)
+			return l.codes[i], rewritten, nil
+		case LocalRelabel:
+			return l.insertLocal(i)
+		default:
+			l.widen(m.Len())
+		}
+	}
+	if l.variant == FCDBS {
+		m = m.PadRight(l.fixedWidth)
+	}
+	l.codes = append(l.codes, bitstr.Empty)
+	copy(l.codes[i+1:], l.codes[i:])
+	l.codes[i] = m
+	return m, 0, nil
+}
+
+// insertLocal re-encodes a window of codes around position i to make
+// room. The fresh window codes are as short as the window's outer
+// neighbors allow (Algorithm 2's even subdivision); if they still
+// exceed the fixed field, the field is widened once — field growth is
+// a layout change, not a re-label, and it converges because flattened
+// windows keep code lengths at O(log n + log window). It returns the
+// new code and the number of existing codes rewritten.
+func (l *List) insertLocal(i int) (bitstr.BitString, int, error) {
+	lo, hi := i-l.window, i+l.window
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(l.codes) {
+		hi = len(l.codes)
+	}
+	// Extend the window over the whole deep region: codes longer than
+	// a fresh compact encoding would produce are leftovers of earlier
+	// hot-spot growth, and leaving one as a window bound would seed
+	// the next flatten with its depth. After a flatten the region is
+	// shallow again, so this expansion stays small.
+	threshold := FixedWidth(len(l.codes)) + 2
+	deep := func(idx int) bool {
+		c := l.codes[idx]
+		if l.variant == FCDBS {
+			c = c.TrimTrailingZeros()
+		}
+		return c.Len() > threshold
+	}
+	for lo > 0 && deep(lo-1) {
+		lo--
+	}
+	for hi < len(l.codes) && deep(hi) {
+		hi++
+	}
+	left, right := bitstr.Empty, bitstr.Empty
+	if lo > 0 {
+		left = l.codes[lo-1]
+	}
+	if hi < len(l.codes) {
+		right = l.codes[hi]
+	}
+	if l.variant == FCDBS {
+		left = left.TrimTrailingZeros()
+		right = right.TrimTrailingZeros()
+	}
+	fresh, err := NBetween(left, right, hi-lo+1)
+	if err != nil {
+		return bitstr.Empty, 0, err
+	}
+	maxLen := 0
+	for _, c := range fresh {
+		if c.Len() > maxLen {
+			maxLen = c.Len()
+		}
+	}
+	if maxLen > l.maxCodeLen() {
+		l.widen(maxLen)
+	}
+	if l.variant == FCDBS {
+		for fi, c := range fresh {
+			fresh[fi] = c.PadRight(l.fixedWidth)
+		}
+	}
+	// Splice: the window's hi-lo old codes are replaced and one extra
+	// code is inserted at relative position i-lo.
+	rewritten := hi - lo
+	l.codes = append(l.codes, bitstr.Empty)
+	copy(l.codes[hi+1:], l.codes[hi:])
+	copy(l.codes[lo:hi+1], fresh)
+	l.relabels++
+	l.relabeledCodes += int64(rewritten)
+	return l.codes[i], rewritten, nil
+}
+
+// widen grows the fixed field so a code of length need fits. Existing
+// F-CDBS codes are re-padded (a storage-layout change, not a label
+// change).
+func (l *List) widen(need int) {
+	l.widenEvents++
+	if l.variant == FCDBS {
+		l.fixedWidth = need
+		for i, c := range l.codes {
+			l.codes[i] = c.PadRight(need)
+		}
+		return
+	}
+	l.lengthFieldWidth = bitLen(need)
+}
+
+// Delete removes the code at position i. Deletion never affects the
+// relative order of the remaining codes (Section 5.2.1), so it
+// rewrites nothing.
+func (l *List) Delete(i int) error {
+	if i < 0 || i >= len(l.codes) {
+		return fmt.Errorf("cdbs: delete position %d out of range [0,%d)", i, len(l.codes))
+	}
+	l.codes = append(l.codes[:i], l.codes[i+1:]...)
+	return nil
+}
+
+// TotalBits returns the storage footprint of the list: code bits plus
+// length fields (VCDBS) or padded codes plus one width field (FCDBS),
+// per the accounting of Section 4.2.
+func (l *List) TotalBits() int {
+	switch l.variant {
+	case VCDBS:
+		total := len(l.codes) * l.lengthFieldWidth
+		for _, c := range l.codes {
+			total += c.Len()
+		}
+		return total
+	default: // FCDBS
+		if len(l.codes) == 0 {
+			return 0
+		}
+		return len(l.codes)*l.fixedWidth + bitLen(l.fixedWidth)
+	}
+}
+
+// Validate checks the list invariants: strictly increasing codes, all
+// trimmed codes ending in 1, no code longer than the field allows. It
+// exists for tests and costs O(n).
+func (l *List) Validate() error {
+	prev := bitstr.Empty
+	for i, c := range l.codes {
+		t := c
+		if l.variant == FCDBS {
+			if c.Len() != l.fixedWidth {
+				return fmt.Errorf("cdbs: code %d has width %d, want %d", i, c.Len(), l.fixedWidth)
+			}
+			t = c.TrimTrailingZeros()
+		}
+		if !t.EndsWithOne() {
+			return fmt.Errorf("cdbs: code %d (%q) does not end in 1", i, t)
+		}
+		if t.Len() > l.maxCodeLen() {
+			return fmt.Errorf("cdbs: code %d (%q) exceeds max length %d", i, t, l.maxCodeLen())
+		}
+		if i > 0 && prev.Compare(c) >= 0 {
+			return fmt.Errorf("cdbs: codes %d,%d out of order: %q !≺ %q", i-1, i, prev, c)
+		}
+		prev = c
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package cdbs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewListInitialEncoding(t *testing.T) {
+	for _, v := range []Variant{VCDBS, FCDBS} {
+		l, err := NewList(18, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Len() != 18 {
+			t.Fatalf("%v: Len = %d", v, l.Len())
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+	if _, err := NewList(-1, VCDBS); err == nil {
+		t.Error("NewList(-1) succeeded")
+	}
+}
+
+func TestListTotalBits(t *testing.T) {
+	lv, _ := NewList(18, VCDBS)
+	if got := lv.TotalBits(); got != 118 { // Example 4.2
+		t.Errorf("V-CDBS list TotalBits = %d, want 118", got)
+	}
+	lf, _ := NewList(18, FCDBS)
+	if got := lf.TotalBits(); got != 90+3 { // 18*5 code bits + width field (5 needs 3 bits)
+		t.Errorf("F-CDBS list TotalBits = %d, want 93", got)
+	}
+	empty, _ := NewList(0, FCDBS)
+	if got := empty.TotalBits(); got != 0 {
+		t.Errorf("empty F list TotalBits = %d", got)
+	}
+}
+
+func TestListInsertEverywhereNoRelabel(t *testing.T) {
+	// Intermittent updates (Section 7.3): single insertions anywhere
+	// must not rewrite existing codes.
+	for _, v := range []Variant{VCDBS, FCDBS} {
+		for pos := 0; pos <= 10; pos++ {
+			l, _ := NewList(10, v)
+			before := l.Codes()
+			_, rewritten, err := l.InsertAt(pos)
+			if err != nil {
+				t.Fatalf("%v insert at %d: %v", v, pos, err)
+			}
+			if rewritten != 0 {
+				t.Errorf("%v insert at %d rewrote %d codes", v, pos, rewritten)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("%v insert at %d: %v", v, pos, err)
+			}
+			// Every pre-existing code must be untouched. For FCDBS
+			// compare the trimmed codes: a widening may have re-padded
+			// storage, but the code values must be identical.
+			after := l.Codes()
+			unchanged := func(a, b int) bool {
+				x, y := after[a], before[b]
+				if v == FCDBS {
+					x, y = x.TrimTrailingZeros(), y.TrimTrailingZeros()
+				}
+				return x.Equal(y)
+			}
+			for i := 0; i < pos; i++ {
+				if !unchanged(i, i) {
+					t.Errorf("%v: code %d changed", v, i)
+				}
+			}
+			for i := pos; i < len(before); i++ {
+				if !unchanged(i+1, i) {
+					t.Errorf("%v: code %d changed", v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestListInsertOutOfRange(t *testing.T) {
+	l, _ := NewList(3, VCDBS)
+	if _, _, err := l.InsertAt(-1); err == nil {
+		t.Error("InsertAt(-1) succeeded")
+	}
+	if _, _, err := l.InsertAt(4); err == nil {
+		t.Error("InsertAt(len+1) succeeded")
+	}
+}
+
+func TestListDelete(t *testing.T) {
+	l, _ := NewList(5, VCDBS)
+	second := l.Code(1)
+	if err := l.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 4 || !l.Code(0).Equal(second) {
+		t.Error("Delete(0) did not shift codes")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Delete(99); err == nil {
+		t.Error("Delete out of range succeeded")
+	}
+}
+
+func TestListWidenPolicyNeverRelabels(t *testing.T) {
+	// Under the default Widen policy, no insertion pattern ever
+	// rewrites an existing code value.
+	for _, v := range []Variant{VCDBS, FCDBS} {
+		l, _ := NewList(8, v)
+		for i := 0; i < 200; i++ {
+			_, rewritten, err := l.InsertAt(4) // heavily skewed
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rewritten != 0 {
+				t.Fatalf("%v: Widen policy rewrote %d codes", v, rewritten)
+			}
+		}
+		if events, _ := l.Relabels(); events != 0 {
+			t.Errorf("%v: Widen policy relabeled", v)
+		}
+		if l.WidenEvents() == 0 {
+			t.Errorf("%v: 200 skewed inserts never widened the field", v)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestListSkewedInsertionOverflows(t *testing.T) {
+	// Section 5.2.2/6: insertions at a fixed place grow one code by
+	// O(1) bits per insert, so under the strict Relabel policy the
+	// fixed-size field must eventually overflow and trigger a full
+	// re-encode.
+	l, _ := NewListPolicy(8, VCDBS, Relabel)
+	maxLen := l.maxCodeLen()
+	overflowed := false
+	for i := 0; i < maxLen+10; i++ {
+		_, rewritten, err := l.InsertAt(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rewritten > 0 {
+			overflowed = true
+			break
+		}
+	}
+	if !overflowed {
+		t.Fatal("skewed insertion never overflowed the length field")
+	}
+	events, codes := l.Relabels()
+	if events != 1 || codes == 0 {
+		t.Errorf("Relabels = %d,%d, want 1,>0", events, codes)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// After the re-encode the list keeps working.
+	if _, _, err := l.InsertAt(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListUniformInsertionRarelyRelabels(t *testing.T) {
+	// Section 5.2.2: random-position insertion behaves like the
+	// initial encoding; with a healthy length field it should not
+	// overflow over thousands of inserts.
+	l, err := NewList(64, VCDBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		if _, _, err := l.InsertAt(gen.Intn(l.Len() + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if events, _ := l.Relabels(); events != 0 {
+		t.Errorf("uniform insertion caused %d relabels", events)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary interleavings of inserts and deletes preserve
+// all invariants.
+func TestListRandomOpsQuick(t *testing.T) {
+	gen := rand.New(rand.NewSource(99))
+	f := func(int) bool {
+		v := Variant(gen.Intn(2))
+		l, err := NewList(gen.Intn(20), v)
+		if err != nil {
+			return false
+		}
+		for op := 0; op < 60; op++ {
+			if l.Len() > 0 && gen.Intn(3) == 0 {
+				if err := l.Delete(gen.Intn(l.Len())); err != nil {
+					return false
+				}
+			} else {
+				if _, _, err := l.InsertAt(gen.Intn(l.Len() + 1)); err != nil {
+					return false
+				}
+			}
+		}
+		return l.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkListInsertUniform(b *testing.B) {
+	l, _ := NewList(1024, VCDBS)
+	gen := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.InsertAt(gen.Intn(l.Len() + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MustEncode(4096)
+	}
+}

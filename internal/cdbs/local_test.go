@@ -1,0 +1,130 @@
+package cdbs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLocalRelabelBoundsCodeLength(t *testing.T) {
+	const window = 8
+	const inserts = 3000
+	l, err := NewListLocal(256, VCDBS, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inserts; i++ {
+		if _, _, err := l.InsertAt(128); err != nil { // relentless skew
+			t.Fatal(err)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	events, total := l.Relabels()
+	if events == 0 || total == 0 {
+		t.Fatal("skewed storm never triggered a local relabel")
+	}
+	// Code lengths stay within a small constant of the compact
+	// optimum — the property Widen gives up (its hot code reaches
+	// ~3000 bits on this workload).
+	maxLen := 0
+	for i := 0; i < l.Len(); i++ {
+		if n := l.Code(i).Len(); n > maxLen {
+			maxLen = n
+		}
+	}
+	if bound := 3*FixedWidth(l.Len()) + 8; maxLen > bound {
+		t.Errorf("max code length %d exceeds %d", maxLen, bound)
+	}
+	// Rewrite volume sits far below the strict Relabel policy, which
+	// rewrites the whole list every overflow (~n per insert here).
+	if perInsert := float64(total) / inserts; perInsert > float64(l.Len())/8 {
+		t.Errorf("amortized rewrites %.1f/insert not clearly below full relabeling", perInsert)
+	}
+}
+
+func TestLocalRelabelStorageVsWiden(t *testing.T) {
+	// Under the same skewed storm, LocalRelabel storage stays near the
+	// compact optimum while Widen balloons.
+	const inserts = 1500
+	local, err := NewListLocal(64, VCDBS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widen, err := NewListPolicy(64, VCDBS, Widen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < inserts; i++ {
+		if _, _, err := local.InsertAt(32); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := widen.InsertAt(32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lb, wb := local.TotalBits(), widen.TotalBits()
+	if lb*10 > wb {
+		t.Errorf("LocalRelabel storage %d not an order of magnitude below Widen %d", lb, wb)
+	}
+	// And within a small factor of a fresh compact encoding.
+	fresh, err := NewList(local.Len(), VCDBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > 3*fresh.TotalBits() {
+		t.Errorf("LocalRelabel storage %d more than 3x compact %d", lb, fresh.TotalBits())
+	}
+}
+
+func TestLocalRelabelRandomOps(t *testing.T) {
+	gen := rand.New(rand.NewSource(41))
+	for _, v := range []Variant{VCDBS, FCDBS} {
+		l, err := NewListLocal(10, v, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < 2000; op++ {
+			if l.Len() > 4 && gen.Intn(4) == 0 {
+				if err := l.Delete(gen.Intn(l.Len())); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			// Mix skew with random positions.
+			pos := l.Len() / 2
+			if gen.Intn(2) == 0 {
+				pos = gen.Intn(l.Len() + 1)
+			}
+			if _, _, err := l.InsertAt(pos); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestNewListLocalValidation(t *testing.T) {
+	if _, err := NewListLocal(10, VCDBS, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewListLocal(-1, VCDBS, 4); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func BenchmarkLocalRelabelSkewed(b *testing.B) {
+	l, err := NewListLocal(256, VCDBS, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.InsertAt(128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

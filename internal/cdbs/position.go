@@ -1,0 +1,50 @@
+package cdbs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitstr"
+)
+
+// ErrNotInitialCode reports a code that is not one of the n codes
+// produced by Encode(n), so its ordinal position is undefined.
+var ErrNotInitialCode = errors.New("cdbs: code was not produced by the initial encoding")
+
+// Position inverts Algorithm 2 (Section 5.1 of the paper): given a
+// V-CDBS code produced by Encode(n), it computes the integer position
+// 1..n of that code by calculation only, without materialising the
+// code array. It runs in O(log n) Between steps.
+//
+// Codes created later by Between are not initial codes and yield
+// ErrNotInitialCode: in a dynamic document ordinal positions are not
+// stable anyway (Section 5.1 discusses exactly this trade-off).
+func Position(code bitstr.BitString, n int) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("cdbs: no positions in an encoding of %d", n)
+	}
+	lo, hi := 0, n+1
+	cl, ch := bitstr.Empty, bitstr.Empty
+	for lo+1 < hi {
+		mid := (lo + hi + 1) / 2
+		cm, err := Between(cl, ch)
+		if err != nil {
+			return 0, err
+		}
+		switch c := code.Compare(cm); {
+		case c == 0:
+			return mid, nil
+		case c < 0:
+			hi, ch = mid, cm
+		default:
+			lo, cl = mid, cm
+		}
+	}
+	return 0, fmt.Errorf("%w: %q in Encode(%d)", ErrNotInitialCode, code, n)
+}
+
+// PositionFixed is Position for F-CDBS codes: it trims the trailing
+// zero padding first.
+func PositionFixed(code bitstr.BitString, n int) (int, error) {
+	return Position(code.TrimTrailingZeros(), n)
+}

@@ -1,0 +1,380 @@
+// Package datagen synthesises the evaluation datasets of the CDBS
+// paper. The original experiments used six real-world NIAGARA XML
+// collections (Table 2) that are no longer distributed, so this
+// package generates element trees with the same file counts, total
+// node counts, depths and fan-out character. Label sizes, query
+// behaviour and update costs depend only on that structure, which is
+// what keeps the reproduced comparisons meaningful.
+//
+// Node counts are element counts, matching the paper's accounting (the
+// Shakespeare numbers only add up if text nodes are excluded).
+//
+// All generation is deterministic: the same call always returns the
+// same trees.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+)
+
+// Dataset is a generated collection of XML files.
+type Dataset struct {
+	Name  string
+	Topic string
+	Files []*xmltree.Document
+}
+
+// TotalNodes sums the node counts of all files.
+func (d Dataset) TotalNodes() int {
+	total := 0
+	for _, f := range d.Files {
+		total += f.Len()
+	}
+	return total
+}
+
+// Spec describes one dataset's Table 2 row.
+type Spec struct {
+	Name       string
+	Topic      string
+	Files      int
+	MaxFanout  int // paper's max fan-out, for reporting
+	AvgFanout  int
+	MaxDepth   int
+	AvgDepth   int
+	TotalNodes int
+}
+
+// Specs returns the Table 2 rows.
+func Specs() []Spec {
+	return []Spec{
+		{"D1", "Movie", 490, 14, 6, 5, 5, 26044},
+		{"D2", "Department", 19, 233, 81, 4, 4, 48542},
+		{"D3", "Actor", 480, 37, 11, 5, 5, 56769},
+		{"D4", "Company", 24, 529, 135, 5, 3, 161576},
+		{"D5", "Shakespeare's play", 37, 434, 48, 6, 5, 179689},
+		{"D6", "NASA", 1882, 1188, 9, 7, 5, 370292},
+	}
+}
+
+// Generate builds the named dataset ("D1".."D6").
+func Generate(name string) (Dataset, error) {
+	switch name {
+	case "D1":
+		return genD1(), nil
+	case "D2":
+		return genD2(), nil
+	case "D3":
+		return genD3(), nil
+	case "D4":
+		return genD4(), nil
+	case "D5":
+		return D5(1), nil
+	case "D6":
+		return genD6(), nil
+	}
+	return Dataset{}, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// el is shorthand for a new element node.
+func el(name string) *xmltree.Node { return xmltree.NewElement(name) }
+
+// addKids appends k children with the given name and returns them.
+func addKids(p *xmltree.Node, name string, k int) []*xmltree.Node {
+	out := make([]*xmltree.Node, k)
+	for i := range out {
+		out[i] = p.AppendChild(el(name))
+	}
+	return out
+}
+
+// splitSizes partitions total into n parts, jittered by the rng within
+// ±spread of the mean but never below min; the last part absorbs the
+// remainder.
+func splitSizes(rng *rand.Rand, total, n, min, spread int) []int {
+	if n <= 0 {
+		return nil
+	}
+	mean := total / n
+	out := make([]int, n)
+	rem := total
+	for i := 0; i < n-1; i++ {
+		s := mean
+		if spread > 0 {
+			s += rng.Intn(2*spread+1) - spread
+		}
+		if s < min {
+			s = min
+		}
+		// Keep enough for the remaining parts.
+		if cap := rem - (n-1-i)*min; s > cap {
+			s = cap
+		}
+		out[i] = s
+		rem -= s
+	}
+	out[n-1] = rem
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// D1 Movie — 490 files, ~53 nodes each, depth 5.
+
+func genD1() Dataset {
+	rng := rand.New(rand.NewSource(101))
+	spec := Specs()[0]
+	sizes := splitSizes(rng, spec.TotalNodes, spec.Files, 12, 8)
+	files := make([]*xmltree.Document, spec.Files)
+	for i, size := range sizes {
+		files[i] = &xmltree.Document{Root: buildMovie(rng, size)}
+	}
+	return Dataset{Name: spec.Name, Topic: spec.Topic, Files: files}
+}
+
+// buildMovie returns a movie element tree of exactly size nodes:
+// movie > (title, year, genre, cast > actor* ), actor > (name, role >
+// type) — depth 5.
+func buildMovie(rng *rand.Rand, size int) *xmltree.Node {
+	movie := el("movie")
+	movie.AppendChild(el("title"))
+	movie.AppendChild(el("year"))
+	movie.AppendChild(el("genre"))
+	cast := movie.AppendChild(el("cast"))
+	used := 5
+	// Full actors cost 4 nodes (actor, name, role, type).
+	for used+4 <= size {
+		a := cast.AppendChild(el("actor"))
+		a.AppendChild(el("name"))
+		role := a.AppendChild(el("role"))
+		role.AppendChild(el("type"))
+		used += 4
+	}
+	for used < size {
+		cast.AppendChild(el("extra"))
+		used++
+	}
+	_ = rng
+	return movie
+}
+
+// ---------------------------------------------------------------------------
+// D2 Department — 19 files, ~2555 nodes each, depth 4, very wide root.
+
+func genD2() Dataset {
+	rng := rand.New(rand.NewSource(102))
+	spec := Specs()[1]
+	sizes := splitSizes(rng, spec.TotalNodes, spec.Files, 600, 400)
+	files := make([]*xmltree.Document, spec.Files)
+	for i, size := range sizes {
+		files[i] = &xmltree.Document{Root: buildDepartment(rng, size)}
+	}
+	return Dataset{Name: spec.Name, Topic: spec.Topic, Files: files}
+}
+
+// buildDepartment returns department > employee* with employee >
+// field > value — depth 4, exactly size nodes.
+func buildDepartment(rng *rand.Rand, size int) *xmltree.Node {
+	dept := el("department")
+	used := 1
+	// An employee with f fields costs 1 + 2f nodes.
+	for used < size {
+		f := 6 + rng.Intn(5)
+		if used+1+2*f > size {
+			// Tail: shrink to fit; odd leftovers become bare fields.
+			rem := size - used
+			e := dept.AppendChild(el("employee"))
+			used++
+			rem--
+			for rem >= 2 {
+				fd := e.AppendChild(el("field"))
+				fd.AppendChild(el("value"))
+				rem -= 2
+				used += 2
+			}
+			if rem == 1 {
+				e.AppendChild(el("note"))
+				used++
+			}
+			continue
+		}
+		e := dept.AppendChild(el("employee"))
+		used++
+		for j := 0; j < f; j++ {
+			fd := e.AppendChild(el("field"))
+			fd.AppendChild(el("value"))
+			used += 2
+		}
+	}
+	return dept
+}
+
+// ---------------------------------------------------------------------------
+// D3 Actor — 480 files, ~118 nodes each, depth 5.
+
+func genD3() Dataset {
+	rng := rand.New(rand.NewSource(103))
+	spec := Specs()[2]
+	sizes := splitSizes(rng, spec.TotalNodes, spec.Files, 30, 25)
+	files := make([]*xmltree.Document, spec.Files)
+	for i, size := range sizes {
+		files[i] = &xmltree.Document{Root: buildActor(rng, size)}
+	}
+	return Dataset{Name: spec.Name, Topic: spec.Topic, Files: files}
+}
+
+// buildActor returns actor > (name, filmography > movie*), movie >
+// (title, year, role > character) — depth 5, exactly size nodes.
+func buildActor(rng *rand.Rand, size int) *xmltree.Node {
+	actor := el("actor")
+	actor.AppendChild(el("name"))
+	filmo := actor.AppendChild(el("filmography"))
+	used := 3
+	for used+6 <= size {
+		m := filmo.AppendChild(el("movie"))
+		m.AppendChild(el("title"))
+		m.AppendChild(el("year"))
+		role := m.AppendChild(el("role"))
+		role.AppendChild(el("character"))
+		used += 5
+		if rng.Intn(3) == 0 && used < size {
+			m.AppendChild(el("award"))
+			used++
+		}
+	}
+	for used < size {
+		filmo.AppendChild(el("shortfilm"))
+		used++
+	}
+	return actor
+}
+
+// ---------------------------------------------------------------------------
+// D4 Company — 24 files, ~6732 nodes each, shallow and very wide.
+
+func genD4() Dataset {
+	rng := rand.New(rand.NewSource(104))
+	spec := Specs()[3]
+	sizes := splitSizes(rng, spec.TotalNodes, spec.Files, 2000, 1500)
+	files := make([]*xmltree.Document, spec.Files)
+	for i, size := range sizes {
+		files[i] = &xmltree.Document{Root: buildCompany(rng, size)}
+	}
+	return Dataset{Name: spec.Name, Topic: spec.Topic, Files: files}
+}
+
+// buildCompany returns company > department* with department >
+// employee* and employee > (name, title, office > room) — mass at
+// depth 3-4 (average depth ≈ 3), max depth 5, exactly size nodes.
+func buildCompany(rng *rand.Rand, size int) *xmltree.Node {
+	company := el("company")
+	used := 1
+	var dept *xmltree.Node
+	perDept := 300 + rng.Intn(230)
+	inDept := 0
+	for used < size {
+		if dept == nil || inDept >= perDept {
+			if used+6 > size {
+				// Tail: plain leaf employees under the last dept.
+				if dept == nil {
+					dept = company.AppendChild(el("department"))
+					used++
+				}
+				for used < size {
+					dept.AppendChild(el("employee"))
+					used++
+				}
+				break
+			}
+			dept = company.AppendChild(el("department"))
+			used++
+			inDept = 0
+			perDept = 300 + rng.Intn(230)
+		}
+		// Employee with 2 flat fields and one nested office: 5 nodes.
+		if used+5 <= size {
+			e := dept.AppendChild(el("employee"))
+			e.AppendChild(el("name"))
+			e.AppendChild(el("title"))
+			off := e.AppendChild(el("office"))
+			off.AppendChild(el("room"))
+			used += 5
+			inDept++
+		} else {
+			dept.AppendChild(el("employee"))
+			used++
+			inDept++
+		}
+	}
+	return company
+}
+
+// ---------------------------------------------------------------------------
+// D6 NASA — 1882 files, ~197 nodes each, depth 7, one very wide file.
+
+func genD6() Dataset {
+	rng := rand.New(rand.NewSource(106))
+	spec := Specs()[5]
+	sizes := splitSizes(rng, spec.TotalNodes, spec.Files, 60, 40)
+	// File 0 carries the 1188-fanout element the Table 2 row reports.
+	if sizes[0] < 1300 {
+		diff := 1300 - sizes[0]
+		sizes[0] += diff
+		sizes[len(sizes)-1] -= diff
+	}
+	files := make([]*xmltree.Document, spec.Files)
+	for i, size := range sizes {
+		files[i] = &xmltree.Document{Root: buildNASA(rng, size, i == 0)}
+	}
+	return Dataset{Name: spec.Name, Topic: spec.Topic, Files: files}
+}
+
+// buildNASA returns dataset > (title, altname, keywords > keyword*,
+// history > revision*, tableHead > field*) with revision > author >
+// name > (last > initial) — depth 7, exactly size nodes.
+func buildNASA(rng *rand.Rand, size int, wide bool) *xmltree.Node {
+	ds := el("dataset")
+	ds.AppendChild(el("title"))
+	ds.AppendChild(el("altname"))
+	keywords := ds.AppendChild(el("keywords"))
+	history := ds.AppendChild(el("history"))
+	used := 5
+	if wide {
+		used += len(addKids(keywords, "keyword", 1188))
+	} else {
+		used += len(addKids(keywords, "keyword", 4+rng.Intn(8)))
+	}
+	// Revisions: revision > author > name > last > initial (+date):
+	// 6 nodes, reaching depth 7.
+	for used+6 <= size && rng.Intn(6) != 0 {
+		rev := history.AppendChild(el("revision"))
+		rev.AppendChild(el("date"))
+		author := rev.AppendChild(el("author"))
+		name := author.AppendChild(el("name"))
+		last := name.AppendChild(el("last"))
+		last.AppendChild(el("initial"))
+		used += 6
+	}
+	// Table fields: tableHead > field > (name, units): 3-4 nodes.
+	if used+2 <= size {
+		th := ds.AppendChild(el("tableHead"))
+		used++
+		for used+3 <= size {
+			f := th.AppendChild(el("field"))
+			f.AppendChild(el("name"))
+			f.AppendChild(el("units"))
+			used += 3
+		}
+		for used < size {
+			th.AppendChild(el("ref"))
+			used++
+		}
+	}
+	for used < size {
+		keywords.AppendChild(el("keyword"))
+		used++
+	}
+	return ds
+}

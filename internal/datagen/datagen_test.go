@@ -1,0 +1,186 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func TestSpecsShape(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 6 {
+		t.Fatalf("Specs: %d rows", len(specs))
+	}
+	if specs[4].TotalNodes != 179689 {
+		t.Errorf("D5 total = %d", specs[4].TotalNodes)
+	}
+}
+
+func TestGenerateTotalsMatchTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	for _, spec := range Specs() {
+		ds, err := Generate(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(ds.Files); got != spec.Files {
+			t.Errorf("%s: %d files, want %d", spec.Name, got, spec.Files)
+		}
+		if got := ds.TotalNodes(); got != spec.TotalNodes {
+			t.Errorf("%s: %d nodes, want %d", spec.Name, got, spec.TotalNodes)
+		}
+	}
+	if _, err := Generate("D7"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Files[7].String() != b.Files[7].String() {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestDepthCharacter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	wantMaxDepth := map[string]int{"D1": 5, "D2": 4, "D3": 5, "D4": 5, "D5": 6, "D6": 7}
+	for _, spec := range Specs() {
+		ds, err := Generate(spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deepest := 0
+		for _, f := range ds.Files {
+			if s := f.Stats(); s.MaxDepth > deepest {
+				deepest = s.MaxDepth
+			}
+		}
+		if want := wantMaxDepth[spec.Name]; deepest != want {
+			t.Errorf("%s: max depth %d, want %d", spec.Name, deepest, want)
+		}
+	}
+}
+
+func TestHamletExactStructure(t *testing.T) {
+	h := Hamlet()
+	if got := h.Len(); got != HamletNodes {
+		t.Fatalf("Hamlet has %d nodes, want %d", got, HamletNodes)
+	}
+	play := h.Root
+	if play.Name != "play" {
+		t.Fatalf("root = %q", play.Name)
+	}
+	var acts []*xmltree.Node
+	for _, c := range play.Children {
+		if c.Name == "act" {
+			acts = append(acts, c)
+		}
+	}
+	if len(acts) != 5 {
+		t.Fatalf("Hamlet has %d acts", len(acts))
+	}
+	for i, a := range acts {
+		if got := a.SubtreeSize(); got != hamletActSizes[i] {
+			t.Errorf("act[%d] subtree = %d, want %d", i+1, got, hamletActSizes[i])
+		}
+	}
+	// Nodes before act[1] (front matter): total − play − acts.
+	sum := 0
+	for _, a := range acts {
+		sum += a.SubtreeSize()
+	}
+	if front := HamletNodes - 1 - sum; front != hamletFrontMatter {
+		t.Errorf("front matter = %d, want %d", front, hamletFrontMatter)
+	}
+	// Table 4 relabel counts: nodes from act[i] onward plus the play
+	// root.
+	want := HamletRelabelCounts()
+	tail := 0
+	for i := 4; i >= 0; i-- {
+		tail += hamletActSizes[i]
+		if got := tail + 1; got != want[i] {
+			t.Errorf("case %d expected relabels = %d, want %d", i+1, got, want[i])
+		}
+	}
+}
+
+func TestD5ContainsHamletAndScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	d5 := D5(1)
+	if len(d5.Files) != 37 {
+		t.Fatalf("D5 has %d files", len(d5.Files))
+	}
+	if got := d5.TotalNodes(); got != 179689 {
+		t.Errorf("D5 nodes = %d, want 179689", got)
+	}
+	found := false
+	for _, f := range d5.Files {
+		if f.Len() == HamletNodes {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no Hamlet-sized file in D5")
+	}
+	d50 := D5(10)
+	if len(d50.Files) != 370 {
+		t.Errorf("D5(10) has %d files", len(d50.Files))
+	}
+	if got := d50.TotalNodes(); got != 1796890 {
+		t.Errorf("D5(10) nodes = %d", got)
+	}
+}
+
+func TestPlayQueryStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	d5 := D5(1)
+	with12 := 0
+	for _, f := range d5.Files {
+		play := f.Root
+		var personae *xmltree.Node
+		acts := 0
+		for _, c := range play.Children {
+			switch c.Name {
+			case "personae":
+				personae = c
+			case "act":
+				acts++
+			}
+		}
+		if acts != 5 {
+			t.Fatalf("play with %d acts", acts)
+		}
+		if personae == nil {
+			t.Fatal("play without personae")
+		}
+		personas := 0
+		for _, c := range personae.Children {
+			if c.Name == "persona" {
+				personas++
+			}
+		}
+		if personas >= 12 {
+			with12++
+		}
+	}
+	// ~35 of 37 plays must have a 12th persona (Q3's cardinality).
+	if with12 != 35 {
+		t.Errorf("%d plays with >=12 personas, want 35", with12)
+	}
+}

@@ -1,0 +1,238 @@
+// Package deweyid implements the DeweyID prefix labeling baseline
+// (Tatarinov et al., SIGMOD 2002) with UTF-8-style variable-length
+// component encoding, plus the binary-string prefix labeling of Cohen,
+// Kaplan and Milo (PODS 2002). Both appear in Figure 5 of the CDBS
+// paper; neither avoids re-labeling on insertion.
+package deweyid
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Label is a DeweyID: the 1-based child ordinals along the path from
+// the root, e.g. 1.2.4.
+type Label []int
+
+// ErrBadComponent reports a component below 1.
+var ErrBadComponent = errors.New("deweyid: components must be >= 1")
+
+// New builds a label from explicit components.
+func New(comps ...int) (Label, error) {
+	for _, c := range comps {
+		if c < 1 {
+			return nil, fmt.Errorf("%w: %d", ErrBadComponent, c)
+		}
+	}
+	out := make(Label, len(comps))
+	copy(out, comps)
+	return out, nil
+}
+
+// MustNew is New for known-good literals.
+func MustNew(comps ...int) Label {
+	l, err := New(comps...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Extend returns the label of the n-th child of l.
+func (l Label) Extend(n int) Label {
+	out := make(Label, 0, len(l)+1)
+	out = append(out, l...)
+	return append(out, n)
+}
+
+// Compare orders labels in document order: componentwise with a proper
+// prefix (ancestor) first.
+func (l Label) Compare(m Label) int {
+	n := len(l)
+	if len(m) < n {
+		n = len(m)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case l[i] < m[i]:
+			return -1
+		case l[i] > m[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(l) < len(m):
+		return -1
+	case len(l) > len(m):
+		return 1
+	}
+	return 0
+}
+
+// Level returns the node depth (number of components).
+func (l Label) Level() int { return len(l) }
+
+// Parent returns the label without its final component, and false for
+// the root.
+func (l Label) Parent() (Label, bool) {
+	if len(l) == 0 {
+		return nil, false
+	}
+	out := make(Label, len(l)-1)
+	copy(out, l[:len(l)-1])
+	return out, true
+}
+
+// IsAncestor reports whether l is a proper ancestor of m: a proper
+// component prefix.
+func (l Label) IsAncestor(m Label) bool {
+	if len(l) >= len(m) {
+		return false
+	}
+	for i, c := range l {
+		if m[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParent reports whether l is the parent of m.
+func (l Label) IsParent(m Label) bool {
+	return len(m) == len(l)+1 && l.IsAncestor(m)
+}
+
+// IsSibling reports whether l and m are distinct and share a parent.
+func (l Label) IsSibling(m Label) bool {
+	if len(l) != len(m) || len(l) == 0 || l.Compare(m) == 0 {
+		return false
+	}
+	for i := 0; i < len(l)-1; i++ {
+		if l[i] != m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the label dot-separated, e.g. "1.2.4".
+func (l Label) String() string {
+	parts := make([]string, len(l))
+	for i, c := range l {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ".")
+}
+
+// UTF8ComponentBytes returns the number of bytes the UTF-8-style
+// encoding spends on one component, treating the ordinal like a code
+// point (RFC 2279 thresholds). The multi-byte format is self-
+// delimiting, which is how DeweyID(UTF8) avoids explicit "."
+// separators in storage.
+func UTF8ComponentBytes(c int) int {
+	switch {
+	case c < 1<<7:
+		return 1
+	case c < 1<<11:
+		return 2
+	case c < 1<<16:
+		return 3
+	case c < 1<<21:
+		return 4
+	case c < 1<<26:
+		return 5
+	default:
+		return 6
+	}
+}
+
+// UTF8Bits returns the storage size of the whole label in bits under
+// the UTF-8 component encoding.
+func (l Label) UTF8Bits() int {
+	total := 0
+	for _, c := range l {
+		total += 8 * UTF8ComponentBytes(c)
+	}
+	return total
+}
+
+// EncodeUTF8 serialises the label with the UTF-8-style component
+// encoding (the actual multi-byte patterns, so labels remain
+// byte-comparable in document order for components of equal depth).
+func (l Label) EncodeUTF8() []byte {
+	var out []byte
+	for _, c := range l {
+		out = appendUTF8(out, c)
+	}
+	return out
+}
+
+// appendUTF8 writes one component in the RFC 2279 multi-byte format.
+func appendUTF8(dst []byte, c int) []byte {
+	switch n := UTF8ComponentBytes(c); n {
+	case 1:
+		return append(dst, byte(c))
+	default:
+		// Leading byte: n high bits set then 0, then 7-n value bits.
+		shift := uint(6 * (n - 1))
+		lead := byte(0xFF<<(8-uint(n))) | byte(c>>shift)
+		dst = append(dst, lead&^(1<<(7-uint(n))))
+		for i := n - 2; i >= 0; i-- {
+			dst = append(dst, 0x80|byte(c>>(6*uint(i)))&0x3F)
+		}
+		return dst
+	}
+}
+
+// DecodeUTF8 parses a byte stream produced by EncodeUTF8.
+func DecodeUTF8(data []byte) (Label, error) {
+	var out Label
+	for i := 0; i < len(data); {
+		b := data[i]
+		if b < 0x80 {
+			out = append(out, int(b))
+			i++
+			continue
+		}
+		n := 0
+		for mask := byte(0x80); mask != 0 && b&mask != 0; mask >>= 1 {
+			n++
+		}
+		if n < 2 || n > 6 || i+n > len(data) {
+			return nil, fmt.Errorf("deweyid: bad multi-byte lead 0x%02x at %d", b, i)
+		}
+		v := int(b & (0x7F >> uint(n)))
+		for j := 1; j < n; j++ {
+			if data[i+j]&0xC0 != 0x80 {
+				return nil, fmt.Errorf("deweyid: bad continuation at %d", i+j)
+			}
+			v = v<<6 | int(data[i+j]&0x3F)
+		}
+		out = append(out, v)
+		i += n
+	}
+	for _, c := range out {
+		if c < 1 {
+			return nil, fmt.Errorf("%w: decoded %d", ErrBadComponent, c)
+		}
+	}
+	return out, nil
+}
+
+// CohenSelfBits returns the size in bits of the Cohen-Kaplan-Milo
+// binary-string self label of the i-th child (1-based): i−1 "1" bits
+// followed by one "0". The linear growth in the child ordinal is what
+// gives this scheme its "very large label sizes" (Section 2.2).
+func CohenSelfBits(i int) int { return i }
+
+// CohenLabelBits returns the total bits of the Cohen binary-string
+// label for a node whose path ordinals are given by the DeweyID.
+func (l Label) CohenLabelBits() int {
+	total := 0
+	for _, c := range l {
+		total += CohenSelfBits(c)
+	}
+	return total
+}

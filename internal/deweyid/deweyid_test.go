@@ -1,0 +1,127 @@
+package deweyid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0, 2); err == nil {
+		t.Error("component 0 accepted")
+	}
+	if _, err := New(1, 2, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAndRelationships(t *testing.T) {
+	root := MustNew(1)
+	c2 := root.Extend(2)
+	c24 := c2.Extend(4)
+	c3 := root.Extend(3)
+
+	if root.Compare(c2) >= 0 || c2.Compare(c24) >= 0 || c24.Compare(c3) >= 0 {
+		t.Error("document order violated")
+	}
+	if !root.IsAncestor(c24) || !c2.IsAncestor(c24) || c3.IsAncestor(c24) {
+		t.Error("ancestor tests failed")
+	}
+	if !c2.IsParent(c24) || root.IsParent(c24) {
+		t.Error("parent tests failed")
+	}
+	if !c2.IsSibling(c3) || c2.IsSibling(c24) || c2.IsSibling(c2) {
+		t.Error("sibling tests failed")
+	}
+	if p, ok := c24.Parent(); !ok || p.Compare(c2) != 0 {
+		t.Error("Parent failed")
+	}
+	if _, ok := Label(nil).Parent(); ok {
+		t.Error("empty label has a parent")
+	}
+	if c24.Level() != 3 {
+		t.Errorf("Level = %d", c24.Level())
+	}
+	if c24.String() != "1.2.4" {
+		t.Errorf("String = %q", c24)
+	}
+}
+
+func TestUTF8ComponentBytes(t *testing.T) {
+	cases := []struct{ c, want int }{
+		{1, 1}, {127, 1}, {128, 2}, {2047, 2}, {2048, 3}, {65535, 3}, {65536, 4},
+	}
+	for _, c := range cases {
+		if got := UTF8ComponentBytes(c.c); got != c.want {
+			t.Errorf("UTF8ComponentBytes(%d) = %d, want %d", c.c, got, c.want)
+		}
+	}
+}
+
+func TestUTF8RoundTrip(t *testing.T) {
+	labels := []Label{
+		MustNew(1),
+		MustNew(1, 2, 4),
+		MustNew(127, 128, 2047, 2048, 65535, 65536),
+		MustNew(1, 1, 1, 1, 1, 1, 1),
+	}
+	for _, l := range labels {
+		data := l.EncodeUTF8()
+		if len(data)*8 != l.UTF8Bits() {
+			t.Errorf("%v: %d bytes but UTF8Bits %d", l, len(data), l.UTF8Bits())
+		}
+		back, err := DecodeUTF8(data)
+		if err != nil {
+			t.Fatalf("%v: %v", l, err)
+		}
+		if back.Compare(l) != 0 {
+			t.Errorf("round trip %v -> %v", l, back)
+		}
+	}
+}
+
+func TestUTF8RoundTripQuick(t *testing.T) {
+	gen := rand.New(rand.NewSource(17))
+	f := func(int) bool {
+		n := 1 + gen.Intn(6)
+		l := make(Label, n)
+		for i := range l {
+			l[i] = 1 + gen.Intn(100000)
+		}
+		back, err := DecodeUTF8(l.EncodeUTF8())
+		return err == nil && back.Compare(l) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeUTF8Errors(t *testing.T) {
+	if _, err := DecodeUTF8([]byte{0xC2}); err == nil {
+		t.Error("truncated sequence accepted")
+	}
+	if _, err := DecodeUTF8([]byte{0xC2, 0x00}); err == nil {
+		t.Error("bad continuation accepted")
+	}
+	if _, err := DecodeUTF8([]byte{0x80}); err == nil {
+		t.Error("lone continuation accepted")
+	}
+}
+
+func TestCohenSizes(t *testing.T) {
+	if got := CohenSelfBits(1); got != 1 {
+		t.Errorf("CohenSelfBits(1) = %d", got)
+	}
+	if got := CohenSelfBits(100); got != 100 {
+		t.Errorf("CohenSelfBits(100) = %d", got)
+	}
+	// A wide tree: node 1.200.3 costs 1+200+3 bits in Cohen vs
+	// 8+16+8 bits in DeweyID(UTF8).
+	l := MustNew(1, 200, 3)
+	if got := l.CohenLabelBits(); got != 204 {
+		t.Errorf("CohenLabelBits = %d, want 204", got)
+	}
+	if got := l.UTF8Bits(); got != 32 {
+		t.Errorf("UTF8Bits = %d, want 32", got)
+	}
+}

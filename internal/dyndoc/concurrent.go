@@ -1,0 +1,122 @@
+package dyndoc
+
+import (
+	"sync"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Concurrent wraps a Document for shared use: queries take a read
+// lock and run concurrently; edits take the write lock. The zero value
+// is not usable — construct with NewConcurrent or ParseConcurrent.
+type Concurrent struct {
+	mu sync.RWMutex
+	d  *Document
+}
+
+// NewConcurrent wraps doc under the given builder.
+func NewConcurrent(doc *xmltree.Document, build scheme.Builder) (*Concurrent, error) {
+	d, err := New(doc, build)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{d: d}, nil
+}
+
+// ParseConcurrent parses XML text into a shared live document.
+func ParseConcurrent(text string, build scheme.Builder) (*Concurrent, error) {
+	d, err := Parse(text, build)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{d: d}, nil
+}
+
+// Len returns the live node count.
+func (c *Concurrent) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.d.Len()
+}
+
+// Relabeled returns the cumulative re-label count.
+func (c *Concurrent) Relabeled() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.d.Relabeled()
+}
+
+// Name returns the element name of a live node id.
+func (c *Concurrent) Name(id int) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.d.Name(id)
+}
+
+// XML serialises the current document.
+func (c *Concurrent) XML() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.d.XML()
+}
+
+// Query evaluates a parsed path expression under the read lock.
+func (c *Concurrent) Query(q *xpath.Query) ([]int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.d.Query(q)
+}
+
+// QueryString parses and evaluates a path expression.
+func (c *Concurrent) QueryString(path string) ([]int, error) {
+	q, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	return c.Query(q)
+}
+
+// Count returns the number of matches for a path expression.
+func (c *Concurrent) Count(path string) (int, error) {
+	ids, err := c.QueryString(path)
+	return len(ids), err
+}
+
+// InsertElement inserts a fresh element under the write lock.
+func (c *Concurrent) InsertElement(parent, pos int, name string) (int, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.d.InsertElement(parent, pos, name)
+}
+
+// InsertTree inserts a fragment copy under the write lock.
+func (c *Concurrent) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.d.InsertTree(parent, pos, fragment)
+}
+
+// DeleteSubtree removes a subtree under the write lock.
+func (c *Concurrent) DeleteSubtree(id int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.d.DeleteSubtree(id)
+}
+
+// Snapshot runs fn with the read lock held, giving it consistent
+// access to the underlying document for composite reads.
+func (c *Concurrent) Snapshot(fn func(d *Document) error) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return fn(c.d)
+}
+
+// Update runs fn with the write lock held, for composite edits that
+// must be atomic with respect to readers.
+func (c *Concurrent) Update(fn func(d *Document) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.d)
+}

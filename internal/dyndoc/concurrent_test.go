@@ -1,0 +1,129 @@
+package dyndoc
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/containment"
+	"repro/internal/keys"
+	"repro/internal/xmltree"
+)
+
+func TestConcurrentEditAndQuery(t *testing.T) {
+	c, err := ParseConcurrent(seedDoc, containment.Build(keys.VCDBS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shelves, err := c.QueryString("/library/shelf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const readers = 8
+	const opsEach = 150
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(shelf int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				if _, _, err := c.InsertElement(shelves[shelf%len(shelves)], 0, "book"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				n, err := c.Count("//book")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if n < 3 {
+					errCh <- errTooFew
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	want := 3 + writers*opsEach
+	if n, _ := c.Count("//book"); n != want {
+		t.Fatalf("books = %d, want %d", n, want)
+	}
+	if c.Relabeled() != 0 {
+		t.Fatalf("relabeled %d under concurrency", c.Relabeled())
+	}
+	if c.Len() == 0 || c.XML() == "" {
+		t.Fatal("accessors broken")
+	}
+}
+
+var errTooFew = &countError{}
+
+type countError struct{}
+
+func (*countError) Error() string { return "dyndoc test: query saw fewer books than the seed document" }
+
+func TestConcurrentSnapshotUpdate(t *testing.T) {
+	c, err := ParseConcurrent(seedDoc, containment.Build(keys.VCDBS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A composite update: move the first book to the second shelf,
+	// atomically.
+	err = c.Update(func(d *Document) error {
+		books, err := d.QueryString("/library/shelf[1]/book")
+		if err != nil {
+			return err
+		}
+		if _, err := d.DeleteSubtree(books[0]); err != nil {
+			return err
+		}
+		shelves, err := d.QueryString("/library/shelf")
+		if err != nil {
+			return err
+		}
+		_, _, err = d.InsertElement(shelves[1], 0, "book")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Snapshot(func(d *Document) error {
+		a, _ := d.Count("/library/shelf[1]/book")
+		b, _ := d.Count("/library/shelf[2]/book")
+		if a != 1 || b != 2 {
+			t.Errorf("after move: %d + %d books", a, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.InsertTree(0, 0, xmltree.NewElement("shelf")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Name(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryString("("); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := c.DeleteSubtree(-1); err == nil {
+		t.Fatal("bad delete accepted")
+	}
+}

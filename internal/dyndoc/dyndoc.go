@@ -1,0 +1,265 @@
+// Package dyndoc binds an XML tree, a labeling scheme and a query
+// index into one live document — the end-to-end system the CDBS paper
+// motivates: keep querying a document while it is being edited, with
+// the dynamic schemes never re-labeling a node.
+//
+// Every edit updates three things in lock step: the xmltree nodes, the
+// labeling, and the document-ordered per-element-name id lists the
+// query engine joins over. The per-name lists are maintained with a
+// binary search on the labeling's Before predicate, so an insertion
+// costs O(log n) label comparisons plus the list shift.
+package dyndoc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Document is a live, labeled, queryable XML document.
+type Document struct {
+	doc   *xmltree.Document
+	lab   scheme.Labeling
+	nodes []*xmltree.Node // by node id
+	names []string        // element name by id; "" for text nodes
+
+	byName map[string][]int // live element ids in document order
+	elems  []int            // all live element ids in document order
+
+	relabeled int64 // cumulative re-labels caused by edits
+}
+
+// ErrBadNode reports an id that is out of range or deleted.
+var ErrBadNode = errors.New("dyndoc: bad node id")
+
+// New labels doc with the given builder and indexes it.
+func New(doc *xmltree.Document, build scheme.Builder) (*Document, error) {
+	lab, err := build(doc)
+	if err != nil {
+		return nil, err
+	}
+	nodes := doc.Nodes()
+	d := &Document{
+		doc:    doc,
+		lab:    lab,
+		nodes:  nodes,
+		names:  make([]string, len(nodes)),
+		byName: map[string][]int{},
+	}
+	for i, n := range nodes {
+		if n.Kind != xmltree.Element {
+			continue
+		}
+		d.names[i] = n.Name
+		d.byName[n.Name] = append(d.byName[n.Name], i)
+		d.elems = append(d.elems, i)
+	}
+	return d, nil
+}
+
+// Parse is New over XML text.
+func Parse(text string, build scheme.Builder) (*Document, error) {
+	doc, err := xmltree.ParseString(text)
+	if err != nil {
+		return nil, err
+	}
+	return New(doc, build)
+}
+
+// Labeling exposes the underlying labeling.
+func (d *Document) Labeling() scheme.Labeling { return d.lab }
+
+// Len returns the live node count (elements and text).
+func (d *Document) Len() int { return d.lab.Len() }
+
+// Relabeled returns the cumulative number of existing nodes whose
+// labels changed across all edits — zero forever under the dynamic
+// schemes.
+func (d *Document) Relabeled() int64 { return d.relabeled }
+
+// Name returns the element name of a live node id ("" for text).
+func (d *Document) Name(id int) (string, error) {
+	if id < 0 || id >= len(d.names) || !d.lab.Tree().Alive(id) {
+		return "", fmt.Errorf("%w: %d", ErrBadNode, id)
+	}
+	return d.names[id], nil
+}
+
+// XML serialises the current document.
+func (d *Document) XML() string { return d.doc.String() }
+
+// InsertElement inserts a fresh element called name as the pos-th
+// child of parent. It returns the new node's id and how many existing
+// nodes were re-labeled (zero under the dynamic schemes).
+func (d *Document) InsertElement(parent, pos int, name string) (int, int, error) {
+	if parent < 0 || parent >= len(d.nodes) || !d.lab.Tree().Alive(parent) {
+		return 0, 0, fmt.Errorf("%w: parent %d", ErrBadNode, parent)
+	}
+	if name == "" {
+		return 0, 0, errors.New("dyndoc: empty element name")
+	}
+	// The xmltree position must account for text-node children, which
+	// the labeling's Tree mirrors too, so positions agree directly.
+	id, relabeled, err := d.lab.InsertChildAt(parent, pos)
+	if err != nil {
+		return 0, 0, err
+	}
+	d.relabeled += int64(relabeled)
+	node := xmltree.NewElement(name)
+	if err := d.nodes[parent].InsertChildAt(pos, node); err != nil {
+		return 0, 0, fmt.Errorf("dyndoc: tree/labeling drift: %w", err)
+	}
+	d.nodes = append(d.nodes, node)
+	d.names = append(d.names, name)
+	d.byName[name] = d.insertOrdered(d.byName[name], id)
+	d.elems = d.insertOrdered(d.elems, id)
+	return id, relabeled, nil
+}
+
+// insertOrdered places id into a document-ordered id list using the
+// labeling's Before predicate.
+func (d *Document) insertOrdered(list []int, id int) []int {
+	i := sort.Search(len(list), func(i int) bool { return d.lab.Before(id, list[i]) })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	return list
+}
+
+// DeleteSubtree removes the node id and its descendants from the
+// tree, the labeling and the index. It returns the number of removed
+// nodes.
+func (d *Document) DeleteSubtree(id int) (int, error) {
+	tr := d.lab.Tree()
+	if id < 0 || id >= len(d.nodes) || !tr.Alive(id) {
+		return 0, fmt.Errorf("%w: %d", ErrBadNode, id)
+	}
+	if tr.Parents[id] == -1 {
+		return 0, errors.New("dyndoc: cannot delete the document root")
+	}
+	// Collect the subtree ids before the structural removal.
+	doomed := map[int]bool{}
+	var collect func(v int)
+	collect = func(v int) {
+		doomed[v] = true
+		for _, c := range tr.Children[v] {
+			collect(c)
+		}
+	}
+	collect(id)
+	// Detach the xmltree node.
+	node := d.nodes[id]
+	pi := node.Parent.ChildIndex(node)
+	if pi < 0 {
+		return 0, errors.New("dyndoc: tree/labeling drift: node not under its parent")
+	}
+	if _, err := node.Parent.RemoveChildAt(pi); err != nil {
+		return 0, err
+	}
+	removed, err := d.lab.DeleteSubtree(id)
+	if err != nil {
+		return 0, err
+	}
+	// Prune the index lists.
+	names := map[string]bool{}
+	for v := range doomed {
+		if d.names[v] != "" {
+			names[d.names[v]] = true
+		}
+	}
+	for name := range names {
+		d.byName[name] = prune(d.byName[name], doomed)
+		if len(d.byName[name]) == 0 {
+			delete(d.byName, name)
+		}
+	}
+	d.elems = prune(d.elems, doomed)
+	return removed, nil
+}
+
+// prune filters doomed ids out of a list in place.
+func prune(list []int, doomed map[int]bool) []int {
+	out := list[:0]
+	for _, v := range list {
+		if !doomed[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Query evaluates an absolute path expression over the current
+// document state and returns matching ids in document order.
+func (d *Document) Query(q *xpath.Query) ([]int, error) {
+	e := xpath.NewEngineIndexed(d.lab, d.names, d.byName, d.elems)
+	return e.Eval(q)
+}
+
+// QueryString parses and evaluates a path expression.
+func (d *Document) QueryString(path string) ([]int, error) {
+	q, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	return d.Query(q)
+}
+
+// Count returns the number of matches for a path expression.
+func (d *Document) Count(path string) (int, error) {
+	ids, err := d.QueryString(path)
+	return len(ids), err
+}
+
+// InsertTree inserts a deep copy of the given element fragment as the
+// pos-th child of parent, labeling the whole fragment in one batch.
+// It returns the new ids in preorder.
+func (d *Document) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, int, error) {
+	if parent < 0 || parent >= len(d.nodes) || !d.lab.Tree().Alive(parent) {
+		return nil, 0, fmt.Errorf("%w: parent %d", ErrBadNode, parent)
+	}
+	if fragment == nil || fragment.Kind != xmltree.Element {
+		return nil, 0, errors.New("dyndoc: fragment must be an element tree")
+	}
+	ids, relabeled, err := d.lab.InsertSubtree(parent, pos, fragment)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.relabeled += int64(relabeled)
+	clone := cloneTree(fragment)
+	if err := d.nodes[parent].InsertChildAt(pos, clone); err != nil {
+		return nil, 0, fmt.Errorf("dyndoc: tree/labeling drift: %w", err)
+	}
+	// Register every fragment node under its preorder id.
+	idAt := 0
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		id := ids[idAt]
+		idAt++
+		for id >= len(d.nodes) {
+			d.nodes = append(d.nodes, nil)
+			d.names = append(d.names, "")
+		}
+		d.nodes[id] = n
+		d.names[id] = n.Name
+		d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
+		d.elems = d.insertOrdered(d.elems, id)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(clone)
+	return ids, relabeled, nil
+}
+
+// cloneTree deep-copies an element fragment.
+func cloneTree(n *xmltree.Node) *xmltree.Node {
+	out := &xmltree.Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	for _, c := range n.Children {
+		out.AppendChild(cloneTree(c))
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package labelstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{ID: 0, Payload: []byte{}},
+		{ID: 1, Payload: []byte{0xAB}},
+		{ID: 130, Payload: []byte("hello label")},
+		{ID: 1 << 40, Payload: bytes.Repeat([]byte{7}, 300)},
+	}
+	for _, r := range want {
+		if err := s.Write(r.ID, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	records, byteCount, syncs := s.Stats()
+	if records != 4 || syncs != 1 || byteCount <= 300 {
+		t.Errorf("Stats = %d,%d,%d", records, byteCount, syncs)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ReadAll returned %d records", len(got))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, nil); err != ErrClosed {
+		t.Errorf("Write after close: %v", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Errorf("Sync after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestReadAllErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadAll(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Truncated payload.
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte{1, 10, 0xFF}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(bad); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	if _, err := Create(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func BenchmarkWriteSync(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "labels.log")
+	s, err := Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := bytes.Repeat([]byte{3}, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(uint64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package labelstore
+
+import (
+	"fmt"
+
+	"repro/internal/scheme"
+)
+
+// SaveLabeling writes every live node's label to the store in document
+// order and syncs once — a full checkpoint of a labeled document. It
+// returns the number of labels written. The labeling must implement
+// scheme.LabelMarshaler (all schemes in this repository do).
+func SaveLabeling(store *Store, lab scheme.Labeling) (int, error) {
+	m, ok := lab.(scheme.LabelMarshaler)
+	if !ok {
+		return 0, fmt.Errorf("labelstore: %s cannot marshal labels", lab.Name())
+	}
+	written := 0
+	for _, v := range lab.Tree().PreOrder() {
+		payload, err := m.MarshalLabel(v)
+		if err != nil {
+			return written, err
+		}
+		if err := store.Write(uint64(v), payload); err != nil {
+			return written, err
+		}
+		written++
+	}
+	if err := store.Sync(); err != nil {
+		return written, err
+	}
+	return written, nil
+}

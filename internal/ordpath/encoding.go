@@ -1,0 +1,207 @@
+package ordpath
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstr"
+)
+
+// A Table is a prefix-free, order-preserving component code: every
+// component value falls in exactly one stage, each stage contributes
+// its prefix bits followed by the value's offset within the stage, and
+// stage prefixes are lexicographically ordered consistently with their
+// value ranges. As a result two encoded labels compare as raw bit
+// strings exactly like their component sequences — no decoding needed
+// for document order.
+type Table struct {
+	name   string
+	stages []stage
+}
+
+type stage struct {
+	prefix    bitstr.BitString
+	valueBits int
+	min       int64 // smallest value in the stage
+}
+
+// ErrOutOfRange reports a component value no stage can hold.
+var ErrOutOfRange = errors.New("ordpath: component value out of table range")
+
+// NewTable builds a Table from (prefix, valueBits) pairs listed in
+// lexicographic prefix order, with zeroStage naming the index of the
+// stage whose range starts at 0. Ranges extend downward before the
+// zero stage and upward from it. It panics on malformed input; tables
+// are package-level constants.
+func NewTable(name string, zeroStage int, defs []struct {
+	Prefix    string
+	ValueBits int
+}) *Table {
+	t := &Table{name: name, stages: make([]stage, len(defs))}
+	for i, d := range defs {
+		t.stages[i] = stage{prefix: bitstr.MustParse(d.Prefix), valueBits: d.ValueBits}
+	}
+	// Assign ranges: the zero stage starts at 0; later stages stack
+	// upward; earlier stages stack downward.
+	t.stages[zeroStage].min = 0
+	for i := zeroStage + 1; i < len(t.stages); i++ {
+		prev := t.stages[i-1]
+		t.stages[i].min = prev.min + (1 << uint(prev.valueBits))
+	}
+	for i := zeroStage - 1; i >= 0; i-- {
+		t.stages[i].min = t.stages[i+1].min - (1 << uint(t.stages[i].valueBits))
+	}
+	// Validate prefix ordering and prefix-freedom.
+	for i := 1; i < len(t.stages); i++ {
+		a, b := t.stages[i-1].prefix, t.stages[i].prefix
+		if a.Compare(b) >= 0 {
+			panic(fmt.Sprintf("ordpath: table %s prefixes out of order at %d", name, i))
+		}
+		if b.HasPrefix(a) || a.HasPrefix(b) {
+			panic(fmt.Sprintf("ordpath: table %s prefixes not prefix-free at %d", name, i))
+		}
+	}
+	return t
+}
+
+// Name returns the table's display name.
+func (t *Table) Name() string { return t.name }
+
+// stageFor locates the stage holding v.
+func (t *Table) stageFor(v int64) (*stage, error) {
+	// Stages are sorted by min; find the last stage with min <= v.
+	i := sort.Search(len(t.stages), func(i int) bool { return t.stages[i].min > v }) - 1
+	if i < 0 {
+		return nil, fmt.Errorf("%w: %d below table %s", ErrOutOfRange, v, t.name)
+	}
+	s := &t.stages[i]
+	if v-s.min >= 1<<uint(s.valueBits) {
+		return nil, fmt.Errorf("%w: %d above table %s", ErrOutOfRange, v, t.name)
+	}
+	return s, nil
+}
+
+// ComponentBits returns the encoded size of one component.
+func (t *Table) ComponentBits(v int64) (int, error) {
+	s, err := t.stageFor(v)
+	if err != nil {
+		return 0, err
+	}
+	return s.prefix.Len() + s.valueBits, nil
+}
+
+// EncodeLabel serialises a label to its bit string.
+func (t *Table) EncodeLabel(l Label) (bitstr.BitString, error) {
+	out := bitstr.Empty
+	for _, v := range l {
+		s, err := t.stageFor(v)
+		if err != nil {
+			return bitstr.Empty, err
+		}
+		out = out.Concat(s.prefix)
+		out = out.Concat(bitstr.FromUintFixed(uint64(v-s.min), s.valueBits))
+	}
+	return out, nil
+}
+
+// LabelBits returns the encoded size of a whole label without
+// materialising the bits.
+func (t *Table) LabelBits(l Label) (int, error) {
+	total := 0
+	for _, v := range l {
+		n, err := t.ComponentBits(v)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// DecodeLabel parses a bit string produced by EncodeLabel.
+func (t *Table) DecodeLabel(b bitstr.BitString) (Label, error) {
+	var out Label
+	pos := 0
+	for pos < b.Len() {
+		s, n, err := t.matchStage(b, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		if pos+s.valueBits > b.Len() {
+			return nil, fmt.Errorf("ordpath: truncated component in table %s", t.name)
+		}
+		var v uint64
+		for i := 0; i < s.valueBits; i++ {
+			v = v<<1 | uint64(b.Bit(pos+i))
+		}
+		pos += s.valueBits
+		out = append(out, s.min+int64(v))
+	}
+	return out, nil
+}
+
+// matchStage finds the stage whose prefix matches b at pos.
+func (t *Table) matchStage(b bitstr.BitString, pos int) (*stage, int, error) {
+	for i := range t.stages {
+		s := &t.stages[i]
+		n := s.prefix.Len()
+		if pos+n > b.Len() {
+			continue
+		}
+		ok := true
+		for j := 0; j < n; j++ {
+			if b.Bit(pos+j) != s.prefix.Bit(j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s, n, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("ordpath: no stage prefix matches at bit %d in table %s", pos, t.name)
+}
+
+// Table1 mirrors the published ORDPATH component code (O'Neil et al.):
+// fine-grained stages favouring small non-negative components. The
+// CDBS paper benchmarks it as "OrdPath1-Prefix".
+var Table1 = NewTable("OrdPath1", 9, []struct {
+	Prefix    string
+	ValueBits int
+}{
+	{"0000001", 48},
+	{"0000010", 32},
+	{"0000011", 16},
+	{"000010", 12},
+	{"000011", 8},
+	{"00010", 6},
+	{"00011", 4},
+	{"001", 3},
+	{"01", 3},
+	{"100", 2}, // zero stage: values 0..3
+	{"101", 4},
+	{"1100", 6},
+	{"1101", 8},
+	{"11100", 12},
+	{"11101", 16},
+	{"11110", 32},
+	{"11111", 48},
+})
+
+// Table2 is a coarser, byte-oriented variant ("OrdPath2-Prefix" in the
+// paper's figures): fewer stages, wider value fields, hence larger
+// labels for small components but cheaper stage matching.
+var Table2 = NewTable("OrdPath2", 3, []struct {
+	Prefix    string
+	ValueBits int
+}{
+	{"000", 32},
+	{"001", 16},
+	{"01", 8},
+	{"10", 8}, // zero stage: values 0..255
+	{"110", 16},
+	{"1110", 32},
+	{"1111", 48},
+})

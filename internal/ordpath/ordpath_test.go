@@ -1,0 +1,312 @@
+package ordpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialChildrenOddOnly(t *testing.T) {
+	kids := InitialChildren(5)
+	want := []int64{1, 3, 5, 7, 9}
+	for i, k := range kids {
+		if len(k) != 1 || k[0] != want[i] {
+			t.Errorf("child %d = %v, want [%d]", i, k, want[i])
+		}
+		if err := k.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestExample21CaretIn(t *testing.T) {
+	// Example 2.1 of the CDBS paper: inserting between "1" and "3"
+	// yields "2.1", a label at the same level.
+	m, err := BetweenSelf(Self{1}, Self{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "2.1" {
+		t.Errorf("BetweenSelf(1,3) = %v, want 2.1", m)
+	}
+	parent := NewLabel(5)
+	l1 := parent.Extend(Self{1})
+	l2 := parent.Extend(m)
+	l3 := parent.Extend(Self{3})
+	if !(l1.Compare(l2) < 0 && l2.Compare(l3) < 0) {
+		t.Error("caret label out of order")
+	}
+	if l2.Level() != l1.Level() {
+		t.Errorf("caret label level %d, sibling level %d", l2.Level(), l1.Level())
+	}
+	if !l1.IsSibling(l2) || !l2.IsSibling(l3) {
+		t.Error("caret label is not a sibling of its neighbors")
+	}
+}
+
+func TestBetweenSelfOpenEnds(t *testing.T) {
+	cases := []struct {
+		l, r Self
+		want string
+	}{
+		{nil, nil, "1"},
+		{nil, Self{1}, "-1"},
+		{Self{9}, nil, "11"},
+		{Self{2, 1}, nil, "3"},  // after a careted label: step over the even
+		{nil, Self{2, 1}, "1"},  // before a careted label
+		{Self{1}, Self{7}, "5"}, // odd gap: plain odd near the middle
+		{Self{1}, Self{2, 1}, "2.-1"},
+		{Self{2, 1}, Self{3}, "2.3"},
+		{Self{2, 1}, Self{2, 3}, "2.2.1"},
+	}
+	for _, c := range cases {
+		m, err := BetweenSelf(c.l, c.r)
+		if err != nil {
+			t.Fatalf("BetweenSelf(%v,%v): %v", c.l, c.r, err)
+		}
+		if m.String() != c.want {
+			t.Errorf("BetweenSelf(%v,%v) = %v, want %s", c.l, c.r, m, c.want)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("BetweenSelf(%v,%v) = %v: %v", c.l, c.r, m, err)
+		}
+		if c.l != nil && c.l.Compare(m) >= 0 {
+			t.Errorf("BetweenSelf(%v,%v) = %v not above left", c.l, c.r, m)
+		}
+		if c.r != nil && m.Compare(c.r) >= 0 {
+			t.Errorf("BetweenSelf(%v,%v) = %v not below right", c.l, c.r, m)
+		}
+	}
+}
+
+func TestBetweenSelfValidation(t *testing.T) {
+	if _, err := BetweenSelf(Self{3}, Self{1}); err == nil {
+		t.Error("unordered input accepted")
+	}
+	if _, err := BetweenSelf(Self{2}, Self{3}); err == nil {
+		t.Error("even-final self accepted")
+	}
+	if _, err := BetweenSelf(Self{1, 3}, Self{5}); err == nil {
+		t.Error("odd interior component accepted")
+	}
+	if _, err := BetweenSelf(Self{}, Self{1}); err == nil {
+		t.Error("empty self accepted")
+	}
+}
+
+// Property: repeated insertion at random positions keeps sibling order
+// and never changes an existing label.
+func TestInsertionStormQuick(t *testing.T) {
+	gen := rand.New(rand.NewSource(21))
+	f := func(int) bool {
+		sibs := InitialChildren(1 + gen.Intn(6))
+		for op := 0; op < 80; op++ {
+			p := gen.Intn(len(sibs) + 1)
+			var l, r Self
+			if p > 0 {
+				l = sibs[p-1]
+			}
+			if p < len(sibs) {
+				r = sibs[p]
+			}
+			m, err := BetweenSelf(l, r)
+			if err != nil {
+				return false
+			}
+			sibs = append(sibs, nil)
+			copy(sibs[p+1:], sibs[p:])
+			sibs[p] = m
+		}
+		for i := 1; i < len(sibs); i++ {
+			if sibs[i-1].Compare(sibs[i]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelRelationships(t *testing.T) {
+	root := NewLabel(1)
+	child := root.Extend(Self{3})
+	grand := child.Extend(Self{2, 1}) // careted grandchild
+	other := NewLabel(3)
+
+	if !root.IsAncestor(child) || !root.IsAncestor(grand) {
+		t.Error("ancestor test failed")
+	}
+	if !root.IsParent(child) || root.IsParent(grand) {
+		t.Error("parent test failed")
+	}
+	if !child.IsParent(grand) {
+		t.Error("careted parent test failed")
+	}
+	if root.IsAncestor(other) || other.IsAncestor(root) {
+		t.Error("unrelated roots reported related")
+	}
+	if root.IsAncestor(root) {
+		t.Error("self reported as ancestor")
+	}
+	if got := grand.Level(); got != 3 {
+		t.Errorf("grand.Level() = %d, want 3", got)
+	}
+	if p, ok := grand.Parent(); !ok || p.Compare(child) != 0 {
+		t.Errorf("grand.Parent() = %v, want %v", p, child)
+	}
+	if _, ok := Label(nil).Parent(); ok {
+		t.Error("empty label has a parent")
+	}
+	if got := grand.SelfPart(); got.String() != "2.1" {
+		t.Errorf("SelfPart = %v", got)
+	}
+	if !child.IsSibling(NewLabel(1, 7)) {
+		t.Error("sibling test failed")
+	}
+	if child.IsSibling(child) {
+		t.Error("node is its own sibling")
+	}
+}
+
+func TestTableRoundTripAndOrder(t *testing.T) {
+	labels := []Label{
+		NewLabel(1),
+		NewLabel(1, 1),
+		NewLabel(1, 2, 1),
+		NewLabel(1, 3),
+		NewLabel(1, 3, -5),
+		NewLabel(1, 3, 500),
+		NewLabel(2, 1),
+		NewLabel(3),
+		NewLabel(3, 4435),
+		NewLabel(3, 4436),
+		NewLabel(5, -448),
+	}
+	for _, table := range []*Table{Table1, Table2} {
+		var prev Label
+		var prevBits = -1
+		for i, l := range labels {
+			enc, err := table.EncodeLabel(l)
+			if err != nil {
+				t.Fatalf("%s encode %v: %v", table.Name(), l, err)
+			}
+			dec, err := table.DecodeLabel(enc)
+			if err != nil {
+				t.Fatalf("%s decode %v: %v", table.Name(), l, err)
+			}
+			if dec.Compare(l) != 0 {
+				t.Errorf("%s round trip %v -> %v", table.Name(), l, dec)
+			}
+			if n, err := table.LabelBits(l); err != nil || n != enc.Len() {
+				t.Errorf("%s LabelBits(%v) = %d,%v; encoded %d", table.Name(), l, n, err, enc.Len())
+			}
+			// Order preservation: encoded labels must compare like
+			// component sequences... except when one encoded label is
+			// a strict prefix of the other, which the component-order
+			// labels here avoid by construction.
+			if i > 0 {
+				pe, _ := table.EncodeLabel(prev)
+				if pe.Compare(enc) >= 0 {
+					t.Errorf("%s: enc(%v) !≺ enc(%v)", table.Name(), prev, l)
+				}
+			}
+			prev = l
+			_ = prevBits
+		}
+	}
+}
+
+func TestTableOutOfRange(t *testing.T) {
+	huge := NewLabel(int64(1) << 60)
+	if _, err := Table2.EncodeLabel(huge); err == nil {
+		t.Error("encoding 2^60 succeeded in Table2")
+	}
+	if _, err := Table2.ComponentBits(int64(-1) << 60); err == nil {
+		t.Error("encoding -2^60 succeeded in Table2")
+	}
+}
+
+func TestTableSizesSmallComponents(t *testing.T) {
+	// OrdPath1 encodes 0..3 in 5 bits (3 prefix + 2 value); OrdPath2
+	// uses 10 bits (2 + 8). This is the size gap in Figure 5.
+	n1, err := Table1.ComponentBits(1)
+	if err != nil || n1 != 5 {
+		t.Errorf("Table1.ComponentBits(1) = %d,%v, want 5", n1, err)
+	}
+	n2, err := Table2.ComponentBits(1)
+	if err != nil || n2 != 10 {
+		t.Errorf("Table2.ComponentBits(1) = %d,%v, want 10", n2, err)
+	}
+}
+
+// Property: random valid labels round-trip through both tables and
+// preserve order pairwise.
+func TestTableOrderPreservationQuick(t *testing.T) {
+	gen := rand.New(rand.NewSource(31))
+	randLabel := func() Label {
+		depth := 1 + gen.Intn(4)
+		var l Label
+		for i := 0; i < depth; i++ {
+			// Occasionally a caret group.
+			if gen.Intn(4) == 0 {
+				l = append(l, int64(2*gen.Intn(10)))
+			}
+			l = append(l, int64(2*gen.Intn(200)-99)|1) // odd, may be negative
+		}
+		return l
+	}
+	f := func(int) bool {
+		a, b := randLabel(), randLabel()
+		for _, table := range []*Table{Table1, Table2} {
+			ea, err1 := table.EncodeLabel(a)
+			eb, err2 := table.EncodeLabel(b)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			// If one encoding is a prefix of the other, bit order and
+			// component order can disagree on ties only; skip those.
+			if ea.HasPrefix(eb) || eb.HasPrefix(ea) {
+				continue
+			}
+			if sign(a.Compare(b)) != sign(ea.Compare(eb)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+func BenchmarkBetweenSelfCaret(b *testing.B) {
+	l, r := Self{1}, Self{3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BetweenSelf(l, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeLabelTable1(b *testing.B) {
+	l := NewLabel(1, 3, 2, 1, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Table1.EncodeLabel(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package prefix
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// Labeling is a prefix-labeled document: every node stores its full
+// label, the sequence of self components from the root. The root's
+// label is the empty sequence.
+type Labeling struct {
+	codec  ComponentCodec
+	tree   *scheme.Tree
+	labels [][]Component
+}
+
+var _ scheme.Labeling = (*Labeling)(nil)
+
+// Build returns a scheme.Builder for the given component codec.
+func Build(codec ComponentCodec) scheme.Builder {
+	return func(doc *xmltree.Document) (scheme.Labeling, error) {
+		return New(codec, doc)
+	}
+}
+
+// New labels doc with the given component codec.
+func New(codec ComponentCodec, doc *xmltree.Document) (*Labeling, error) {
+	tree := scheme.NewTree(doc)
+	l := &Labeling{
+		codec:  codec,
+		tree:   tree,
+		labels: make([][]Component, tree.Len()),
+	}
+	order := tree.PreOrder()
+	if len(order) == 0 {
+		return nil, errors.New("prefix: empty tree")
+	}
+	l.labels[order[0]] = nil // root: empty label
+	if err := l.assignChildren(order[0]); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// assignChildren gives every child of v a fresh initial self label and
+// recurses.
+func (l *Labeling) assignChildren(v int) error {
+	kids := l.tree.Children[v]
+	if len(kids) == 0 {
+		return nil
+	}
+	selfs, err := l.codec.Initial(len(kids))
+	if err != nil {
+		return err
+	}
+	for i, c := range kids {
+		l.labels[c] = extend(l.labels[v], selfs[i])
+		if err := l.assignChildren(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// extend returns base ++ [self] in fresh storage.
+func extend(base []Component, self Component) []Component {
+	out := make([]Component, 0, len(base)+1)
+	out = append(out, base...)
+	return append(out, self)
+}
+
+// Name returns e.g. "QED-Prefix".
+func (l *Labeling) Name() string { return l.codec.Name() }
+
+// Len returns the node count.
+func (l *Labeling) Len() int { return l.tree.Len() }
+
+// Tree exposes the structural mirror.
+func (l *Labeling) Tree() *scheme.Tree { return l.tree }
+
+// Label returns v's full label (shared storage; do not mutate).
+func (l *Labeling) Label(v int) []Component { return l.labels[v] }
+
+// Level is the label length plus one (the root's empty label is level
+// 1).
+func (l *Labeling) Level(v int) int { return len(l.labels[v]) + 1 }
+
+// compareLabels orders labels in document order: componentwise with a
+// proper prefix (ancestor) first.
+func (l *Labeling) compareLabels(a, b []Component) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := l.codec.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// IsAncestor reports whether u's label is a proper prefix of v's.
+func (l *Labeling) IsAncestor(u, v int) bool {
+	lu, lv := l.labels[u], l.labels[v]
+	if len(lu) >= len(lv) {
+		return false
+	}
+	for i := range lu {
+		if l.codec.Compare(lu[i], lv[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParent reports whether removing v's final component yields u's
+// label.
+func (l *Labeling) IsParent(u, v int) bool {
+	return len(l.labels[v]) == len(l.labels[u])+1 && l.IsAncestor(u, v)
+}
+
+// IsSibling reports distinct labels of equal length sharing all but
+// the last component.
+func (l *Labeling) IsSibling(u, v int) bool {
+	lu, lv := l.labels[u], l.labels[v]
+	if len(lu) != len(lv) || len(lu) == 0 {
+		return false
+	}
+	for i := 0; i < len(lu)-1; i++ {
+		if l.codec.Compare(lu[i], lv[i]) != 0 {
+			return false
+		}
+	}
+	return l.codec.Compare(lu[len(lu)-1], lv[len(lv)-1]) != 0
+}
+
+// Before reports document order by label comparison.
+func (l *Labeling) Before(u, v int) bool {
+	return l.compareLabels(l.labels[u], l.labels[v]) < 0
+}
+
+// TotalLabelBits sums the component storage of every live label.
+func (l *Labeling) TotalLabelBits() int64 {
+	var total int64
+	for v, lab := range l.labels {
+		if !l.tree.Alive(v) {
+			continue
+		}
+		for _, c := range lab {
+			total += int64(l.codec.Bits(c))
+		}
+	}
+	return total
+}
+
+// DeleteSubtree removes node v and its descendants without touching
+// any remaining label (Section 5.2.1).
+func (l *Labeling) DeleteSubtree(v int) (int, error) {
+	return l.tree.RemoveSubtree(v)
+}
+
+// InsertChildAt inserts a fresh leaf element as the pos-th child of
+// parent. Dynamic codecs never touch existing labels; static codecs
+// re-label the following siblings and (because labels are prefixes)
+// every node in their subtrees, whose count is returned.
+func (l *Labeling) InsertChildAt(parent, pos int) (int, int, error) {
+	if err := l.tree.ValidateInsert(parent, pos); err != nil {
+		return 0, 0, err
+	}
+	kids := l.tree.Children[parent]
+	var left, right Component
+	if pos > 0 {
+		left = l.selfOf(kids[pos-1])
+	}
+	if pos < len(kids) {
+		right = l.selfOf(kids[pos])
+	}
+	self, err := l.codec.Between(left, right)
+	if err == nil {
+		id := l.tree.AddChild(parent, pos)
+		l.labels = append(l.labels, extend(l.labels[parent], self))
+		return id, 0, nil
+	}
+	if !errors.Is(err, ErrNoRoom) {
+		return 0, 0, fmt.Errorf("prefix: %w", err)
+	}
+	// Static codec: renumber the parent's children and rebuild the
+	// labels of every shifted subtree.
+	id := l.tree.AddChild(parent, pos)
+	l.labels = append(l.labels, nil)
+	kids = l.tree.Children[parent]
+	selfs, err := l.codec.Initial(len(kids))
+	if err != nil {
+		return 0, 0, err
+	}
+	relabeled := 0
+	for i, c := range kids {
+		newLabel := extend(l.labels[parent], selfs[i])
+		if c == id {
+			// The fresh node (a leaf) gets its first label; that is
+			// not a re-label.
+			l.labels[c] = newLabel
+			continue
+		}
+		if l.compareLabels(l.labels[c], newLabel) == 0 {
+			continue
+		}
+		l.labels[c] = newLabel
+		relabeled++
+		l.relabelSubtree(c, &relabeled)
+	}
+	return id, relabeled, nil
+}
+
+// relabelSubtree rebuilds the labels of v's descendants from v's
+// (already updated) label, counting each change.
+func (l *Labeling) relabelSubtree(v int, count *int) {
+	for _, c := range l.tree.Children[v] {
+		self := l.selfOf(c)
+		l.labels[c] = extend(l.labels[v], self)
+		*count++
+		l.relabelSubtree(c, count)
+	}
+}
+
+// selfOf returns v's final component.
+func (l *Labeling) selfOf(v int) Component {
+	lab := l.labels[v]
+	return lab[len(lab)-1]
+}
+
+// InsertSiblingBefore inserts a fresh element immediately before v.
+func (l *Labeling) InsertSiblingBefore(v int) (int, int, error) {
+	parent, pos, err := l.tree.SiblingPosition(v)
+	if err != nil {
+		return 0, 0, err
+	}
+	return l.InsertChildAt(parent, pos)
+}
+
+// MarshalLabel serialises node v's full label: its components
+// concatenated in the codec's storage form. It implements
+// scheme.LabelMarshaler.
+func (l *Labeling) MarshalLabel(v int) ([]byte, error) {
+	if !l.tree.Alive(v) {
+		return nil, fmt.Errorf("%w: %d", scheme.ErrBadNode, v)
+	}
+	m, ok := l.codec.(ComponentMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("prefix: codec %s cannot marshal components", l.codec.Name())
+	}
+	var out []byte
+	var err error
+	for _, c := range l.labels[v] {
+		out, err = m.AppendComponent(out, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// InsertSubtree inserts a fragment shaped like the given element tree
+// as the pos-th child of parent. The fragment root's self label is
+// created in the gap (re-labeling followers only under static codecs);
+// its descendants receive fresh initial labels, which can never
+// disturb existing nodes.
+func (l *Labeling) InsertSubtree(parent, pos int, shape *xmltree.Node) ([]int, int, error) {
+	if shape == nil {
+		return nil, 0, errors.New("prefix: nil shape")
+	}
+	rootID, relabeled, err := l.InsertChildAt(parent, pos)
+	if err != nil {
+		return nil, 0, err
+	}
+	ids := []int{rootID}
+	var add func(pid int, n *xmltree.Node) error
+	add = func(pid int, n *xmltree.Node) error {
+		if len(n.Children) == 0 {
+			return nil
+		}
+		selfs, err := l.codec.Initial(len(n.Children))
+		if err != nil {
+			return err
+		}
+		for i, c := range n.Children {
+			id := l.tree.AddChild(pid, i)
+			l.labels = append(l.labels, extend(l.labels[pid], selfs[i]))
+			ids = append(ids, id)
+			if err := add(id, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := add(rootID, shape); err != nil {
+		return nil, 0, err
+	}
+	// Re-establish preorder over the fragment ids: add() appended
+	// children-first per level, which already matches preorder for a
+	// depth-first walk.
+	return ids, relabeled, nil
+}

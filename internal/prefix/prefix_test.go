@@ -1,0 +1,179 @@
+package prefix
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ordpath"
+	"repro/internal/xmltree"
+)
+
+func doc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString("<r><a/><b><c/></b><d/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAllCodecsBasicRelationships(t *testing.T) {
+	for _, codec := range AllCodecs() {
+		l, err := New(codec, doc(t))
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		// ids: r=0 a=1 b=2 c=3 d=4
+		if !l.IsAncestor(0, 3) || !l.IsAncestor(2, 3) || l.IsAncestor(1, 3) {
+			t.Errorf("%s: ancestor", codec.Name())
+		}
+		if !l.IsParent(2, 3) || l.IsParent(0, 3) {
+			t.Errorf("%s: parent", codec.Name())
+		}
+		if !l.IsSibling(1, 4) || l.IsSibling(0, 1) || l.IsSibling(3, 4) {
+			t.Errorf("%s: sibling", codec.Name())
+		}
+		if !l.Before(1, 2) || !l.Before(3, 4) || l.Before(4, 0) {
+			t.Errorf("%s: order", codec.Name())
+		}
+		if l.Level(0) != 1 || l.Level(3) != 3 {
+			t.Errorf("%s: level", codec.Name())
+		}
+		if l.TotalLabelBits() <= 0 {
+			t.Errorf("%s: no label storage", codec.Name())
+		}
+		if got := len(l.Label(3)); got != 2 {
+			t.Errorf("%s: label length %d", codec.Name(), got)
+		}
+	}
+}
+
+func TestDeweyRelabelScope(t *testing.T) {
+	// Inserting before b must re-label b, its child c, and d — but
+	// not a.
+	l, err := New(Dewey(), doc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aLabel := l.Label(1)
+	_, relabeled, err := l.InsertChildAt(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relabeled != 3 {
+		t.Errorf("relabeled = %d, want 3 (b, c, d)", relabeled)
+	}
+	if l.compareLabels(l.Label(1), aLabel) != 0 {
+		t.Error("a's label changed")
+	}
+	// Appending at the end is free for DeweyID.
+	l2, _ := New(Dewey(), doc(t))
+	_, relabeled, err = l2.InsertChildAt(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relabeled != 0 {
+		t.Errorf("append relabeled = %d, want 0", relabeled)
+	}
+}
+
+func TestDynamicCodecsNoRelabel(t *testing.T) {
+	for _, codec := range AllCodecs() {
+		if !codec.Dynamic() {
+			continue
+		}
+		l, err := New(codec, doc(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pos := 0; pos <= 3; pos++ {
+			_, relabeled, err := l.InsertChildAt(0, pos)
+			if err != nil {
+				t.Fatalf("%s at %d: %v", codec.Name(), pos, err)
+			}
+			if relabeled != 0 {
+				t.Errorf("%s at %d: relabeled %d", codec.Name(), pos, relabeled)
+			}
+		}
+	}
+}
+
+func TestOrdPathCodecEncodedForm(t *testing.T) {
+	c := OrdPath(ordpath.Table1)
+	comps, err := c.Initial(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components are encoded bitstrings, in sibling order.
+	for i := 1; i < len(comps); i++ {
+		if c.Compare(comps[i-1], comps[i]) >= 0 {
+			t.Fatalf("initial comps out of order at %d", i)
+		}
+	}
+	// Insertion between adjacent odds must caret in (decode +
+	// arithmetic + re-encode) and land strictly between.
+	m, err := c.Between(comps[0], comps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.Compare(comps[0], m) < 0 && c.Compare(m, comps[1]) < 0) {
+		t.Error("careted component out of order")
+	}
+	// The careted form decodes back to an even-prefixed self label.
+	self, err := c.(ordpathCodec).decodeSelf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := self.Validate(); err != nil {
+		t.Errorf("careted self invalid: %v", err)
+	}
+	if len(self) < 2 {
+		t.Errorf("expected caret group, got %v", self)
+	}
+	if c.Bits(m) != m.(interface{ Len() int }).Len() {
+		t.Error("Bits != encoded length")
+	}
+}
+
+func TestDeweyNoRoomIsErrNoRoom(t *testing.T) {
+	c := Dewey()
+	comps, err := c.Initial(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Between(comps[0], comps[1]); !errors.Is(err, ErrNoRoom) {
+		t.Errorf("err = %v, want ErrNoRoom", err)
+	}
+	// Appending and gap-splitting work.
+	if m, err := c.Between(comps[1], nil); err != nil || m.(int) != 3 {
+		t.Errorf("append = %v, %v", m, err)
+	}
+	if m, err := c.Between(nil, nil); err != nil || m.(int) != 1 {
+		t.Errorf("first = %v, %v", m, err)
+	}
+}
+
+func TestCohenBitsLinear(t *testing.T) {
+	c := Cohen()
+	comps, _ := c.Initial(5)
+	if c.Bits(comps[4]) != 5 || c.Bits(comps[0]) != 1 {
+		t.Errorf("Cohen bits = %d, %d", c.Bits(comps[0]), c.Bits(comps[4]))
+	}
+}
+
+func TestUTF8ContainerBytes(t *testing.T) {
+	cases := []struct{ bits, want int }{
+		{1, 1}, {7, 1}, {8, 2}, {11, 2}, {12, 3}, {16, 3}, {17, 4}, {26, 5}, {27, 6},
+	}
+	for _, cse := range cases {
+		if got := utf8ContainerBytes(cse.bits); got != cse.want {
+			t.Errorf("utf8ContainerBytes(%d) = %d, want %d", cse.bits, got, cse.want)
+		}
+	}
+}
+
+func TestEmptyDocumentRejected(t *testing.T) {
+	if _, err := New(Dewey(), &xmltree.Document{}); err == nil {
+		t.Error("empty document accepted")
+	}
+}

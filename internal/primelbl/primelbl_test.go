@@ -1,0 +1,279 @@
+package primelbl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sampleTree is the 9-node tree of Figure 2/3 of the CDBS paper
+// (root with children; some grandchildren), as a parent vector in
+// document order.
+//
+//	0 root
+//	├─ 1        ├─ 4        ├─ 6      └─ 8
+//	├─ 2,3 (under 1)        └─ 5 (under 4)   └─ 7 (under 6)
+var sampleTree = []int{-1, 0, 1, 1, 0, 4, 0, 6, 0}
+
+func buildSample(t *testing.T) *Scheme {
+	t.Helper()
+	s, err := Build(sampleTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("empty tree accepted")
+	}
+	if _, err := Build([]int{0}); err == nil {
+		t.Error("root with parent accepted")
+	}
+	if _, err := Build([]int{-1, 5}); err == nil {
+		t.Error("forward parent accepted")
+	}
+}
+
+func TestSelfPrimesDistinct(t *testing.T) {
+	s := buildSample(t)
+	seen := map[int64]bool{}
+	for i := 1; i < s.Len(); i++ {
+		p := s.SelfPrime(i)
+		if p < 2 || seen[p] {
+			t.Errorf("node %d: self prime %d invalid or duplicated", i, p)
+		}
+		seen[p] = true
+	}
+	if s.SelfPrime(0) != 1 {
+		t.Errorf("root self = %d, want 1", s.SelfPrime(0))
+	}
+}
+
+func TestAncestorByDivisibility(t *testing.T) {
+	s := buildSample(t)
+	type rel struct {
+		u, v int
+		want bool
+	}
+	cases := []rel{
+		{0, 1, true}, {0, 2, true}, {1, 2, true}, {1, 3, true},
+		{0, 5, true}, {4, 5, true}, {6, 7, true},
+		{1, 4, false}, {2, 3, false}, {4, 7, false}, {5, 4, false},
+		{1, 1, false},
+	}
+	for _, c := range cases {
+		if got := s.IsAncestor(c.u, c.v); got != c.want {
+			t.Errorf("IsAncestor(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestParentByDivision(t *testing.T) {
+	s := buildSample(t)
+	for v := 1; v < s.Len(); v++ {
+		for u := 0; u < s.Len(); u++ {
+			want := sampleTree[v] == u
+			if got := s.IsParent(u, v); got != want {
+				t.Errorf("IsParent(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+	if s.IsParent(0, 0) {
+		t.Error("root has a parent")
+	}
+}
+
+func TestDocumentOrderViaSC(t *testing.T) {
+	s := buildSample(t)
+	for i := 0; i < s.Len(); i++ {
+		for j := 0; j < s.Len(); j++ {
+			if got, want := s.Before(i, j), i < j; got != want {
+				t.Errorf("Before(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSmallPrimeOrderRecovery(t *testing.T) {
+	// The first nodes have tiny primes (2, 3, 5); their ordering
+	// numbers quickly exceed the modulus, which is exactly the
+	// fallback case OrderKey must handle.
+	parents := make([]int, 40)
+	parents[0] = -1
+	for i := 1; i < len(parents); i++ {
+		parents[i] = 0
+	}
+	s, err := Build(parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.OrderKey(i-1) >= s.OrderKey(i) {
+			t.Fatalf("order keys not increasing at %d", i)
+		}
+	}
+}
+
+func TestInsertBeforeRecalcCounts(t *testing.T) {
+	// Inserting before position pos in an n-node flat document must
+	// recompute about ceil((affected+1)/5) SC values, where affected
+	// is the count of following nodes — the 1/5 ratio of Table 4.
+	parents := make([]int, 101)
+	parents[0] = -1
+	for i := 1; i < len(parents); i++ {
+		parents[i] = 0
+	}
+	s, err := Build(parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Len()
+	recalcs, err := s.InsertBefore(1, 0) // nearly all nodes shift
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := n - 1 + 1 // old followers + the new node
+	lo, hi := affected/GroupSize, affected/GroupSize+2
+	if recalcs < lo || recalcs > hi {
+		t.Errorf("recalcs = %d, want about %d", recalcs, (affected+GroupSize-1)/GroupSize)
+	}
+	// Order must still be fully consistent after the insertion:
+	// the new node (index n) sits at document position 1.
+	if !s.Before(0, n) || !s.Before(n, 1) {
+		t.Error("inserted node not ordered between 0 and 1")
+	}
+	// Labels must be untouched for all old nodes (no re-labeling).
+	if s.LabelBits(1) == 0 {
+		t.Error("label vanished")
+	}
+}
+
+func TestInsertBeforeValidation(t *testing.T) {
+	s := buildSample(t)
+	if _, err := s.InsertBefore(-1, 0); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, err := s.InsertBefore(0, 99); err == nil {
+		t.Error("bad parent accepted")
+	}
+}
+
+func TestInsertAtEnd(t *testing.T) {
+	s := buildSample(t)
+	n := s.Len()
+	recalcs, err := s.InsertBefore(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recalcs != 1 {
+		t.Errorf("appending recalculated %d groups, want 1", recalcs)
+	}
+	if !s.Before(n-1, n) {
+		t.Error("appended node not last")
+	}
+}
+
+func TestLabelBitsGrowWithDepth(t *testing.T) {
+	// A chain: labels are products of ever more primes, so sizes grow
+	// super-linearly — the Figure 5 blow-up.
+	parents := []int{-1, 0, 1, 2, 3, 4, 5, 6, 7}
+	s, err := Build(parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.LabelBits(i) <= s.LabelBits(i-1) {
+			t.Errorf("label bits not strictly growing at %d", i)
+		}
+	}
+	if s.SCBits() == 0 {
+		t.Error("no SC storage")
+	}
+}
+
+func TestFirstPrimes(t *testing.T) {
+	got := firstPrimes(10)
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firstPrimes(10) = %v", got)
+		}
+	}
+	if firstPrimes(0) != nil {
+		t.Error("firstPrimes(0) != nil")
+	}
+	big := firstPrimes(10000)
+	if len(big) != 10000 || big[9999] != 104729 {
+		t.Errorf("10000th prime = %d, want 104729", big[len(big)-1])
+	}
+}
+
+func TestRandomTreeConsistency(t *testing.T) {
+	gen := rand.New(rand.NewSource(13))
+	parents := make([]int, 300)
+	parents[0] = -1
+	for i := 1; i < len(parents); i++ {
+		parents[i] = gen.Intn(i)
+	}
+	s, err := Build(parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divisibility ancestorship must match the parent-vector truth.
+	isAnc := func(u, v int) bool {
+		for p := parents[v]; p != -1; p = parents[p] {
+			if p == u {
+				return true
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 2000; trial++ {
+		u, v := gen.Intn(len(parents)), gen.Intn(len(parents))
+		if u == v {
+			continue
+		}
+		if got, want := s.IsAncestor(u, v), isAnc(u, v); got != want {
+			t.Fatalf("IsAncestor(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func BenchmarkIsAncestor(b *testing.B) {
+	parents := make([]int, 1000)
+	parents[0] = -1
+	for i := 1; i < len(parents); i++ {
+		parents[i] = (i - 1) / 4
+	}
+	s, err := Build(parents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.IsAncestor(i%997, 999)
+	}
+}
+
+func BenchmarkInsertRecalc(b *testing.B) {
+	parents := make([]int, 2000)
+	parents[0] = -1
+	for i := 1; i < len(parents); i++ {
+		parents[i] = 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := Build(parents)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.InsertBefore(1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

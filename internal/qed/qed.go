@@ -1,0 +1,321 @@
+// Package qed implements the QED quaternary encoding (Li and Ling,
+// "QED: A Novel Quaternary Encoding to Completely Avoid Re-labeling in
+// XML Updates", CIKM 2005), which Section 6 of the CDBS paper uses for
+// skewed insertions.
+//
+// A QED code is a string over the quaternary digits {1, 2, 3}, each
+// stored in 2 bits, that ends with 2 or 3. The digit 0 never appears
+// inside a code: it is reserved as the separator between consecutive
+// codes in storage, so QED needs no length field and therefore never
+// hits the overflow problem — re-labeling is avoided completely.
+//
+// The CDBS paper cites but does not reprint QED's algorithms, so the
+// middle-code rules here are re-derived (and proved in the package
+// tests) to satisfy the stated properties:
+//
+//   - between any two codes a new code always exists (no relabeling),
+//   - an insertion modifies only the last quaternary symbol (2 bits)
+//     of a neighbor code, plus at most one appended symbol,
+//   - codes stay lexicographically ordered and end with 2 or 3.
+//
+// The rules, for l ≺ r (either may be empty, meaning an open end):
+//
+//	size(l) <  size(r):  r = y⊕2 → m = y⊕12;  r = y⊕3 → m = y⊕2
+//	size(l) >= size(r):  l = x⊕3 → m = l⊕2
+//	                     l = x⊕2 → m = x⊕3, unless r == x⊕3 (the
+//	                     adjacent pair), in which case m = l⊕2
+package qed
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Code is an immutable QED code: a sequence of quaternary digits
+// 1..3 ending with 2 or 3. The zero value is the empty code.
+type Code struct {
+	digits string // each byte is 1, 2 or 3
+}
+
+// Empty is the empty code, used as an open bound.
+var Empty = Code{}
+
+// ErrInvalidDigit reports a digit outside {1,2,3}.
+var ErrInvalidDigit = errors.New("qed: digit outside {1,2,3}")
+
+// ErrBadEnding reports a non-empty code that does not end with 2 or 3.
+var ErrBadEnding = errors.New("qed: code must end with 2 or 3")
+
+// ErrNotOrdered reports Between(l, r) with l ⊀ r.
+var ErrNotOrdered = errors.New("qed: left code is not smaller than right code")
+
+// Parse converts a textual code such as "132" into a Code.
+func Parse(s string) (Code, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '1' || s[i] > '3' {
+			return Empty, fmt.Errorf("%w: %q", ErrInvalidDigit, s[i])
+		}
+	}
+	c := Code{digits: mapASCII(s)}
+	if !c.IsEmpty() && !c.EndsValid() {
+		return Empty, fmt.Errorf("%w: %q", ErrBadEnding, s)
+	}
+	return c, nil
+}
+
+// mapASCII converts '1'..'3' bytes to digit values 1..3.
+func mapASCII(s string) string {
+	b := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		b[i] = s[i] - '0'
+	}
+	return string(b)
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(s string) Code {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of quaternary digits.
+func (c Code) Len() int { return len(c.digits) }
+
+// IsEmpty reports whether the code has no digits.
+func (c Code) IsEmpty() bool { return len(c.digits) == 0 }
+
+// Digit returns digit i (0-based), a value in 1..3.
+func (c Code) Digit(i int) byte { return c.digits[i] }
+
+// Bits returns the code's storage size in bits: 2 per digit.
+func (c Code) Bits() int { return 2 * len(c.digits) }
+
+// BitsWithSeparator returns the storage size including the trailing
+// "0" separator that delimits the code in a stream (2 more bits).
+func (c Code) BitsWithSeparator() int { return c.Bits() + 2 }
+
+// EndsValid reports whether the code ends with 2 or 3.
+func (c Code) EndsValid() bool {
+	if len(c.digits) == 0 {
+		return false
+	}
+	last := c.digits[len(c.digits)-1]
+	return last == 2 || last == 3
+}
+
+// append returns c with one digit appended.
+func (c Code) append(d byte) Code { return Code{digits: c.digits + string(d)} }
+
+// dropLast returns c without its final digit.
+func (c Code) dropLast() Code { return Code{digits: c.digits[:len(c.digits)-1]} }
+
+// Compare orders codes lexicographically: digits compare numerically
+// and a proper prefix sorts before its extensions. Go string
+// comparison on the digit values implements exactly that order.
+func (c Code) Compare(d Code) int {
+	switch {
+	case c.digits < d.digits:
+		return -1
+	case c.digits > d.digits:
+		return 1
+	}
+	return 0
+}
+
+// Less reports c ≺ d.
+func (c Code) Less(d Code) bool { return c.Compare(d) < 0 }
+
+// Equal reports digit-for-digit equality.
+func (c Code) Equal(d Code) bool { return c.digits == d.digits }
+
+// HasPrefix reports whether p is a prefix of c.
+func (c Code) HasPrefix(p Code) bool { return strings.HasPrefix(c.digits, p.digits) }
+
+// String renders the digits as text, e.g. "132".
+func (c Code) String() string {
+	b := make([]byte, len(c.digits))
+	for i := 0; i < len(c.digits); i++ {
+		b[i] = c.digits[i] + '0'
+	}
+	return string(b)
+}
+
+// Between returns a code m with l ≺ m ≺ r. Either bound may be Empty,
+// meaning open. Between never fails on valid ordered input — QED's
+// "completely avoid re-labeling" property.
+func Between(l, r Code) (Code, error) {
+	if !l.IsEmpty() && !l.EndsValid() {
+		return Empty, fmt.Errorf("%w: left %q", ErrBadEnding, l)
+	}
+	if !r.IsEmpty() && !r.EndsValid() {
+		return Empty, fmt.Errorf("%w: right %q", ErrBadEnding, r)
+	}
+	if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
+		return Empty, fmt.Errorf("%w: %q vs %q", ErrNotOrdered, l, r)
+	}
+	if l.IsEmpty() && r.IsEmpty() {
+		return MustParse("2"), nil
+	}
+	if l.Len() < r.Len() {
+		// Work on the right neighbor's last symbol.
+		if r.digits[r.Len()-1] == 2 {
+			return r.dropLast().append(1).append(2), nil // 2 → 12
+		}
+		return r.dropLast().append(2), nil // 3 → 2
+	}
+	// Work on the left neighbor's last symbol.
+	if l.digits[l.Len()-1] == 2 {
+		m := l.dropLast().append(3) // 2 → 3
+		if r.IsEmpty() || m.Less(r) {
+			return m, nil
+		}
+		// Adjacent pair x⊕2, x⊕3: grow instead.
+		return l.append(2), nil
+	}
+	return l.append(2), nil // 3 → 32
+}
+
+// NBetween returns n codes m1 ≺ … ≺ mn strictly between l and r,
+// assigned by even subdivision so a bulk insertion gets short codes.
+func NBetween(l, r Code, n int) ([]Code, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("qed: NBetween count %d is negative", n)
+	}
+	out := make([]Code, n+2)
+	out[0], out[n+1] = l, r
+	var sub func(lo, hi int) error
+	sub = func(lo, hi int) error {
+		if lo+1 >= hi {
+			return nil
+		}
+		mid := (lo + hi + 1) / 2
+		m, err := Between(out[lo], out[hi])
+		if err != nil {
+			return err
+		}
+		out[mid] = m
+		if err := sub(lo, mid); err != nil {
+			return err
+		}
+		return sub(mid, hi)
+	}
+	if err := sub(0, n+1); err != nil {
+		return nil, err
+	}
+	return out[1 : n+1], nil
+}
+
+// TwoBetween returns m1 ≺ m2 strictly between l and r, for containment
+// (start, end) pairs.
+func TwoBetween(l, r Code) (m1, m2 Code, err error) {
+	m1, err = Between(l, r)
+	if err != nil {
+		return Empty, Empty, err
+	}
+	m2, err = Between(m1, r)
+	if err != nil {
+		return Empty, Empty, err
+	}
+	return m1, m2, nil
+}
+
+// Encode returns compact QED codes for the numbers 1..n in order. The
+// assignment branches three ways per digit (the universe of codes of
+// length ≤ k has 3^k − 1 members), so code lengths grow with log₃(n) —
+// larger than CDBS's log₂(n) bits by the 2-bits-per-digit factor,
+// which is the size premium Section 6 describes.
+func Encode(n int) ([]Code, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("qed: cannot encode %d numbers", n)
+	}
+	out := make([]Code, 0, n)
+	var gen func(prefix Code, n int)
+	gen = func(prefix Code, n int) {
+		if n <= 0 {
+			return
+		}
+		if n == 1 {
+			out = append(out, prefix.append(2))
+			return
+		}
+		if n == 2 {
+			out = append(out, prefix.append(2), prefix.append(3))
+			return
+		}
+		rem := n - 2
+		n1 := (rem + 2) / 3
+		n2 := (rem + 1) / 3
+		n3 := rem / 3
+		gen(prefix.append(1), n1)
+		out = append(out, prefix.append(2))
+		gen(prefix.append(2), n2)
+		out = append(out, prefix.append(3))
+		gen(prefix.append(3), n3)
+	}
+	gen(Empty, n)
+	return out, nil
+}
+
+// MustEncode is Encode for known-good n; it panics on error.
+func MustEncode(n int) []Code {
+	codes, err := Encode(n)
+	if err != nil {
+		panic(err)
+	}
+	return codes
+}
+
+// Marshal packs codes into a byte stream, two bits per digit, with a
+// "0" separator after every code. No length fields are needed: "0"
+// never occurs inside a code, which is why QED is immune to the
+// overflow problem.
+func Marshal(codes []Code) []byte {
+	var buf []byte
+	nbits := 0
+	put := func(d byte) {
+		if nbits%8 == 0 {
+			buf = append(buf, 0)
+		}
+		buf[nbits/8] |= d << (6 - nbits%8)
+		nbits += 2
+	}
+	for _, c := range codes {
+		for i := 0; i < c.Len(); i++ {
+			put(c.Digit(i))
+		}
+		put(0)
+	}
+	return buf
+}
+
+// Unmarshal parses a stream produced by Marshal. Trailing zero padding
+// after the final separator is ignored.
+func Unmarshal(data []byte) ([]Code, error) {
+	var codes []Code
+	cur := Empty
+	sawDigit := false
+	for i := 0; i < len(data)*4; i++ {
+		d := (data[i/4] >> (6 - 2*(i%4))) & 3
+		if d == 0 {
+			if sawDigit {
+				if !cur.EndsValid() {
+					return nil, fmt.Errorf("%w: %q in stream", ErrBadEnding, cur)
+				}
+				codes = append(codes, cur)
+				cur = Empty
+				sawDigit = false
+			}
+			continue
+		}
+		cur = cur.append(d)
+		sawDigit = true
+	}
+	if sawDigit {
+		return nil, errors.New("qed: stream ends inside a code (missing separator)")
+	}
+	return codes, nil
+}

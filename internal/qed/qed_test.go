@@ -1,0 +1,278 @@
+package qed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	for _, s := range []string{"2", "3", "12", "132", "3332"} {
+		c, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if c.String() != s {
+			t.Errorf("Parse(%q).String() = %q", s, c)
+		}
+	}
+	if c, err := Parse(""); err != nil || !c.IsEmpty() {
+		t.Errorf("Parse(\"\") = %v, %v", c, err)
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	for _, s := range []string{"0", "4", "a", "120", "21", "231"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"12", "2", -1}, // 1 < 2 at first digit
+		{"2", "22", -1}, // prefix ≺ extension
+		{"22", "23", -1},
+		{"23", "3", -1},
+		{"3", "32", -1},
+		{"2", "2", 0},
+		{"32", "23", 1},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.a).Compare(MustParse(c.b)); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBetweenRules(t *testing.T) {
+	cases := []struct{ l, r, want string }{
+		{"", "", "2"},
+		{"", "2", "12"},   // right ends 2 → 12
+		{"", "12", "112"}, // recursion to the left stays open
+		{"2", "", "3"},    // left ends 2 → 3
+		{"3", "", "32"},   // left ends 3 → append 2
+		{"2", "3", "22"},  // adjacent pair guard: x⊕2 vs x⊕3 grows
+		{"12", "13", "122"},
+		{"2", "22", "212"}, // size(l) < size(r), right ends 2
+		{"2", "23", "22"},  // right ends 3 → 2
+		{"12", "2", "13"},  // equal size, not adjacent
+		{"13", "2", "132"}, // left ends 3
+	}
+	for _, c := range cases {
+		m, err := Between(MustParse(c.l), MustParse(c.r))
+		if err != nil {
+			t.Fatalf("Between(%q,%q): %v", c.l, c.r, err)
+		}
+		if m.String() != c.want {
+			t.Errorf("Between(%q,%q) = %q, want %q", c.l, c.r, m, c.want)
+		}
+	}
+}
+
+func TestBetweenValidation(t *testing.T) {
+	if _, err := Between(MustParse("3"), MustParse("2")); err == nil {
+		t.Error("unordered input accepted")
+	}
+	if _, err := Between(MustParse("2"), MustParse("2")); err == nil {
+		t.Error("equal input accepted")
+	}
+}
+
+// The core QED property: insertion always succeeds, preserves order,
+// and yields a valid code — for arbitrary valid ordered pairs.
+func TestBetweenPropertyQuick(t *testing.T) {
+	gen := rand.New(rand.NewSource(5))
+	randCode := func() Code {
+		n := gen.Intn(8)
+		c := Empty
+		for i := 0; i < n; i++ {
+			c = c.append(byte(1 + gen.Intn(3)))
+		}
+		return c.append(byte(2 + gen.Intn(2)))
+	}
+	f := func(int) bool {
+		a, b := randCode(), randCode()
+		switch a.Compare(b) {
+		case 0:
+			return true
+		case 1:
+			a, b = b, a
+		}
+		m, err := Between(a, b)
+		if err != nil {
+			return false
+		}
+		return a.Less(m) && m.Less(b) && m.EndsValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QED must never run out of room: drive a long run of insertions at
+// every position of a growing list and at a fixed position.
+func TestNoRelabelingEver(t *testing.T) {
+	codes := MustEncode(4)
+	gen := rand.New(rand.NewSource(8))
+	for i := 0; i < 3000; i++ {
+		p := gen.Intn(len(codes) + 1)
+		l, r := Empty, Empty
+		if p > 0 {
+			l = codes[p-1]
+		}
+		if p < len(codes) {
+			r = codes[p]
+		}
+		m, err := Between(l, r)
+		if err != nil {
+			t.Fatalf("insert %d at %d: %v", i, p, err)
+		}
+		codes = append(codes, Empty)
+		copy(codes[p+1:], codes[p:])
+		codes[p] = m
+	}
+	for i := 1; i < len(codes); i++ {
+		if !codes[i-1].Less(codes[i]) {
+			t.Fatalf("order violated at %d: %q !≺ %q", i, codes[i-1], codes[i])
+		}
+	}
+	// Fixed-place (skewed) insertion: still no failure, by design.
+	l, r := MustParse("2"), MustParse("3")
+	for i := 0; i < 500; i++ {
+		m, err := Between(l, r)
+		if err != nil {
+			t.Fatalf("skewed insert %d: %v", i, err)
+		}
+		if !(l.Less(m) && m.Less(r)) {
+			t.Fatalf("skewed insert %d out of order", i)
+		}
+		r = m
+	}
+}
+
+func TestTwoBetween(t *testing.T) {
+	l, r := MustParse("2"), MustParse("22")
+	m1, m2, err := TwoBetween(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(l.Less(m1) && m1.Less(m2) && m2.Less(r)) {
+		t.Errorf("TwoBetween order: %q %q %q %q", l, m1, m2, r)
+	}
+}
+
+func TestEncodeOrderedValidCompact(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 9, 26, 27, 100, 1000} {
+		codes := MustEncode(n)
+		if len(codes) != n {
+			t.Fatalf("Encode(%d) returned %d codes", n, len(codes))
+		}
+		maxLen := 0
+		for i, c := range codes {
+			if !c.EndsValid() {
+				t.Fatalf("Encode(%d)[%d] = %q invalid ending", n, i, c)
+			}
+			if i > 0 && !codes[i-1].Less(c) {
+				t.Fatalf("Encode(%d) out of order at %d", n, i)
+			}
+			if c.Len() > maxLen {
+				maxLen = c.Len()
+			}
+		}
+		// Compactness: lengths stay within ceil(log3(n+1)) + 1 digits.
+		if n > 0 {
+			bound := 1
+			for p := 3; p-1 < n; p *= 3 {
+				bound++
+			}
+			if maxLen > bound+1 {
+				t.Errorf("Encode(%d): max len %d exceeds bound %d", n, maxLen, bound+1)
+			}
+		}
+	}
+}
+
+func TestEncodeNegative(t *testing.T) {
+	if _, err := Encode(-1); err == nil {
+		t.Error("Encode(-1) succeeded")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 18, 100} {
+		codes := MustEncode(n)
+		data := Marshal(codes)
+		back, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("Unmarshal(n=%d): %v", n, err)
+		}
+		if len(back) != len(codes) {
+			t.Fatalf("n=%d: round trip %d codes, want %d", n, len(back), len(codes))
+		}
+		for i := range codes {
+			if !codes[i].Equal(back[i]) {
+				t.Errorf("n=%d code %d: %q != %q", n, i, back[i], codes[i])
+			}
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	// A stream ending mid-code (digit with no separator in any byte):
+	// digits 1,1,1,1 fill one byte exactly with no separator.
+	if _, err := Unmarshal([]byte{0b01010101}); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// A code ending in 1 followed by a separator is invalid.
+	// digits: 1, sep, rest zero = 01 00 00 00.
+	if _, err := Unmarshal([]byte{0b01000000}); err == nil {
+		t.Error("code ending in 1 accepted")
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	c := MustParse("132")
+	if c.Bits() != 6 || c.BitsWithSeparator() != 8 {
+		t.Errorf("Bits = %d, with separator %d", c.Bits(), c.BitsWithSeparator())
+	}
+}
+
+// QED is larger than CDBS but within a constant factor (~1.26× digits
+// plus separators); sanity-check the premium for a realistic n.
+func TestSizePremiumOverBinary(t *testing.T) {
+	n := 4096
+	codes := MustEncode(n)
+	total := 0
+	for _, c := range codes {
+		total += c.BitsWithSeparator()
+	}
+	binary := 0
+	for i := 1; i <= n; i++ {
+		b := 0
+		for v := i; v > 0; v >>= 1 {
+			b++
+		}
+		binary += b
+	}
+	if total <= binary {
+		t.Errorf("QED total %d not larger than binary %d", total, binary)
+	}
+	if float64(total) > 2.5*float64(binary) {
+		t.Errorf("QED total %d more than 2.5x binary %d", total, binary)
+	}
+}
+
+func BenchmarkBetween(b *testing.B) {
+	l, r := MustParse("2212"), MustParse("2213")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Between(l, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

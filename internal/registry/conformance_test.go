@@ -1,0 +1,234 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// randomDoc builds a random document of about n nodes with the given
+// seed.
+func randomDoc(n int, seed int64) *xmltree.Document {
+	gen := rand.New(rand.NewSource(seed))
+	root := xmltree.NewElement("root")
+	nodes := []*xmltree.Node{root}
+	for len(nodes) < n {
+		p := nodes[gen.Intn(len(nodes))]
+		var child *xmltree.Node
+		if gen.Intn(5) == 0 {
+			child = xmltree.NewText("t")
+		} else {
+			child = xmltree.NewElement("e")
+		}
+		p.AppendChild(child)
+		if child.Kind == xmltree.Element {
+			nodes = append(nodes, child)
+		}
+	}
+	return &xmltree.Document{Root: root}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("V-CDBS-Containment"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if len(Names()) != len(All()) {
+		t.Fatal("Names/All mismatch")
+	}
+}
+
+// TestConformance verifies, for every scheme, that the label-derived
+// predicates agree with the structural truth on a random document.
+func TestConformance(t *testing.T) {
+	doc := randomDoc(120, 7)
+	for _, entry := range All() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			lab, err := entry.Build(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstOracle(t, lab)
+		})
+	}
+}
+
+// checkAgainstOracle compares every predicate with the Tree oracle.
+func checkAgainstOracle(t *testing.T, lab scheme.Labeling) {
+	t.Helper()
+	tr := lab.Tree()
+	n := tr.Len()
+	order := tr.PreOrder()
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	gen := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4000; trial++ {
+		u, v := gen.Intn(n), gen.Intn(n)
+		if u == v {
+			continue
+		}
+		if got, want := lab.IsAncestor(u, v), tr.IsAncestorStructural(u, v); got != want {
+			t.Fatalf("IsAncestor(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		if got, want := lab.IsParent(u, v), tr.Parents[v] == u; got != want {
+			t.Fatalf("IsParent(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		if got, want := lab.IsSibling(u, v), tr.Parents[u] != -1 && tr.Parents[u] == tr.Parents[v]; got != want {
+			t.Fatalf("IsSibling(%d,%d) = %v, want %v", u, v, got, want)
+		}
+		if got, want := lab.Before(u, v), pos[u] < pos[v]; got != want {
+			t.Fatalf("Before(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if got, want := lab.Level(v), tr.Depths[v]; got != want {
+			t.Fatalf("Level(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if lab.Len() != n {
+		t.Fatalf("Len = %d, want %d", lab.Len(), n)
+	}
+	if lab.TotalLabelBits() <= 0 {
+		t.Fatalf("TotalLabelBits = %d", lab.TotalLabelBits())
+	}
+}
+
+// TestConformanceAfterInsertions re-checks predicates after a batch of
+// random insertions on every scheme.
+func TestConformanceAfterInsertions(t *testing.T) {
+	for _, entry := range All() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			doc := randomDoc(60, 11)
+			lab, err := entry.Build(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := rand.New(rand.NewSource(3))
+			for i := 0; i < 60; i++ {
+				tr := lab.Tree()
+				parent := gen.Intn(tr.Len())
+				pos := gen.Intn(len(tr.Children[parent]) + 1)
+				if _, _, err := lab.InsertChildAt(parent, pos); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			checkAgainstOracle(t, lab)
+		})
+	}
+}
+
+// TestDynamicSchemesNeverRelabel asserts the Table 4 zeros: dynamic
+// schemes report no re-labeled nodes on single insertions anywhere.
+// (Prime reports SC recalculations instead, which are expected.)
+func TestDynamicSchemesNeverRelabel(t *testing.T) {
+	for _, entry := range All() {
+		if !entry.Dynamic || entry.Name == "Prime" {
+			continue
+		}
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			doc := randomDoc(80, 23)
+			lab, err := entry.Build(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := rand.New(rand.NewSource(5))
+			for i := 0; i < 150; i++ {
+				tr := lab.Tree()
+				parent := gen.Intn(tr.Len())
+				pos := gen.Intn(len(tr.Children[parent]) + 1)
+				_, relabeled, err := lab.InsertChildAt(parent, pos)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if relabeled != 0 {
+					t.Fatalf("insert %d relabeled %d nodes", i, relabeled)
+				}
+			}
+		})
+	}
+}
+
+// TestStaticSchemesRelabel asserts that the static schemes do
+// re-label when squeezed.
+func TestStaticSchemesRelabel(t *testing.T) {
+	for _, name := range []string{"V-Binary-Containment", "F-Binary-Containment", "DeweyID(UTF8)-Prefix", "Binary-String-Prefix"} {
+		entry, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			doc, err := xmltree.ParseString("<r><a/><b/><c/></r>")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lab, err := entry.Build(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Insert before the second child: something after it must
+			// be re-labeled.
+			_, relabeled, err := lab.InsertChildAt(0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relabeled == 0 {
+				t.Error("static scheme reported 0 re-labels for a squeezed insert")
+			}
+		})
+	}
+}
+
+// TestInsertErrors checks the error paths shared by the labelings.
+func TestInsertErrors(t *testing.T) {
+	doc, err := xmltree.ParseString("<r><a/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range All() {
+		lab, err := entry.Build(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		if _, _, err := lab.InsertChildAt(-1, 0); err == nil {
+			t.Errorf("%s: bad parent accepted", entry.Name)
+		}
+		if _, _, err := lab.InsertChildAt(0, 99); err == nil {
+			t.Errorf("%s: bad position accepted", entry.Name)
+		}
+		if _, _, err := lab.InsertSiblingBefore(0); err == nil {
+			t.Errorf("%s: sibling-before-root accepted", entry.Name)
+		}
+		if !errors.Is(err, nil) {
+			_ = err
+		}
+	}
+}
+
+// TestNamesMatchPaperConventions ensures containment schemes are
+// suffixed and prefix schemes named per the figures.
+func TestNamesMatchPaperConventions(t *testing.T) {
+	doc := randomDoc(20, 1)
+	for _, entry := range All() {
+		lab, err := entry.Build(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lab.Name() != entry.Name {
+			t.Errorf("labeling name %q != registry name %q", lab.Name(), entry.Name)
+		}
+		if entry.Name != "Prime" && !strings.Contains(entry.Name, "-Prefix") && !strings.Contains(entry.Name, "-Containment") {
+			t.Errorf("unconventional name %q", entry.Name)
+		}
+	}
+}

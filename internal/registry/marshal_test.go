@@ -1,0 +1,125 @@
+package registry
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/labelstore"
+	"repro/internal/scheme"
+)
+
+// TestEverySchemeMarshalsLabels checks that all labelings implement
+// scheme.LabelMarshaler, produce non-empty payloads, and produce
+// distinct payloads for distinct nodes.
+func TestEverySchemeMarshalsLabels(t *testing.T) {
+	doc := randomDoc(50, 3)
+	for _, entry := range All() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			lab, err := entry.Build(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, ok := lab.(scheme.LabelMarshaler)
+			if !ok {
+				t.Fatalf("%s does not implement LabelMarshaler", entry.Name)
+			}
+			seen := map[string]int{}
+			for v := 0; v < lab.Len(); v++ {
+				payload, err := m.MarshalLabel(v)
+				if err != nil {
+					t.Fatalf("MarshalLabel(%d): %v", v, err)
+				}
+				key := string(payload)
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("nodes %d and %d share a serialised label %x", prev, v, payload)
+				}
+				seen[key] = v
+			}
+			if _, err := m.MarshalLabel(-1); err == nil {
+				t.Error("MarshalLabel(-1) succeeded")
+			}
+		})
+	}
+}
+
+// TestSaveLabelingRoundTrip checkpoints a labeling to disk and checks
+// the stored records line up with fresh marshals.
+func TestSaveLabelingRoundTrip(t *testing.T) {
+	doc := randomDoc(40, 5)
+	for _, name := range []string{"V-CDBS-Containment", "QED-Prefix", "Prime"} {
+		entry, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := entry.Build(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "labels.log")
+		store, err := labelstore.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		written, err := labelstore.SaveLabeling(store, lab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != lab.Len() {
+			t.Fatalf("%s: wrote %d of %d labels", name, written, lab.Len())
+		}
+		if err := store.Close(); err != nil {
+			t.Fatal(err)
+		}
+		records, err := labelstore.ReadAll(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(records) != lab.Len() {
+			t.Fatalf("%s: %d records", name, len(records))
+		}
+		m := lab.(scheme.LabelMarshaler)
+		for _, r := range records {
+			want, err := m.MarshalLabel(int(r.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(r.Payload, want) {
+				t.Fatalf("%s: node %d payload mismatch", name, r.ID)
+			}
+		}
+	}
+}
+
+// TestMarshaledSizeTracksAccounting sanity-checks that serialised
+// label bytes are in the same ballpark as TotalLabelBits/8 — the
+// accounting and the storage form must not drift apart wildly.
+func TestMarshaledSizeTracksAccounting(t *testing.T) {
+	doc := randomDoc(200, 7)
+	for _, name := range []string{"V-CDBS-Containment", "QED-Containment", "QED-Prefix", "OrdPath1-Prefix"} {
+		entry, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := entry.Build(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := lab.(scheme.LabelMarshaler)
+		var serialised int64
+		for v := 0; v < lab.Len(); v++ {
+			p, err := m.MarshalLabel(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialised += int64(len(p)) * 8
+		}
+		accounted := lab.TotalLabelBits()
+		// Serialisation adds byte padding and length prefixes; allow
+		// up to 4x but require the same order of magnitude.
+		if serialised < accounted/4 || serialised > accounted*4 {
+			t.Errorf("%s: serialised %d bits vs accounted %d bits", name, serialised, accounted)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Package registry enumerates every labeling scheme in the CDBS
+// paper's evaluation under its figure name, so harnesses and tools can
+// iterate over them uniformly.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/containment"
+	"repro/internal/keys"
+	"repro/internal/ordpath"
+	"repro/internal/prefix"
+	"repro/internal/primelbl"
+	"repro/internal/scheme"
+)
+
+// Entry is one scheme.
+type Entry struct {
+	Name string
+	// Dynamic reports whether single insertions never re-label
+	// (Table 4's zero rows).
+	Dynamic bool
+	Build   scheme.Builder
+}
+
+// All returns every scheme in the order the paper's tables list them.
+func All() []Entry {
+	return []Entry{
+		{Name: "Prime", Dynamic: true, Build: primelbl.BuildLabeling},
+		{Name: "DeweyID(UTF8)-Prefix", Dynamic: false, Build: prefix.Build(prefix.Dewey())},
+		{Name: "Binary-String-Prefix", Dynamic: false, Build: prefix.Build(prefix.Cohen())},
+		{Name: "OrdPath1-Prefix", Dynamic: true, Build: prefix.Build(prefix.OrdPath(ordpath.Table1))},
+		{Name: "OrdPath2-Prefix", Dynamic: true, Build: prefix.Build(prefix.OrdPath(ordpath.Table2))},
+		{Name: "QED-Prefix", Dynamic: true, Build: prefix.Build(prefix.QEDCodec())},
+		{Name: "V-CDBS-Prefix", Dynamic: true, Build: prefix.Build(prefix.VCDBSCodec())},
+		{Name: "Float-point-Containment", Dynamic: true, Build: containment.Build(keys.Float())},
+		{Name: "V-Binary-Containment", Dynamic: false, Build: containment.Build(keys.VBinary())},
+		{Name: "F-Binary-Containment", Dynamic: false, Build: containment.Build(keys.FBinary())},
+		{Name: "V-CDBS-Containment", Dynamic: true, Build: containment.Build(keys.VCDBS())},
+		{Name: "F-CDBS-Containment", Dynamic: true, Build: containment.Build(keys.FCDBS())},
+		{Name: "QED-Containment", Dynamic: true, Build: containment.Build(keys.QED())},
+	}
+}
+
+// Names returns every scheme name, sorted.
+func Names() []string {
+	entries := All()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup finds a scheme by its figure name.
+func Lookup(name string) (Entry, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("registry: unknown scheme %q (known: %v)", name, Names())
+}

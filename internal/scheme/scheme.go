@@ -1,0 +1,256 @@
+// Package scheme defines the common contract every labeling scheme in
+// the evaluation implements, plus the structural bookkeeping they
+// share. Nodes are identified by dense integer ids (document order at
+// build time; insertions allocate fresh ids). Relationship predicates
+// must be answered from the labels — that is the whole point of a
+// labeling scheme — while the Tree mirror exists for update plumbing
+// (finding the neighbors of an insertion point) and for oracle checks
+// in tests.
+package scheme
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Labeling is a labeled document.
+type Labeling interface {
+	// Name returns the scheme's display name as used in the paper's
+	// figures, e.g. "V-CDBS-Containment".
+	Name() string
+	// Len returns the number of currently labeled nodes (ids may be
+	// sparse after deletions; Len counts live nodes).
+	Len() int
+	// Level returns the depth of node v (the root has level 1).
+	Level(v int) int
+	// IsAncestor reports whether u is a proper ancestor of v, decided
+	// from the labels.
+	IsAncestor(u, v int) bool
+	// IsParent reports whether u is the parent of v, decided from the
+	// labels.
+	IsParent(u, v int) bool
+	// IsSibling reports whether u and v are distinct siblings.
+	IsSibling(u, v int) bool
+	// Before reports document order, decided from the labels.
+	Before(u, v int) bool
+	// TotalLabelBits returns the storage footprint of all labels
+	// under the paper's accounting (Figure 5).
+	TotalLabelBits() int64
+	// InsertChildAt inserts a fresh element node as the pos-th child
+	// of parent. It returns the new node's id and how many existing
+	// nodes had to be re-labeled (0 for fully dynamic schemes; for
+	// Prime, the number of SC values recomputed).
+	InsertChildAt(parent, pos int) (newID int, relabeled int, err error)
+	// InsertSiblingBefore inserts a fresh element node as the
+	// immediately preceding sibling of v.
+	InsertSiblingBefore(v int) (newID int, relabeled int, err error)
+	// InsertSubtree inserts a whole fragment with the shape of the
+	// given element tree as the pos-th child of parent, labeling every
+	// fragment node in one batch (Algorithm 2's even subdivision keeps
+	// bulk labels short). It returns the new ids in preorder and the
+	// re-label count for existing nodes.
+	InsertSubtree(parent, pos int, shape *xmltree.Node) (ids []int, relabeled int, err error)
+	// DeleteSubtree removes node v and its descendants. Deletion
+	// never affects the relative order of the remaining labels
+	// (Section 5.2.1 of the paper), so nothing is re-labeled; the
+	// count of removed nodes is returned. Deleted ids must not be
+	// passed to any predicate afterwards.
+	DeleteSubtree(v int) (removed int, err error)
+	// Tree exposes the structural mirror (for tests and harnesses).
+	Tree() *Tree
+}
+
+// Builder constructs a labeling over a document.
+type Builder func(doc *xmltree.Document) (Labeling, error)
+
+// LabelMarshaler is implemented by labelings that can serialise one
+// node's label for storage. Every labeling in this repository
+// implements it; it is a separate interface so storage layers can
+// discover the capability without widening Labeling.
+type LabelMarshaler interface {
+	// MarshalLabel returns node v's label in its storage form.
+	MarshalLabel(v int) ([]byte, error)
+}
+
+// ErrBadNode reports a node id that is out of range or dead.
+var ErrBadNode = errors.New("scheme: bad node id")
+
+// Tree is the structural mirror every labeling keeps: parent pointers
+// and ordered child lists by node id. It is bookkeeping for updates,
+// not part of any label.
+type Tree struct {
+	Parents  []int   // parent id; -1 for the root
+	Children [][]int // ordered child ids
+	Depths   []int   // depth; root = 1
+	Dead     []bool  // ids removed by deletion
+	live     int
+}
+
+// NewTree mirrors a document, with node ids in document order.
+func NewTree(doc *xmltree.Document) *Tree {
+	nodes := doc.Nodes()
+	index := make(map[*xmltree.Node]int, len(nodes))
+	for i, n := range nodes {
+		index[n] = i
+	}
+	t := &Tree{
+		Parents:  make([]int, len(nodes)),
+		Children: make([][]int, len(nodes)),
+		Depths:   make([]int, len(nodes)),
+		Dead:     make([]bool, len(nodes)),
+		live:     len(nodes),
+	}
+	for i, n := range nodes {
+		if n.Parent == nil {
+			t.Parents[i] = -1
+			t.Depths[i] = 1
+		} else {
+			p := index[n.Parent]
+			t.Parents[i] = p
+			t.Depths[i] = t.Depths[p] + 1
+			t.Children[p] = append(t.Children[p], i)
+		}
+	}
+	return t
+}
+
+// Len returns the number of live nodes.
+func (t *Tree) Len() int { return t.live }
+
+// Cap returns the number of node ids ever allocated (live and dead).
+func (t *Tree) Cap() int { return len(t.Parents) }
+
+// Alive reports whether id v names a live node.
+func (t *Tree) Alive(v int) bool { return v >= 0 && v < len(t.Parents) && !t.Dead[v] }
+
+// ValidateInsert checks that parent is a live id and pos a valid
+// child position.
+func (t *Tree) ValidateInsert(parent, pos int) error {
+	if !t.Alive(parent) {
+		return fmt.Errorf("%w: parent %d", ErrBadNode, parent)
+	}
+	if pos < 0 || pos > len(t.Children[parent]) {
+		return fmt.Errorf("scheme: child position %d out of range [0,%d]", pos, len(t.Children[parent]))
+	}
+	return nil
+}
+
+// AddChild records a fresh node as the pos-th child of parent and
+// returns its id.
+func (t *Tree) AddChild(parent, pos int) int {
+	id := len(t.Parents)
+	t.Parents = append(t.Parents, parent)
+	t.Depths = append(t.Depths, t.Depths[parent]+1)
+	t.Children = append(t.Children, nil)
+	t.Dead = append(t.Dead, false)
+	t.live++
+	kids := t.Children[parent]
+	kids = append(kids, 0)
+	copy(kids[pos+1:], kids[pos:])
+	kids[pos] = id
+	t.Children[parent] = kids
+	return id
+}
+
+// RemoveSubtree detaches node v and its descendants, marking their
+// ids dead. It returns the number of removed nodes.
+func (t *Tree) RemoveSubtree(v int) (int, error) {
+	if !t.Alive(v) {
+		return 0, fmt.Errorf("%w: %d", ErrBadNode, v)
+	}
+	if p := t.Parents[v]; p != -1 {
+		kids := t.Children[p]
+		for i, c := range kids {
+			if c == v {
+				t.Children[p] = append(kids[:i], kids[i+1:]...)
+				break
+			}
+		}
+	}
+	removed := 0
+	var kill func(int)
+	kill = func(u int) {
+		t.Dead[u] = true
+		t.live--
+		removed++
+		for _, c := range t.Children[u] {
+			kill(c)
+		}
+		t.Children[u] = nil
+	}
+	kill(v)
+	return removed, nil
+}
+
+// SiblingPosition returns v's parent and its position among that
+// parent's children.
+func (t *Tree) SiblingPosition(v int) (parent, pos int, err error) {
+	if !t.Alive(v) {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadNode, v)
+	}
+	parent = t.Parents[v]
+	if parent == -1 {
+		return 0, 0, fmt.Errorf("scheme: node %d is the root and has no siblings", v)
+	}
+	for i, c := range t.Children[parent] {
+		if c == v {
+			return parent, i, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: %d not found under parent %d", ErrBadNode, v, parent)
+}
+
+// SubtreeLast returns the id of the last node, in document order, of
+// the subtree rooted at v (v itself for a leaf).
+func (t *Tree) SubtreeLast(v int) int {
+	for len(t.Children[v]) > 0 {
+		v = t.Children[v][len(t.Children[v])-1]
+	}
+	return v
+}
+
+// SubtreeSize returns the node count of the subtree rooted at v.
+func (t *Tree) SubtreeSize(v int) int {
+	size := 1
+	for _, c := range t.Children[v] {
+		size += t.SubtreeSize(c)
+	}
+	return size
+}
+
+// IsAncestorStructural is the oracle answer used by tests to verify
+// label-derived predicates.
+func (t *Tree) IsAncestorStructural(u, v int) bool {
+	for p := t.Parents[v]; p != -1; p = t.Parents[p] {
+		if p == u {
+			return true
+		}
+	}
+	return false
+}
+
+// PreOrder returns node ids in current document order.
+func (t *Tree) PreOrder() []int {
+	root := -1
+	for i, p := range t.Parents {
+		if p == -1 && !t.Dead[i] {
+			root = i
+			break
+		}
+	}
+	if root == -1 {
+		return nil
+	}
+	out := make([]int, 0, len(t.Parents))
+	var walk func(int)
+	walk = func(v int) {
+		out = append(out, v)
+		for _, c := range t.Children[v] {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}

@@ -1,0 +1,146 @@
+package scheme
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func buildTree(t *testing.T) *Tree {
+	t.Helper()
+	doc, err := xmltree.ParseString("<r><a><b/><c/></a><d/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTree(doc)
+}
+
+// ids: r=0 a=1 b=2 c=3 d=4
+
+func TestNewTreeShape(t *testing.T) {
+	tr := buildTree(t)
+	if tr.Len() != 5 || tr.Cap() != 5 {
+		t.Fatalf("Len=%d Cap=%d", tr.Len(), tr.Cap())
+	}
+	wantParents := []int{-1, 0, 1, 1, 0}
+	for i, w := range wantParents {
+		if tr.Parents[i] != w {
+			t.Errorf("Parents[%d] = %d, want %d", i, tr.Parents[i], w)
+		}
+	}
+	wantDepths := []int{1, 2, 3, 3, 2}
+	for i, w := range wantDepths {
+		if tr.Depths[i] != w {
+			t.Errorf("Depths[%d] = %d, want %d", i, tr.Depths[i], w)
+		}
+	}
+	if len(tr.Children[0]) != 2 || tr.Children[0][0] != 1 || tr.Children[0][1] != 4 {
+		t.Errorf("root children = %v", tr.Children[0])
+	}
+}
+
+func TestPreOrderAndSubtree(t *testing.T) {
+	tr := buildTree(t)
+	order := tr.PreOrder()
+	want := []int{0, 1, 2, 3, 4}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("PreOrder = %v", order)
+		}
+	}
+	if got := tr.SubtreeSize(1); got != 3 {
+		t.Errorf("SubtreeSize(1) = %d", got)
+	}
+	if got := tr.SubtreeLast(1); got != 3 {
+		t.Errorf("SubtreeLast(1) = %d", got)
+	}
+	if got := tr.SubtreeLast(2); got != 2 {
+		t.Errorf("SubtreeLast(leaf) = %d", got)
+	}
+}
+
+func TestAddChildAndSiblingPosition(t *testing.T) {
+	tr := buildTree(t)
+	id := tr.AddChild(1, 1) // between b and c
+	if id != 5 || tr.Len() != 6 {
+		t.Fatalf("AddChild id=%d Len=%d", id, tr.Len())
+	}
+	if tr.Children[1][1] != id || tr.Depths[id] != 3 {
+		t.Errorf("child misplaced: %v depth %d", tr.Children[1], tr.Depths[id])
+	}
+	p, pos, err := tr.SiblingPosition(id)
+	if err != nil || p != 1 || pos != 1 {
+		t.Errorf("SiblingPosition = %d,%d,%v", p, pos, err)
+	}
+	if _, _, err := tr.SiblingPosition(0); err == nil {
+		t.Error("root sibling position accepted")
+	}
+	if _, _, err := tr.SiblingPosition(-1); err == nil {
+		t.Error("bad id accepted")
+	}
+}
+
+func TestValidateInsert(t *testing.T) {
+	tr := buildTree(t)
+	if err := tr.ValidateInsert(0, 2); err != nil {
+		t.Error(err)
+	}
+	if err := tr.ValidateInsert(0, 3); err == nil {
+		t.Error("position past end accepted")
+	}
+	if err := tr.ValidateInsert(9, 0); err == nil {
+		t.Error("bad parent accepted")
+	}
+}
+
+func TestRemoveSubtree(t *testing.T) {
+	tr := buildTree(t)
+	removed, err := tr.RemoveSubtree(1)
+	if err != nil || removed != 3 {
+		t.Fatalf("RemoveSubtree = %d, %v", removed, err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for _, v := range []int{1, 2, 3} {
+		if tr.Alive(v) {
+			t.Errorf("node %d still alive", v)
+		}
+	}
+	if len(tr.Children[0]) != 1 || tr.Children[0][0] != 4 {
+		t.Errorf("root children = %v", tr.Children[0])
+	}
+	if _, err := tr.RemoveSubtree(1); err == nil {
+		t.Error("double removal accepted")
+	}
+	order := tr.PreOrder()
+	if len(order) != 2 || order[0] != 0 || order[1] != 4 {
+		t.Errorf("PreOrder after removal = %v", order)
+	}
+}
+
+func TestIsAncestorStructural(t *testing.T) {
+	tr := buildTree(t)
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 2, true}, {1, 2, true}, {1, 3, true}, {0, 4, true},
+		{1, 4, false}, {2, 3, false}, {4, 0, false},
+	}
+	for _, c := range cases {
+		if got := tr.IsAncestorStructural(c.u, c.v); got != c.want {
+			t.Errorf("IsAncestorStructural(%d,%d) = %v", c.u, c.v, got)
+		}
+	}
+}
+
+func TestAliveBounds(t *testing.T) {
+	tr := buildTree(t)
+	if tr.Alive(-1) || tr.Alive(99) {
+		t.Error("out-of-range ids alive")
+	}
+	if !tr.Alive(0) {
+		t.Error("root dead")
+	}
+}

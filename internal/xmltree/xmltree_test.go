@@ -1,0 +1,286 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleXML = `<book>
+  <title>XML Updates</title>
+  <author>Li</author>
+  <author>Ling</author>
+  <section>
+    <title>Intro</title>
+    <para>Dynamic labeling matters.</para>
+  </section>
+</book>`
+
+func parseSample(t *testing.T) *Document {
+	t.Helper()
+	d, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseShape(t *testing.T) {
+	d := parseSample(t)
+	if d.Root.Name != "book" {
+		t.Fatalf("root = %q", d.Root.Name)
+	}
+	if got := len(d.Root.Children); got != 4 {
+		t.Fatalf("root has %d children, want 4", got)
+	}
+	title := d.Root.Children[0]
+	if title.Name != "title" || len(title.Children) != 1 || title.Children[0].Kind != Text {
+		t.Errorf("title subtree wrong: %+v", title)
+	}
+	if title.Children[0].Data != "XML Updates" {
+		t.Errorf("title text = %q", title.Children[0].Data)
+	}
+	// 1 book + title(+text) + 2×author(+text) + section + title(+text) + para(+text) = 12
+	if d.Len() != 12 {
+		t.Errorf("Len = %d, want 12", d.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseString(""); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ParseString("<a><b></a>"); err == nil {
+		t.Error("mismatched tags accepted")
+	}
+	if _, err := ParseString("<a/><b/>"); err == nil {
+		t.Error("two roots accepted")
+	}
+}
+
+func TestNodesDocumentOrder(t *testing.T) {
+	d := parseSample(t)
+	nodes := d.Nodes()
+	if len(nodes) != d.Len() {
+		t.Fatalf("Nodes() returned %d, Len %d", len(nodes), d.Len())
+	}
+	if nodes[0] != d.Root {
+		t.Error("first node is not the root")
+	}
+	var names []string
+	for _, n := range nodes {
+		if n.Kind == Element {
+			names = append(names, n.Name)
+		}
+	}
+	want := "book title author author section title para"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("element order = %q, want %q", got, want)
+	}
+}
+
+func TestParentVector(t *testing.T) {
+	d := parseSample(t)
+	pv := d.ParentVector()
+	if pv[0] != -1 {
+		t.Errorf("root parent = %d", pv[0])
+	}
+	nodes := d.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[pv[i]] != nodes[i].Parent {
+			t.Errorf("parent vector wrong at %d", i)
+		}
+		if pv[i] >= i {
+			t.Errorf("parent %d not before child %d", pv[i], i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := parseSample(t)
+	s := d.Stats()
+	if s.Nodes != 12 {
+		t.Errorf("Nodes = %d", s.Nodes)
+	}
+	if s.MaxFanout != 4 {
+		t.Errorf("MaxFanout = %d, want 4", s.MaxFanout)
+	}
+	if s.MaxDepth != 4 { // book > section > para > text
+		t.Errorf("MaxDepth = %d, want 4", s.MaxDepth)
+	}
+	if s.AvgDepth <= 1 || s.AvgDepth >= float64(s.MaxDepth) {
+		t.Errorf("AvgDepth = %f", s.AvgDepth)
+	}
+	if s.AvgFanout <= 0 {
+		t.Errorf("AvgFanout = %f", s.AvgFanout)
+	}
+}
+
+func TestInsertRemoveChild(t *testing.T) {
+	d := parseSample(t)
+	note := NewElement("note")
+	if err := d.Root.InsertChildAt(1, note); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Children[1] != note || note.Parent != d.Root {
+		t.Error("InsertChildAt misplaced the node")
+	}
+	if d.Root.ChildIndex(note) != 1 {
+		t.Error("ChildIndex wrong")
+	}
+	removed, err := d.Root.RemoveChildAt(1)
+	if err != nil || removed != note || note.Parent != nil {
+		t.Errorf("RemoveChildAt = %v, %v", removed, err)
+	}
+	if err := d.Root.InsertChildAt(-1, note); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, err := d.Root.RemoveChildAt(99); err == nil {
+		t.Error("out-of-range removal accepted")
+	}
+	if d.Root.ChildIndex(note) != -1 {
+		t.Error("detached child still found")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := parseSample(t)
+	text := d.String()
+	d2, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Errorf("round trip %d nodes, want %d", d2.Len(), d.Len())
+	}
+	if d2.String() != text {
+		t.Error("second serialisation differs")
+	}
+}
+
+func TestWriteToEscapes(t *testing.T) {
+	doc := &Document{Root: NewElement("a")}
+	doc.Root.AppendChild(NewText("x < y & z"))
+	var sb strings.Builder
+	if _, err := doc.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "&lt;") || !strings.Contains(sb.String(), "&amp;") {
+		t.Errorf("unescaped output: %q", sb.String())
+	}
+	back, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Children[0].Data != "x < y & z" {
+		t.Errorf("escape round trip = %q", back.Root.Children[0].Data)
+	}
+}
+
+func TestSubtreeSize(t *testing.T) {
+	d := parseSample(t)
+	if got := d.Root.Children[3].SubtreeSize(); got != 5 { // section subtree
+		t.Errorf("section subtree = %d, want 5", got)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	var d Document
+	if d.Len() != 0 || len(d.Nodes()) != 0 {
+		t.Error("empty document not empty")
+	}
+	if _, err := d.WriteTo(&strings.Builder{}); err == nil {
+		t.Error("WriteTo on empty document succeeded")
+	}
+	s := d.Stats()
+	if s.Nodes != 0 {
+		t.Error("stats on empty document")
+	}
+}
+
+func TestParseWithAttributes(t *testing.T) {
+	in := `<book id="b1" lang="en"><title key="t">X</title></book>`
+	plain, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != 3 { // book, title, text
+		t.Errorf("plain Len = %d", plain.Len())
+	}
+	withAttrs, err := ParseWithOptions(strings.NewReader(in), ParseOptions{IncludeAttributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withAttrs.Len() != 6 { // + id, lang, key
+		t.Fatalf("attr Len = %d", withAttrs.Len())
+	}
+	// Attributes come first among children, in document order.
+	if a := withAttrs.Root.Children[0]; a.Kind != Attr || a.Name != "id" || a.Data != "b1" {
+		t.Errorf("first child = %+v", a)
+	}
+	if a := withAttrs.Root.Children[1]; a.Kind != Attr || a.Name != "lang" {
+		t.Errorf("second child = %+v", a)
+	}
+	// Round trip preserves attributes.
+	text := withAttrs.String()
+	if !strings.Contains(text, `id="b1"`) || !strings.Contains(text, `lang="en"`) {
+		t.Errorf("serialisation lost attributes: %s", text)
+	}
+	back, err := ParseWithOptions(strings.NewReader(text), ParseOptions{IncludeAttributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != withAttrs.Len() {
+		t.Errorf("round trip Len = %d", back.Len())
+	}
+	// Attribute values get escaped.
+	doc := &Document{Root: NewElement("a")}
+	doc.Root.AppendChild(NewAttr("v", `x<&"y`))
+	reparsed, err := ParseWithOptions(strings.NewReader(doc.String()), ParseOptions{IncludeAttributes: true})
+	if err != nil {
+		t.Fatalf("escaped attr round trip: %v (%s)", err, doc.String())
+	}
+	if got := reparsed.Root.Children[0].Data; got != `x<&"y` {
+		t.Errorf("attr value = %q", got)
+	}
+}
+
+func TestParseDropText(t *testing.T) {
+	doc, err := ParseWithOptions(strings.NewReader("<a><b>hello</b>world</a>"), ParseOptions{DropText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (elements only)", doc.Len())
+	}
+}
+
+func TestAttrNodeSerializationErrors(t *testing.T) {
+	// An attribute after non-attribute children is malformed.
+	doc := &Document{Root: NewElement("a")}
+	doc.Root.AppendChild(NewText("t"))
+	doc.Root.AppendChild(NewAttr("x", "1"))
+	if _, err := doc.WriteTo(&strings.Builder{}); err == nil {
+		t.Error("attribute after text accepted")
+	}
+	// A bare attribute root is malformed.
+	bad := &Document{Root: NewAttr("x", "1")}
+	if _, err := bad.WriteTo(&strings.Builder{}); err == nil {
+		t.Error("attribute root accepted")
+	}
+}
+
+func TestLabelingOverAttributeNodes(t *testing.T) {
+	// Attribute nodes are ordinary tree nodes for the labeling layer,
+	// as the paper's model prescribes.
+	doc, err := ParseWithOptions(strings.NewReader(`<r a="1" b="2"><c d="3"/></r>`), ParseOptions{IncludeAttributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Len() != 5 {
+		t.Fatalf("Len = %d", doc.Len())
+	}
+	pv := doc.ParentVector()
+	if pv[1] != 0 || pv[2] != 0 || pv[4] != 3 {
+		t.Errorf("parent vector = %v", pv)
+	}
+}

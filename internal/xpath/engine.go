@@ -1,0 +1,340 @@
+package xpath
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// Engine evaluates queries over one labeled document. Joins walk
+// document-ordered node lists and decide every structural relationship
+// through the labeling's predicates, so the per-scheme label costs are
+// what the evaluation measures. The element-name index and child lists
+// are ordinary index structures, identical for every scheme.
+type Engine struct {
+	lab    scheme.Labeling
+	names  []string
+	byName map[string][]int
+	elems  []int
+}
+
+// NewEngine indexes doc (whose labeling must have been built from the
+// same document, so node ids coincide with document order).
+func NewEngine(doc *xmltree.Document, lab scheme.Labeling) (*Engine, error) {
+	nodes := doc.Nodes()
+	if len(nodes) != lab.Len() {
+		return nil, fmt.Errorf("xpath: document has %d nodes, labeling %d", len(nodes), lab.Len())
+	}
+	e := &Engine{
+		lab:    lab,
+		names:  make([]string, len(nodes)),
+		byName: make(map[string][]int),
+	}
+	for i, n := range nodes {
+		if n.Kind != xmltree.Element {
+			continue
+		}
+		e.names[i] = n.Name
+		e.byName[n.Name] = append(e.byName[n.Name], i)
+		e.elems = append(e.elems, i)
+	}
+	return e, nil
+}
+
+// NewEngineIndexed builds an engine over externally maintained index
+// structures (names per id, per-name id lists and the all-elements
+// list, each in document order). The dyndoc package uses this to keep
+// one incrementally updated index queryable; the slices are shared,
+// not copied, and must not be mutated during a query.
+func NewEngineIndexed(lab scheme.Labeling, names []string, byName map[string][]int, elems []int) *Engine {
+	return &Engine{lab: lab, names: names, byName: byName, elems: elems}
+}
+
+// Eval runs an absolute query and returns matching node ids in
+// document order.
+func (e *Engine) Eval(q *Query) ([]int, error) {
+	if q.Relative {
+		return nil, fmt.Errorf("xpath: Eval needs an absolute query, got %q", q)
+	}
+	return e.eval(q, nil, true)
+}
+
+// eval runs the steps from the given context; fromRoot selects the
+// virtual document node as initial context.
+func (e *Engine) eval(q *Query, ctx []int, fromRoot bool) ([]int, error) {
+	for si, step := range q.Steps {
+		var out []int
+		first := fromRoot && si == 0
+		switch step.Axis {
+		case Child:
+			if first {
+				// Child of the document node: the root element.
+				if root := e.rootElement(); root >= 0 && e.nameMatches(step.Name, root) {
+					out = []int{root}
+				}
+			} else {
+				out = e.joinDown(ctx, e.candidates(step.Name), false)
+			}
+		case Descendant:
+			if first {
+				out = append(out, e.candidates(step.Name)...)
+			} else {
+				out = e.joinDown(ctx, e.candidates(step.Name), true)
+			}
+		case PrecedingSibling, FollowingSibling:
+			if first {
+				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+			}
+			out = e.siblings(ctx, step.Name, step.Axis == PrecedingSibling)
+		case Following:
+			if first {
+				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+			}
+			out = e.following(ctx, step.Name)
+		case Parent:
+			if first {
+				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+			}
+			out = e.parents(ctx, step.Name)
+		case Ancestor:
+			if first {
+				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+			}
+			out = e.ancestors(ctx, step.Name)
+		}
+		for _, pred := range step.Preds {
+			var err error
+			out, err = e.applyPred(out, step, pred)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ctx = out
+	}
+	return ctx, nil
+}
+
+// rootElement returns the id of the document element.
+func (e *Engine) rootElement() int {
+	tr := e.lab.Tree()
+	for i, p := range tr.Parents {
+		if p == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// candidates returns the doc-ordered element ids matching a name test.
+func (e *Engine) candidates(name string) []int {
+	if name == "*" {
+		return e.elems
+	}
+	return e.byName[name]
+}
+
+func (e *Engine) nameMatches(test string, id int) bool {
+	return test == "*" || e.names[id] == test
+}
+
+// joinDown is a stack-based structural join: it returns the candidates
+// that are children (or, with anc, descendants) of some context node.
+// Both inputs are in document order; every structural decision is a
+// labeling predicate call.
+func (e *Engine) joinDown(ctx, cand []int, anc bool) []int {
+	var out []int
+	var stack []int
+	i := 0
+	for _, d := range cand {
+		// Push context nodes that start before d, maintaining the
+		// nested-chain invariant.
+		for i < len(ctx) && e.lab.Before(ctx[i], d) {
+			for len(stack) > 0 && !e.lab.IsAncestor(stack[len(stack)-1], ctx[i]) {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, ctx[i])
+			i++
+		}
+		// Pop context nodes whose subtree ended before d.
+		for len(stack) > 0 && !e.lab.IsAncestor(stack[len(stack)-1], d) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			continue
+		}
+		if anc || e.lab.IsParent(stack[len(stack)-1], d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// siblings returns, deduplicated and in document order, the elements
+// matching the name test that are preceding (or following) siblings of
+// a context node.
+func (e *Engine) siblings(ctx []int, name string, preceding bool) []int {
+	tr := e.lab.Tree()
+	seen := make(map[int]bool)
+	var out []int
+	for _, v := range ctx {
+		p := tr.Parents[v]
+		if p == -1 {
+			continue
+		}
+		for _, u := range tr.Children[p] {
+			if u == v {
+				continue
+			}
+			if e.names[u] == "" || !e.nameMatches(name, u) {
+				continue
+			}
+			// The sibling and order checks are the labeling's work.
+			if !e.lab.IsSibling(u, v) || seen[u] {
+				continue
+			}
+			if before := e.lab.Before(u, v); before == preceding {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// parents returns the deduplicated parents of the context nodes that
+// match the name test, confirmed through the labeling's parent
+// predicate.
+func (e *Engine) parents(ctx []int, name string) []int {
+	tr := e.lab.Tree()
+	seen := make(map[int]bool)
+	var out []int
+	for _, v := range ctx {
+		p := tr.Parents[v]
+		if p == -1 || seen[p] || e.names[p] == "" || !e.nameMatches(name, p) {
+			continue
+		}
+		if e.lab.IsParent(p, v) {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ancestors returns the deduplicated proper ancestors of the context
+// nodes that match the name test, decided by the labels.
+func (e *Engine) ancestors(ctx []int, name string) []int {
+	cand := e.candidates(name)
+	var out []int
+	for _, u := range cand {
+		for _, v := range ctx {
+			if e.lab.IsAncestor(u, v) {
+				out = append(out, u)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// following returns the elements matching the name test that are after
+// every context node's subtree (the XPath following axis), for at
+// least one context node.
+func (e *Engine) following(ctx []int, name string) []int {
+	cand := e.candidates(name)
+	var out []int
+	for _, w := range cand {
+		for _, v := range ctx {
+			if e.lab.Before(v, w) && !e.lab.IsAncestor(v, w) {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// applyPred filters a step result by one predicate.
+func (e *Engine) applyPred(in []int, step Step, pred Pred) ([]int, error) {
+	if pred.Position > 0 {
+		return e.filterPosition(in, step, pred.Position), nil
+	}
+	var out []int
+	for _, v := range in {
+		ok, err := e.exists(v, pred.Path)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// filterPosition keeps nodes that are the n-th same-name child of
+// their parent, XPath's meaning for name[n] on the child and
+// descendant axes.
+func (e *Engine) filterPosition(in []int, step Step, n int) []int {
+	tr := e.lab.Tree()
+	var out []int
+	for _, v := range in {
+		p := tr.Parents[v]
+		if p == -1 {
+			if n == 1 {
+				out = append(out, v)
+			}
+			continue
+		}
+		pos := 0
+		for _, u := range tr.Children[p] {
+			if e.names[u] != "" && e.nameMatches(step.Name, u) {
+				pos++
+			}
+			if u == v {
+				break
+			}
+		}
+		if pos == n {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// exists evaluates a relative path predicate under node v.
+func (e *Engine) exists(v int, q *Query) (bool, error) {
+	res, err := e.eval(q, []int{v}, false)
+	if err != nil {
+		return false, err
+	}
+	return len(res) > 0, nil
+}
+
+// Count evaluates a query and returns the number of matches — the
+// "nodes retrieved" column of Table 3.
+func (e *Engine) Count(q *Query) (int, error) {
+	res, err := e.Eval(q)
+	return len(res), err
+}
+
+// Corpus evaluates queries over a set of files, the way the paper runs
+// Q1–Q6 over the scaled D5 collection.
+type Corpus []*Engine
+
+// Count sums the match counts over all files.
+func (c Corpus) Count(q *Query) (int, error) {
+	total := 0
+	for _, e := range c {
+		n, err := e.Count(q)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,282 @@
+// Package xpath implements the XPath fragment the CDBS paper's query
+// workload (Table 3, Q1–Q6) needs — the child, descendant,
+// preceding-sibling and following axes, name and * node tests, and
+// positional and relative-path predicates — plus the
+// following-sibling, parent and ancestor axes. Evaluation is driven by
+// a labeling scheme's predicates, so per-scheme label comparison costs
+// dominate the measured response times, as in Figure 6.
+package xpath
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis selects the node relationship of a step.
+type Axis int
+
+const (
+	// Child is the default axis ("/name").
+	Child Axis = iota
+	// Descendant is the abbreviated "//" axis (descendant-or-self
+	// composed with child, as in XPath).
+	Descendant
+	// PrecedingSibling is "preceding-sibling::".
+	PrecedingSibling
+	// Following is "following::".
+	Following
+	// FollowingSibling is "following-sibling::".
+	FollowingSibling
+	// Parent is "parent::".
+	Parent
+	// Ancestor is "ancestor::".
+	Ancestor
+)
+
+// String names the axis.
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "child"
+	case Descendant:
+		return "descendant"
+	case PrecedingSibling:
+		return "preceding-sibling"
+	case Following:
+		return "following"
+	case FollowingSibling:
+		return "following-sibling"
+	case Parent:
+		return "parent"
+	case Ancestor:
+		return "ancestor"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Pred is one step predicate: either positional ([4]) or a relative
+// path existence test ([./title], [.//grpdescr]).
+type Pred struct {
+	Position int    // > 0 for positional predicates
+	Path     *Query // non-nil for relative path predicates
+}
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Name  string // element name, or "*"
+	Preds []Pred
+}
+
+// Query is a parsed path expression.
+type Query struct {
+	Steps []Step
+	// Relative reports that the query is relative to a context node
+	// (predicate paths beginning with "."), not the document root.
+	Relative bool
+}
+
+// String reassembles the query text.
+func (q *Query) String() string {
+	var sb strings.Builder
+	if q.Relative {
+		sb.WriteByte('.')
+	}
+	for _, s := range q.Steps {
+		switch s.Axis {
+		case Descendant:
+			sb.WriteString("//")
+		default:
+			sb.WriteString("/")
+		}
+		switch s.Axis {
+		case PrecedingSibling:
+			sb.WriteString("preceding-sibling::")
+		case Following:
+			sb.WriteString("following::")
+		case FollowingSibling:
+			sb.WriteString("following-sibling::")
+		case Parent:
+			sb.WriteString("parent::")
+		case Ancestor:
+			sb.WriteString("ancestor::")
+		}
+		sb.WriteString(s.Name)
+		for _, p := range s.Preds {
+			if p.Path != nil {
+				sb.WriteString("[" + p.Path.String() + "]")
+			} else {
+				sb.WriteString("[" + strconv.Itoa(p.Position) + "]")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// ErrSyntax reports a malformed query.
+var ErrSyntax = errors.New("xpath: syntax error")
+
+type parser struct {
+	in  string
+	pos int
+}
+
+// Parse parses a path expression such as
+// "/play//personae[./title]/pgroup[.//grpdescr]/persona".
+func Parse(in string) (*Query, error) {
+	p := &parser{in: in}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("%w: trailing input at %d in %q", ErrSyntax, p.pos, in)
+	}
+	return q, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(in string) *Query {
+	q, err := Parse(in)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.peek('.') {
+		p.pos++
+		q.Relative = true
+	}
+	for {
+		axis, ok, err := p.parseSeparator()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		q.Steps = append(q.Steps, step)
+	}
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("%w: empty path in %q", ErrSyntax, p.in)
+	}
+	return q, nil
+}
+
+// parseSeparator consumes "/" or "//", returning the implied axis.
+func (p *parser) parseSeparator() (Axis, bool, error) {
+	if !p.peek('/') {
+		return 0, false, nil
+	}
+	p.pos++
+	if p.peek('/') {
+		p.pos++
+		return Descendant, true, nil
+	}
+	return Child, true, nil
+}
+
+func (p *parser) peek(c byte) bool { return p.pos < len(p.in) && p.in[p.pos] == c }
+
+// parseStep consumes an optional named axis, a node test and
+// predicates.
+func (p *parser) parseStep(axis Axis) (Step, error) {
+	step := Step{Axis: axis}
+	for _, named := range []struct {
+		prefix string
+		axis   Axis
+	}{
+		{"preceding-sibling::", PrecedingSibling},
+		{"following-sibling::", FollowingSibling},
+		{"following::", Following},
+		{"parent::", Parent},
+		{"ancestor::", Ancestor},
+	} {
+		if strings.HasPrefix(p.in[p.pos:], named.prefix) {
+			if axis == Descendant {
+				return step, fmt.Errorf("%w: %q after // at %d", ErrSyntax, named.prefix, p.pos)
+			}
+			step.Axis = named.axis
+			p.pos += len(named.prefix)
+			break
+		}
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return step, err
+	}
+	step.Name = name
+	for p.peek('[') {
+		pred, err := p.parsePred()
+		if err != nil {
+			return step, err
+		}
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+func (p *parser) parseName() (string, error) {
+	if p.peek('*') {
+		p.pos++
+		return "*", nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) && isNameByte(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("%w: expected node test at %d in %q", ErrSyntax, start, p.in)
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	p.pos++ // consume '['
+	start := p.pos
+	depth := 1
+	for p.pos < len(p.in) && depth > 0 {
+		switch p.in[p.pos] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		}
+		p.pos++
+	}
+	if depth != 0 {
+		return Pred{}, fmt.Errorf("%w: unclosed predicate at %d in %q", ErrSyntax, start-1, p.in)
+	}
+	body := p.in[start : p.pos-1]
+	if body == "" {
+		return Pred{}, fmt.Errorf("%w: empty predicate at %d", ErrSyntax, start)
+	}
+	if n, err := strconv.Atoi(body); err == nil {
+		if n < 1 {
+			return Pred{}, fmt.Errorf("%w: position %d at %d", ErrSyntax, n, start)
+		}
+		return Pred{Position: n}, nil
+	}
+	sub, err := Parse(body)
+	if err != nil {
+		return Pred{}, err
+	}
+	if !sub.Relative {
+		return Pred{}, fmt.Errorf("%w: predicate path %q must start with '.'", ErrSyntax, body)
+	}
+	return Pred{Path: sub}, nil
+}

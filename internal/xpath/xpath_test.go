@@ -1,0 +1,254 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/containment"
+	"repro/internal/keys"
+	"repro/internal/ordpath"
+	"repro/internal/prefix"
+	"repro/internal/primelbl"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"/play/act[4]",
+		"/a/parent::b",
+		"/a/ancestor::*",
+		"/a/following-sibling::c[2]",
+		"/play//personae[./title]/pgroup[.//grpdescr]/persona",
+		"/play/personae/persona[12]/preceding-sibling::*",
+		"//act[2]/following::speaker",
+		"//act/scene/speech",
+		"/play/*//line",
+	} {
+		q, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got := q.String(); got != in {
+			t.Errorf("round trip %q -> %q", in, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "/", "play", "/play[", "/play[]", "/play[0]", "/play[x/y]",
+		"/play/[3]", "//preceding-sibling::a", "/a/preceding-sibling::", "/a bc",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+// testDoc is a small play-like document with known query answers.
+const testDoc = `<play>
+  <title/>
+  <personae>
+    <title/>
+    <persona/><persona/><persona/>
+    <pgroup><grpdescr/><persona/><persona/></pgroup>
+    <pgroup><persona/></pgroup>
+  </personae>
+  <act>
+    <title/>
+    <scene><title/><speech><speaker/><line/><line/></speech></scene>
+  </act>
+  <act>
+    <title/>
+    <scene><title/><speech><speaker/><line/></speech>
+           <speech><speaker/><line/><line/><line/></speech></scene>
+  </act>
+  <act><title/><scene><title/><speech><speaker/><line/></speech></scene></act>
+</play>`
+
+// engines builds one engine per representative scheme family.
+func engines(t *testing.T, doc *xmltree.Document) map[string]*Engine {
+	t.Helper()
+	out := map[string]*Engine{}
+	builders := map[string]scheme.Builder{
+		"V-CDBS-Containment":   containment.Build(keys.VCDBS()),
+		"QED-Containment":      containment.Build(keys.QED()),
+		"F-Binary-Containment": containment.Build(keys.FBinary()),
+		"QED-Prefix":           prefix.Build(prefix.QEDCodec()),
+		"OrdPath1-Prefix":      prefix.Build(prefix.OrdPath(ordpath.Table1)),
+		"DeweyID-Prefix":       prefix.Build(prefix.Dewey()),
+		"Prime":                primelbl.BuildLabeling,
+	}
+	for name, b := range builders {
+		lab, err := b(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e, err := NewEngine(doc, lab)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = e
+	}
+	return out
+}
+
+func TestQueriesKnownAnswers(t *testing.T) {
+	doc, err := xmltree.ParseString(testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]int{
+		"/play/act[2]":           1,
+		"/play/act":              3,
+		"//speech":               4,
+		"//act/scene/speech":     4,
+		"/play/*//line":          7,
+		"//line":                 7,
+		"/play//persona":         6,
+		"/play/personae/persona": 3, // only direct children
+		"/play//personae[./title]/pgroup[.//grpdescr]/persona": 2,
+		"/play/personae/persona[3]/preceding-sibling::*":       3, // title + 2 personas
+		"/play/personae/persona[3]/preceding-sibling::persona": 2,
+		"//act[2]/following::speaker":                          1, // act 3's speaker
+		"//act[1]/following::speaker":                          3, // acts 2,3
+		"//scene/speech[2]":                                    1,
+		"//speaker/parent::speech":                             4,
+		"//line/ancestor::act":                                 3,
+		"//line/ancestor::*":                                   11, // play + 3 acts + 3 scenes + 4 speeches
+		"/play/personae/persona[1]/following-sibling::persona": 2,
+		"//grpdescr/parent::pgroup":                            1,
+		"/play/nosuch":                                         0,
+		"//nosuch":                                             0,
+		"/wrongroot":                                           0,
+		"/*":                                                   1,
+	}
+	for name, e := range engines(t, doc) {
+		for in, want := range wants {
+			got, err := e.Count(MustParse(in))
+			if err != nil {
+				t.Fatalf("%s: %s: %v", name, in, err)
+			}
+			if got != want {
+				t.Errorf("%s: Count(%s) = %d, want %d", name, in, got, want)
+			}
+		}
+	}
+}
+
+// All schemes must return identical result sets, not just counts.
+func TestSchemesAgreeOnResults(t *testing.T) {
+	doc, err := xmltree.ParseString(testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := engines(t, doc)
+	queries := []string{
+		"/play//persona", "//act/scene/speech", "/play/*//line",
+		"//act[2]/following::speaker",
+		"/play/personae/persona[3]/preceding-sibling::*",
+	}
+	var ref map[string][]int
+	for name, e := range es {
+		res := map[string][]int{}
+		for _, qs := range queries {
+			ids, err := e.Eval(MustParse(qs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res[qs] = ids
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for _, qs := range queries {
+			if !reflect.DeepEqual(ref[qs], res[qs]) {
+				t.Errorf("%s disagrees on %s: %v vs %v", name, qs, res[qs], ref[qs])
+			}
+		}
+	}
+}
+
+func TestEvalRejectsRelative(t *testing.T) {
+	doc, err := xmltree.ParseString("<a><b/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := containment.New(keys.VCDBS(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParse("./b")
+	if _, err := e.Eval(q); err == nil {
+		t.Error("relative query accepted by Eval")
+	}
+	if _, err := e.Eval(MustParse("/preceding-sibling::a")); err == nil {
+		t.Error("preceding-sibling from document root accepted")
+	}
+}
+
+func TestEngineMismatchedLabeling(t *testing.T) {
+	doc1, _ := xmltree.ParseString("<a><b/></a>")
+	doc2, _ := xmltree.ParseString("<a><b/><c/></a>")
+	lab, err := containment.New(keys.VCDBS(), doc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(doc2, lab); err == nil {
+		t.Error("mismatched doc/labeling accepted")
+	}
+}
+
+func TestCorpusCount(t *testing.T) {
+	var corpus Corpus
+	for i := 0; i < 3; i++ {
+		doc, err := xmltree.ParseString(testDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := containment.New(keys.VCDBS(), doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(doc, lab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, e)
+	}
+	got, err := corpus.Count(MustParse("//speech"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12 {
+		t.Errorf("corpus count = %d, want 12", got)
+	}
+}
+
+func TestTextNodesInvisible(t *testing.T) {
+	doc, err := xmltree.ParseString("<a><b>text here</b><b>more</b></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := containment.New(keys.VCDBS(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(doc, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Count(MustParse("/a/*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("wildcard matched %d nodes, want 2 (text must be invisible)", got)
+	}
+}
