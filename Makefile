@@ -1,0 +1,35 @@
+# Convenience targets; `make ci` is the same gate CI runs.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt labelvet fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+	$(GO) build -tags invariants ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+labelvet:
+	$(GO) run ./cmd/labelvet ./...
+
+# Short fuzz smoke runs for the label-assignment kernels.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzAssignMiddleBinaryString -fuzztime=10s ./internal/cdbs
+	$(GO) test -run=^$$ -fuzz=FuzzTwoBetween -fuzztime=5s ./internal/cdbs
+	$(GO) test -run=^$$ -fuzz=FuzzBetween -fuzztime=10s ./internal/qed
+
+ci:
+	sh scripts/ci.sh

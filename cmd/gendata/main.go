@@ -68,7 +68,7 @@ func generate(name, dir string, limit int) error {
 			return err
 		}
 		if _, err := doc.WriteTo(f); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort: the write error is the one to report
 			return err
 		}
 		if err := f.Close(); err != nil {

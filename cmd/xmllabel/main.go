@@ -77,7 +77,10 @@ func main() {
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%s\n", entry.Name, nodes, total, float64(total)/float64(nodes), rel)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "xmllabel:", err)
+		os.Exit(1)
+	}
 }
 
 // loadDocs resolves the input selection to a document list.

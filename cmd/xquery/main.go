@@ -87,7 +87,10 @@ func main() {
 		}
 		fmt.Fprintf(w, "%s\t%d\t%v\n", qs, n, time.Since(t0).Round(time.Microsecond))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "xquery:", err)
+		os.Exit(1)
+	}
 }
 
 // loadDocs resolves the input selection.

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// newCodeLiteral builds the codeliteral analyzer. It vets constant
+// string literals that become CDBS or QED codes:
+//
+//   - bitstr.Parse / bitstr.MustParse literals must contain only '0'
+//     and '1' (outside tests for Parse, everywhere for MustParse, so
+//     the error/panic path is provably dead),
+//   - a bitstr literal passed directly as a code argument to
+//     cdbs.Between / TwoBetween / NBetween / BetweenFixed must be
+//     empty (an open bound) or end with bit 1 (Theorem 3.1),
+//   - qed.Parse / qed.MustParse literals must use only the digits
+//     1..3 — the digit 0 is the reserved stream separator — and end
+//     with 2 or 3.
+func newCodeLiteral() *Analyzer {
+	a := &Analyzer{
+		Name: "codeliteral",
+		Doc:  "vets CDBS/QED code string literals for the end-with-1 and no-0-digit rules",
+	}
+	a.Run = func(p *Pass) error {
+		mod := p.Loader.ModulePath
+		bitstrPkg := mod + "/internal/bitstr"
+		qedPkg := mod + "/internal/qed"
+		cdbsPkg := mod + "/internal/cdbs"
+		for _, f := range p.Pkg.Files {
+			inTest := p.InTestFile(f.Pos())
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := funcFullName(calleeFunc(p.Info, call))
+				switch name {
+				case bitstrPkg + ".MustParse", bitstrPkg + ".Parse":
+					if inTest && strings.HasSuffix(name, ".Parse") {
+						return true // tests legitimately probe Parse errors
+					}
+					if lit, ok := literalArg(p, call, 0); ok {
+						checkBitLiteral(p, call, lit)
+					}
+				case qedPkg + ".MustParse", qedPkg + ".Parse":
+					if inTest && strings.HasSuffix(name, ".Parse") {
+						return true
+					}
+					if lit, ok := literalArg(p, call, 0); ok {
+						checkQEDLiteral(p, call, lit)
+					}
+				case cdbsPkg + ".Between", cdbsPkg + ".TwoBetween", cdbsPkg + ".NBetween", cdbsPkg + ".BetweenFixed":
+					if !inTest { // tests legitimately probe the rejection path
+						checkCDBSCodeArgs(p, bitstrPkg, call)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// literalArg extracts argument i of call when it is a constant
+// string.
+func literalArg(p *Pass, call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	return stringLiteral(p.Info, call.Args[i])
+}
+
+// checkBitLiteral vets a bitstr literal's alphabet.
+func checkBitLiteral(p *Pass, call *ast.CallExpr, lit string) {
+	for _, r := range lit {
+		if r != '0' && r != '1' {
+			p.Reportf(call.Pos(), "bit-string literal %q contains %q; Parse will always fail (only '0' and '1' are valid)", lit, r)
+			return
+		}
+	}
+}
+
+// checkQEDLiteral vets a QED literal: digits 1..3, ending 2 or 3.
+func checkQEDLiteral(p *Pass, call *ast.CallExpr, lit string) {
+	if lit == "" {
+		return // qed.Empty is the idiomatic open bound, but "" is harmless
+	}
+	for _, r := range lit {
+		if r == '0' {
+			p.Reportf(call.Pos(), "QED code literal %q contains digit 0, the reserved stream separator", lit)
+			return
+		}
+		if r < '1' || r > '3' {
+			p.Reportf(call.Pos(), "QED code literal %q contains %q; digits must be 1..3", lit, r)
+			return
+		}
+	}
+	if last := lit[len(lit)-1]; last != '2' && last != '3' {
+		p.Reportf(call.Pos(), "QED code literal %q must end with 2 or 3", lit)
+	}
+}
+
+// checkCDBSCodeArgs vets bitstr literals passed directly as CDBS code
+// bounds: they must be empty (open) or end with bit 1.
+func checkCDBSCodeArgs(p *Pass, bitstrPkg string, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		inner, ok := unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		name := funcFullName(calleeFunc(p.Info, inner))
+		if name != bitstrPkg+".MustParse" && name != bitstrPkg+".Parse" {
+			continue
+		}
+		lit, ok := literalArg(p, inner, 0)
+		if !ok || lit == "" {
+			continue
+		}
+		if !strings.HasSuffix(lit, "1") {
+			p.Reportf(inner.Pos(), "CDBS code literal %q must end with bit 1 (Theorem 3.1); this bound is rejected at run time", lit)
+		}
+	}
+}

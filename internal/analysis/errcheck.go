@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckExcluded lists callees whose error results are noise by
+// convention (printing to an in-memory sink or the process streams).
+var errcheckExcluded = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// newErrCheck builds the errcheck analyzer: outside tests, a call
+// statement whose callee returns an error must not silently drop it.
+// `x.F()` as a bare statement is flagged; `_ = x.F()` is accepted as
+// an explicit, reviewable discard, and `defer f.Close()` is left
+// alone as established idiom. fmt printing to Stdout/Stderr, a
+// strings.Builder or a bytes.Buffer is excluded.
+func newErrCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "errcheck",
+		Doc:  "flags dropped error return values outside tests",
+	}
+	a.Run = func(p *Pass) error {
+		for _, f := range p.Pkg.Files {
+			if p.InTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = unparen(n.X).(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = n.Call
+				}
+				if call == nil {
+					return true
+				}
+				if !returnsError(p.Info, call) || excludedCall(p, call) {
+					return true
+				}
+				name := funcFullName(calleeFunc(p.Info, call))
+				if name == "" {
+					name = "call"
+				}
+				p.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign to _ explicitly", name)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// returnsError reports whether the call's last result is error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// excludedCall applies the builtin exclude list.
+func excludedCall(p *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(p.Info, call)
+	if f == nil {
+		return false
+	}
+	name := funcFullName(f)
+	if errcheckExcluded[name] {
+		return true
+	}
+	switch name {
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		return len(call.Args) > 0 && benignWriter(p, call.Args[0])
+	case "strings.Builder.WriteString", "strings.Builder.WriteByte",
+		"strings.Builder.WriteRune", "strings.Builder.Write",
+		"bytes.Buffer.WriteString", "bytes.Buffer.WriteByte",
+		"bytes.Buffer.WriteRune", "bytes.Buffer.Write":
+		return true
+	}
+	return false
+}
+
+// benignWriter reports whether e is os.Stdout, os.Stderr, a
+// *strings.Builder or a *bytes.Buffer — writers whose Fprint errors
+// are conventionally ignored.
+func benignWriter(p *Pass, e ast.Expr) bool {
+	if sel, ok := unparen(e).(*ast.SelectorExpr); ok {
+		if obj, ok := p.Info.Uses[sel.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			if sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr" {
+				return true
+			}
+		}
+	}
+	if n := namedType(p.Info.TypeOf(e)); n != nil {
+		switch typeQualifiedName(n) {
+		case "strings.Builder", "bytes.Buffer", "tabwriter.Writer":
+			// tabwriter buffers in memory; its errors surface at Flush,
+			// which is where this analyzer wants them handled.
+			return true
+		}
+	}
+	return false
+}

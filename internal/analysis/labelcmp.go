@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newLabelCmp builds the labelcmp analyzer. Label types — module
+// types that export a canonical Compare(T) int (bitstr.BitString,
+// qed.Code, deweyid.Label, ordpath.Label, …) — are ordered by
+// Definition 3.1 semantics, not by Go's built-in comparison. The
+// analyzer flags:
+//
+//   - ==, != and switch comparisons between label values (compiles
+//     for string-backed types like qed.Code but compares storage, not
+//     the canonical order, and silently breaks if the representation
+//     gains auxiliary fields),
+//   - reflect.DeepEqual on label values,
+//   - bytes.Compare / bytes.Equal applied to label storage such as
+//     BitString.Bytes(), which drops the bit-length distinction
+//     ("1" and "10" share the byte 0x80 but are different codes).
+func newLabelCmp() *Analyzer {
+	a := &Analyzer{
+		Name: "labelcmp",
+		Doc:  "flags raw comparisons of label types that define a canonical Compare/Equal",
+	}
+	a.Run = func(p *Pass) error {
+		mod := p.Loader.ModulePath
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					// Comparing a slice-backed label against nil is an
+					// emptiness/openness test, not an order comparison.
+					if (n.Op == token.EQL || n.Op == token.NEQ) && !isNilExpr(p, n.X) && !isNilExpr(p, n.Y) {
+						if !checkRawCompare(p, mod, n.X, n.Op.String(), n.OpPos) {
+							checkRawCompare(p, mod, n.Y, n.Op.String(), n.OpPos)
+						}
+					}
+				case *ast.SwitchStmt:
+					if n.Tag != nil {
+						checkRawCompare(p, mod, n.Tag, "switch", n.Switch)
+					}
+				case *ast.CallExpr:
+					checkCompareCall(p, mod, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// checkRawCompare reports expr's type if it is a label type being
+// compared with a built-in comparison. It returns true if it
+// reported.
+func checkRawCompare(p *Pass, mod string, expr ast.Expr, how string, pos token.Pos) bool {
+	n := labelNamed(p.Info.TypeOf(expr), mod)
+	if n == nil {
+		return false
+	}
+	p.Reportf(pos, "%s values compared with %s; use the canonical %s (Definition 3.1 lexicographic order)",
+		typeQualifiedName(n), how, canonicalHint(n))
+	return true
+}
+
+// checkCompareCall flags reflect.DeepEqual over label values and
+// bytes.Compare/bytes.Equal over label storage.
+func checkCompareCall(p *Pass, mod string, call *ast.CallExpr) {
+	f := calleeFunc(p.Info, call)
+	if f == nil {
+		return
+	}
+	switch funcFullName(f) {
+	case "reflect.DeepEqual":
+		for _, arg := range call.Args {
+			if n := labelNamed(p.Info.TypeOf(arg), mod); n != nil {
+				p.Reportf(call.Pos(), "reflect.DeepEqual on %s; use the canonical %s", typeQualifiedName(n), canonicalHint(n))
+				return
+			}
+		}
+	case "bytes.Compare", "bytes.Equal":
+		for _, arg := range call.Args {
+			inner, ok := unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := unparen(inner.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			selInfo, ok := p.Info.Selections[sel]
+			if !ok {
+				continue
+			}
+			if n := labelNamed(selInfo.Recv(), mod); n != nil {
+				p.Reportf(call.Pos(), "%s on %s.%s() ignores the bit-length distinction; use the canonical %s",
+					funcFullName(f), typeQualifiedName(n), sel.Sel.Name, canonicalHint(n))
+				return
+			}
+		}
+	}
+}
+
+// labelNamed returns the named label type behind t, if t is a
+// non-pointer module type with a canonical Compare(T) int method.
+func labelNamed(t types.Type, mod string) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		return nil
+	}
+	n := namedType(t)
+	if n == nil || !inModule(n.Obj().Pkg(), mod) {
+		return nil
+	}
+	if hasCanonicalCompare(n) {
+		return n
+	}
+	return nil
+}
+
+// hasCanonicalCompare reports whether n has a method Compare(n) int
+// (or Equal(n) bool) in its method set.
+func hasCanonicalCompare(n *types.Named) bool {
+	for i := 0; i < n.NumMethods(); i++ {
+		m := n.Method(i)
+		sig, ok := m.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+			continue
+		}
+		param := namedType(sig.Params().At(0).Type())
+		if param == nil || param.Obj() != n.Obj() {
+			continue
+		}
+		res := sig.Results().At(0).Type()
+		switch m.Name() {
+		case "Compare":
+			if basic, ok := res.(*types.Basic); ok && basic.Kind() == types.Int {
+				return true
+			}
+		case "Equal":
+			if basic, ok := res.(*types.Basic); ok && basic.Kind() == types.Bool {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// canonicalHint names the methods the call site should use.
+func canonicalHint(n *types.Named) string {
+	hasCompare, hasEqual := false, false
+	for i := 0; i < n.NumMethods(); i++ {
+		switch n.Method(i).Name() {
+		case "Compare":
+			hasCompare = true
+		case "Equal":
+			hasEqual = true
+		}
+	}
+	switch {
+	case hasCompare && hasEqual:
+		return "Compare/Equal methods"
+	case hasCompare:
+		return "Compare method"
+	default:
+		return "Equal method"
+	}
+}

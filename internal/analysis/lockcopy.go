@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockTypes are the sync types whose values must never be copied
+// after first use.
+var lockTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.Once":      true,
+	"sync.WaitGroup": true,
+	"sync.Cond":      true,
+	"sync.Map":       true,
+	"sync.Pool":      true,
+}
+
+// newLockCopy builds the lockcopy analyzer: it flags values of types
+// that (transitively) contain a sync lock being passed, received,
+// returned or copied by value — e.g. a function taking
+// dyndoc.Concurrent instead of *dyndoc.Concurrent, a value receiver
+// on such a type, or `x := *c` which copies the RWMutex together
+// with the guarded state.
+func newLockCopy() *Analyzer {
+	a := &Analyzer{
+		Name: "lockcopy",
+		Doc:  "flags by-value copies of types containing sync.Mutex/RWMutex",
+	}
+	a.Run = func(p *Pass) error {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Recv != nil {
+						checkLockFields(p, n.Recv, "receiver")
+					}
+					checkLockFields(p, n.Type.Params, "parameter")
+					checkLockFields(p, n.Type.Results, "result")
+				case *ast.FuncLit:
+					checkLockFields(p, n.Type.Params, "parameter")
+					checkLockFields(p, n.Type.Results, "result")
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						// `_ = v` does not copy; skip blank targets.
+						if len(n.Lhs) == len(n.Rhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+								continue
+							}
+						}
+						checkLockValueCopy(p, rhs)
+					}
+				case *ast.ValueSpec:
+					for _, v := range n.Values {
+						checkLockValueCopy(p, v)
+					}
+				case *ast.RangeStmt:
+					if n.Value != nil {
+						if path := lockPath(p.Info.TypeOf(n.Value)); path != "" {
+							p.Reportf(n.Value.Pos(), "range value copies a lock: %s", path)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkLockFields flags non-pointer fields of a field list (params,
+// results, receiver) whose type contains a lock.
+func checkLockFields(p *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+			continue
+		}
+		if path := lockPath(t); path != "" {
+			p.Reportf(field.Type.Pos(), "%s passes lock by value: %s; use a pointer", kind, path)
+		}
+	}
+}
+
+// checkLockValueCopy flags expressions that copy an existing
+// lock-containing value: dereferences, variables, fields, indexing.
+// Fresh values (composite literals, calls) are allowed here; a call
+// returning a lock by value is flagged at its signature instead.
+func checkLockValueCopy(p *Pass, e ast.Expr) {
+	switch unparen(e).(type) {
+	case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		return
+	}
+	if path := lockPath(t); path != "" {
+		p.Reportf(e.Pos(), "assignment copies a lock: %s", path)
+	}
+}
+
+// lockPath returns a human-readable path ("dyndoc.Concurrent contains
+// sync.RWMutex") if t transitively contains a lock type, or "".
+func lockPath(t types.Type) string {
+	inner := containsLock(t, map[types.Type]bool{})
+	if inner == "" {
+		return ""
+	}
+	if n := namedType(t); n != nil && typeQualifiedName(n) != inner {
+		return typeQualifiedName(n) + " contains " + inner
+	}
+	return inner
+}
+
+// containsLock walks struct fields and array elements looking for a
+// sync lock type; it returns the lock's name or "".
+func containsLock(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		if name := typeQualifiedName(n); lockTypes[name] {
+			return name
+		}
+		return containsLock(n.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if name := containsLock(t.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return ""
+}
+
+// newLockHeld builds the lockheld analyzer: inside methods of a
+// lock-guarded struct (one with a sync.Mutex/RWMutex field), a return
+// statement must not hand out references to guarded internals —
+// returning a pointer-, slice-, map- or chan-typed field lets the
+// caller touch shared state after the deferred Unlock has run.
+func newLockHeld() *Analyzer {
+	a := &Analyzer{
+		Name: "lockheld",
+		Doc:  "flags returns that leak references to lock-guarded struct internals",
+	}
+	a.Run = func(p *Pass) error {
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+					continue
+				}
+				recvField := fd.Recv.List[0]
+				if len(recvField.Names) == 0 {
+					continue
+				}
+				recvObj := p.Info.Defs[recvField.Names[0]]
+				if recvObj == nil {
+					continue
+				}
+				recvStruct := guardedStruct(recvObj.Type())
+				if recvStruct == nil {
+					continue
+				}
+				checkLeakyReturns(p, fd, recvObj)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// guardedStruct returns the struct type behind t (through one
+// pointer) when it directly holds a mutex field, else nil.
+func guardedStruct(t types.Type) *types.Struct {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if fn := namedType(st.Field(i).Type()); fn != nil && lockTypes[typeQualifiedName(fn)] {
+			return st
+		}
+	}
+	return nil
+}
+
+// checkLeakyReturns flags `return recv.field[...]` results whose type
+// is a reference type.
+func checkLeakyReturns(p *Pass, fd *ast.FuncDecl, recvObj types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure runs under its own locking discipline
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			field, ok := receiverFieldChain(p, res, recvObj)
+			if !ok {
+				continue
+			}
+			t := p.Info.TypeOf(res)
+			if t == nil || !isReferenceType(t) {
+				continue
+			}
+			p.Reportf(res.Pos(), "returns lock-guarded internals: field %s escapes the critical section; copy it or return a value", field)
+		}
+		return true
+	})
+}
+
+// receiverFieldChain reports whether e is a selector chain rooted at
+// the receiver object (c.d, c.a.b); it returns the printed chain.
+func receiverFieldChain(p *Pass, e ast.Expr, recvObj types.Object) (string, bool) {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	for {
+		switch x := unparen(sel.X).(type) {
+		case *ast.Ident:
+			if p.Info.Uses[x] == recvObj {
+				return x.Name + "." + name, true
+			}
+			return "", false
+		case *ast.SelectorExpr:
+			name = x.Sel.Name + "." + name
+			sel = x
+		default:
+			return "", false
+		}
+	}
+}
+
+// isReferenceType reports whether handing out a value of t aliases
+// shared state.
+func isReferenceType(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}

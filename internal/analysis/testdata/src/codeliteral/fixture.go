@@ -1,0 +1,41 @@
+// Package codeliteral is a labelvet fixture for the code-literal
+// rules: invalid bitstr/QED literals and CDBS bounds that cannot end
+// in bit 1.
+package codeliteral
+
+import (
+	"repro/internal/bitstr"
+	"repro/internal/cdbs"
+	"repro/internal/qed"
+)
+
+var badAlphabet = bitstr.MustParse("01x0") // want `bit-string literal "01x0" contains 'x'`
+
+func badParse() (bitstr.BitString, error) {
+	return bitstr.Parse("012") // want `bit-string literal "012" contains '2'`
+}
+
+func badBounds() {
+	cdbs.Between( // the literal positions below are what get flagged
+		bitstr.MustParse("10"), // want `CDBS code literal "10" must end with bit 1`
+		bitstr.MustParse("11"),
+	)
+	cdbs.TwoBetween(
+		bitstr.MustParse("1"),
+		bitstr.MustParse("110"), // want `CDBS code literal "110" must end with bit 1`
+	)
+}
+
+var (
+	badSeparator = qed.MustParse("102") // want `QED code literal "102" contains digit 0, the reserved stream separator`
+	badEnding    = qed.MustParse("21")  // want `QED code literal "21" must end with 2 or 3`
+	badDigit     = qed.MustParse("14")  // want `QED code literal "14" contains '4'`
+)
+
+func ok() {
+	_ = bitstr.MustParse("0101")
+	_, _ = bitstr.Parse("1001")
+	cdbs.Between(bitstr.Empty, bitstr.MustParse("01"))
+	_ = qed.MustParse("132")
+	_ = qed.MustParse("3")
+}

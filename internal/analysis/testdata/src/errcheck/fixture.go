@@ -1,0 +1,38 @@
+// Package errcheck is a labelvet fixture: dropped error results.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func dropped(c closer) {
+	mayFail()      // want `error result of .*errcheck\.mayFail is dropped`
+	twoResults()   // want `error result of .*errcheck\.twoResults is dropped`
+	c.Close()      // want `error result of .*errcheck\.closer.Close is dropped`
+	go mayFail()   // want `error result of .*errcheck\.mayFail is dropped`
+	fmt.Errorf("") // want `error result of fmt.Errorf is dropped`
+}
+
+func handled(c closer) error {
+	_ = mayFail() // explicit discard is accepted
+	if err := mayFail(); err != nil {
+		return err
+	}
+	defer c.Close() // deferred Close is established idiom
+	fmt.Println("to stdout")
+	fmt.Fprintln(os.Stderr, "to stderr")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "in-memory sink")
+	return nil
+}

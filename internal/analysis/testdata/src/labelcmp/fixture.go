@@ -1,0 +1,67 @@
+// Package labelcmp is a labelvet fixture: every comparison below
+// must be flagged by the labelcmp analyzer, and the ok functions must
+// stay silent.
+package labelcmp
+
+import (
+	"bytes"
+	"reflect"
+
+	"repro/internal/bitstr"
+	"repro/internal/qed"
+)
+
+// Label is a module-local label type with a canonical Compare, so the
+// analyzer must treat it exactly like the real label types.
+type Label struct{ raw string }
+
+// Compare orders labels canonically.
+func (l Label) Compare(m Label) int {
+	switch {
+	case l.raw < m.raw:
+		return -1
+	case l.raw > m.raw:
+		return 1
+	}
+	return 0
+}
+
+func rawEquality(a, b qed.Code, x, y Label) bool {
+	if a == b { // want `qed.Code values compared with ==`
+		return true
+	}
+	if x != y { // want `labelcmp.Label values compared with !=`
+		return false
+	}
+	return b != a // want `qed.Code values compared with !=`
+}
+
+func rawSwitch(a, b qed.Code) int {
+	switch a { // want `qed.Code values compared with switch`
+	case b:
+		return 1
+	}
+	return 0
+}
+
+func deepEqual(a, b qed.Code) bool {
+	return reflect.DeepEqual(a, b) // want `reflect.DeepEqual on qed.Code`
+}
+
+func byteCompare(s, t bitstr.BitString) bool {
+	if bytes.Equal(s.Bytes(), t.Bytes()) { // want `bytes.Equal on bitstr.BitString.Bytes\(\) ignores the bit-length distinction`
+		return true
+	}
+	return bytes.Compare(s.Bytes(), t.Bytes()) < 0 // want `bytes.Compare on bitstr.BitString.Bytes\(\)`
+}
+
+func ok(a, b qed.Code, s, t bitstr.BitString, x, y Label) bool {
+	if a.Equal(b) || s.Equal(t) || x.Compare(y) == 0 {
+		return true
+	}
+	var p, q *Label
+	if p == q { // pointer identity is not an order comparison
+		return false
+	}
+	return bytes.Equal([]byte("a"), []byte("b"))
+}

@@ -1,0 +1,55 @@
+// Package lockcopy is a labelvet fixture: values of lock-bearing
+// types being received, passed, returned or copied by value.
+package lockcopy
+
+import "sync"
+
+// Guarded mirrors dyndoc.Concurrent: a mutex plus guarded state.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested embeds a lock two levels deep; the analyzer must chase it.
+type Nested struct {
+	inner Guarded
+}
+
+func byValueParam(g Guarded) int { // want `parameter passes lock by value: lockcopy.Guarded contains sync.Mutex`
+	return g.n
+}
+
+func byValueResult() (g Guarded) { // want `result passes lock by value: lockcopy.Guarded contains sync.Mutex`
+	return
+}
+
+func (g Guarded) valueReceiver() int { // want `receiver passes lock by value: lockcopy.Guarded contains sync.Mutex`
+	return g.n
+}
+
+func nestedParam(n Nested) { // want `parameter passes lock by value: lockcopy.Nested contains sync.Mutex`
+	_ = n
+}
+
+func derefCopy(p *Guarded) int {
+	g := *p // want `assignment copies a lock: lockcopy.Guarded contains sync.Mutex`
+	return g.n
+}
+
+func rangeCopy(list []Guarded) int {
+	total := 0
+	for _, g := range list { // want `range value copies a lock: lockcopy.Guarded contains sync.Mutex`
+		total += g.n
+	}
+	return total
+}
+
+func ok(p *Guarded, list []*Guarded) int {
+	q := p // copying the pointer is fine
+	for _, r := range list {
+		_ = r
+	}
+	var fresh Guarded // declaring a fresh value is fine
+	_ = fresh.n
+	return q.n
+}

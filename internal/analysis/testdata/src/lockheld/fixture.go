@@ -1,0 +1,56 @@
+// Package lockheld is a labelvet fixture: methods of a lock-guarded
+// struct must not return references to guarded internals.
+package lockheld
+
+import "sync"
+
+// Box mirrors dyndoc.Concurrent: an RWMutex guarding reference-typed
+// state.
+type Box struct {
+	mu   sync.RWMutex
+	data []int
+	idx  map[string]int
+	doc  *int
+	n    int
+}
+
+func (b *Box) LeakSlice() []int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.data // want `returns lock-guarded internals: field b.data escapes the critical section`
+}
+
+func (b *Box) LeakMap() map[string]int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.idx // want `returns lock-guarded internals: field b.idx escapes the critical section`
+}
+
+func (b *Box) LeakPointer() *int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.doc // want `returns lock-guarded internals: field b.doc escapes the critical section`
+}
+
+func (b *Box) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n // returning a copied value is fine
+}
+
+func (b *Box) Snapshot() []int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]int, len(b.data))
+	copy(out, b.data)
+	return out // returning a fresh copy is fine
+}
+
+// Plain has no lock; returning its fields is fine.
+type Plain struct {
+	data []int
+}
+
+func (p *Plain) Data() []int {
+	return p.data
+}

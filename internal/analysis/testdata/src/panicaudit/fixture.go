@@ -1,0 +1,30 @@
+// Package panicaudit is a labelvet fixture: one vetted panic (listed
+// in the test's allowlist), one unvetted panic, and one method panic.
+package panicaudit
+
+import "errors"
+
+// MustVetted is covered by the fixture allowlist.
+func MustVetted(ok bool) {
+	if !ok {
+		panic("vetted: listed in the allowlist")
+	}
+}
+
+// Unvetted must be flagged: it is not in the allowlist.
+func Unvetted() {
+	panic("unvetted") // want `unvetted panic in Unvetted`
+}
+
+// T carries a method panic to exercise receiver key rendering.
+type T struct{}
+
+// Explode must be flagged under the key "(*T).Explode".
+func (t *T) Explode() {
+	panic("kaboom") // want `unvetted panic in \(\*T\).Explode`
+}
+
+// ReturnsError is how the analyzer wants failures surfaced.
+func ReturnsError() error {
+	return errors.New("no panic here")
+}

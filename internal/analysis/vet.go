@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultAllowlist is the module-relative path of the panic
+// allowlist.
+const DefaultAllowlist = "internal/analysis/panic_allowlist.txt"
+
+// Config parameterizes one labelvet run.
+type Config struct {
+	// Dir is any directory inside the module; the module root is
+	// found by walking up to go.mod. Empty means the current
+	// directory.
+	Dir string
+
+	// Patterns are package patterns: "./...", "./internal/cdbs",
+	// "repro/internal/qed", or "./dir/...".
+	Patterns []string
+
+	// Tags are extra build tags (e.g. "invariants").
+	Tags []string
+
+	// IncludeTests loads _test.go files too (default in labelvet).
+	IncludeTests bool
+
+	// AllowlistPath overrides the panic allowlist location; empty
+	// uses DefaultAllowlist under the module root. Set to os.DevNull
+	// to run with an empty allowlist.
+	AllowlistPath string
+
+	// Analyzers restricts the run to the named analyzers.
+	Analyzers []string
+}
+
+// Vet loads the requested packages and runs the analyzer suite. Type
+// errors in the loaded packages are returned as diagnostics of a
+// pseudo-analyzer "typecheck" so they fail the gate visibly.
+func Vet(cfg Config) ([]Diagnostic, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	ld, err := NewLoader(dir, cfg.Tags, cfg.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := ld.Load(cfg.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	alPath := cfg.AllowlistPath
+	explicit := alPath != ""
+	if !explicit {
+		alPath = filepath.Join(ld.ModuleDir, filepath.FromSlash(DefaultAllowlist))
+	}
+	var al *Allowlist
+	if data, err := os.ReadFile(alPath); err == nil {
+		al, err = ParseAllowlist(alPath, string(data))
+		if err != nil {
+			return nil, err
+		}
+	} else if explicit || !os.IsNotExist(err) {
+		// A missing default allowlist just means "empty"; a missing
+		// explicitly named one is a typo the user needs to hear about.
+		return nil, err
+	}
+	suite, err := NewSuite(SuiteConfig{Allowlist: al, Names: cfg.Analyzers})
+	if err != nil {
+		return nil, err
+	}
+	diags, err := suite.Run(ld, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			diags = append(diags, Diagnostic{Analyzer: "typecheck", Message: fmt.Sprintf("%s: %v", pkg.Path, terr)})
+		}
+	}
+	return diags, nil
+}

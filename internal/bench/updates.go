@@ -198,7 +198,9 @@ func Figure7(schemes []string, dir string) ([]Fig7Row, error) {
 				return store.Sync()
 			})
 			writes, _, _ := store.Stats()
-			store.Close()
+			if cerr := store.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s case %d: %w", sn, c+1, err)
 			}

@@ -77,7 +77,9 @@ func FromBytes(data []byte, n int) (BitString, error) {
 	out := make([]byte, bytesFor(n))
 	copy(out, data[:bytesFor(n)])
 	clearSpareBits(out, n)
-	return BitString{data: out, n: n}, nil
+	s := BitString{data: out, n: n}
+	s.assertWellFormed()
+	return s, nil
 }
 
 // bytesFor returns the number of bytes needed to hold n bits.
@@ -128,7 +130,9 @@ func (s BitString) AppendBit(bit byte) BitString {
 	if bit != 0 {
 		out[s.n/8] |= 1 << (7 - s.n%8)
 	}
-	return BitString{data: out, n: s.n + 1}
+	t := BitString{data: out, n: s.n + 1}
+	t.assertWellFormed()
+	return t
 }
 
 // Concat returns the concatenation s ⊕ t.
@@ -166,7 +170,9 @@ func (s BitString) Prefix(n int) BitString {
 	out := make([]byte, bytesFor(n))
 	copy(out, s.data[:bytesFor(n)])
 	clearSpareBits(out, n)
-	return BitString{data: out, n: n}
+	t := BitString{data: out, n: n}
+	t.assertWellFormed()
+	return t
 }
 
 // PadRight returns s extended with zero bits to exactly width bits.
@@ -181,7 +187,9 @@ func (s BitString) PadRight(width int) BitString {
 	}
 	out := make([]byte, bytesFor(width))
 	copy(out, s.data)
-	return BitString{data: out, n: width}
+	t := BitString{data: out, n: width}
+	t.assertWellFormed()
+	return t
 }
 
 // TrimTrailingZeros returns s with all trailing zero bits removed.
@@ -346,5 +354,7 @@ func (b *builder) appendAll(s BitString) {
 }
 
 func (b *builder) bitString() BitString {
-	return BitString{data: b.data, n: b.n}
+	s := BitString{data: b.data, n: b.n}
+	s.assertWellFormed()
+	return s
 }

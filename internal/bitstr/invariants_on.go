@@ -1,0 +1,8 @@
+//go:build invariants
+
+package bitstr
+
+// invariantsEnabled turns on the package's runtime self-checks.
+// Build with `-tags invariants` to activate them (CI does, for the
+// bitstr and cdbs test suites and the fuzz targets).
+const invariantsEnabled = true

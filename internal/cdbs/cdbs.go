@@ -49,13 +49,17 @@ func Between(l, r bitstr.BitString) (bitstr.BitString, error) {
 	if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
 		return bitstr.Empty, fmt.Errorf("%w: %q vs %q", ErrNotOrdered, l, r)
 	}
+	var m bitstr.BitString
 	if l.Len() >= r.Len() {
 		// Case (1): m = l ⊕ "1". With both bounds empty this yields
 		// "1", the code the paper assigns to the middle number.
-		return l.AppendBit(1), nil
+		m = l.AppendBit(1)
+	} else {
+		// Case (2): m = r with the last bit "1" changed to "01".
+		m = r.DropLastBit().AppendBit(0).AppendBit(1)
 	}
-	// Case (2): m = r with the last bit "1" changed to "01".
-	return r.DropLastBit().AppendBit(0).AppendBit(1), nil
+	assertBetween(l, r, m)
+	return m, nil
 }
 
 // TwoBetween implements Corollary 3.3: it returns m1, m2 with

@@ -1,0 +1,94 @@
+package cdbs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+// FuzzAssignMiddleBinaryString fuzzes Algorithm 1 (Between): for any
+// pair of valid CDBS bounds l ≺ r (either possibly open), the
+// assigned middle code must satisfy l ≺ m ≺ r lexicographically and
+// end with bit 1 (Theorem 3.1). Invalid inputs must be rejected with
+// an error, never a panic or an out-of-order code. Run with
+// `-tags invariants` to layer the package self-checks on top.
+func FuzzAssignMiddleBinaryString(f *testing.F) {
+	f.Add("", "")
+	f.Add("1", "")
+	f.Add("", "1")
+	f.Add("01", "1")
+	f.Add("1", "11")
+	f.Add("0101", "011")
+	f.Add("01", "010001")
+	f.Add("10", "11") // invalid left: does not end with 1
+	f.Add("11", "01") // not ordered
+	f.Add("0x1", "1") // invalid alphabet
+	f.Add(strings.Repeat("01", 40), strings.Repeat("01", 39)+"1")
+	f.Fuzz(func(t *testing.T, ls, rs string) {
+		l, lerr := bitstr.Parse(ls)
+		r, rerr := bitstr.Parse(rs)
+		if lerr != nil || rerr != nil {
+			return // not bit strings; Parse already rejected them
+		}
+		m, err := Between(l, r)
+		validBounds := (l.IsEmpty() || l.EndsWithOne()) &&
+			(r.IsEmpty() || r.EndsWithOne()) &&
+			(l.IsEmpty() || r.IsEmpty() || l.Compare(r) < 0)
+		if !validBounds {
+			if err == nil {
+				t.Fatalf("Between(%q, %q) accepted invalid bounds, returned %q", l, r, m)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Between(%q, %q) failed on valid bounds: %v", l, r, err)
+		}
+		if !m.EndsWithOne() {
+			t.Errorf("Between(%q, %q) = %q does not end with bit 1", l, r, m)
+		}
+		if !l.IsEmpty() && l.Compare(m) >= 0 {
+			t.Errorf("Between(%q, %q) = %q: not left < mid", l, r, m)
+		}
+		if !r.IsEmpty() && m.Compare(r) >= 0 {
+			t.Errorf("Between(%q, %q) = %q: not mid < right", l, r, m)
+		}
+	})
+}
+
+// FuzzTwoBetween checks Corollary 3.3 the same way: two fresh codes,
+// strictly ordered between the bounds, both ending with 1.
+func FuzzTwoBetween(f *testing.F) {
+	f.Add("", "")
+	f.Add("01", "1")
+	f.Add("1", "101")
+	f.Fuzz(func(t *testing.T, ls, rs string) {
+		l, lerr := bitstr.Parse(ls)
+		r, rerr := bitstr.Parse(rs)
+		if lerr != nil || rerr != nil {
+			return
+		}
+		if !(l.IsEmpty() || l.EndsWithOne()) || !(r.IsEmpty() || r.EndsWithOne()) {
+			return
+		}
+		if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
+			return
+		}
+		m1, m2, err := TwoBetween(l, r)
+		if err != nil {
+			t.Fatalf("TwoBetween(%q, %q): %v", l, r, err)
+		}
+		if !m1.EndsWithOne() || !m2.EndsWithOne() {
+			t.Errorf("TwoBetween(%q, %q) = %q, %q: codes must end with 1", l, r, m1, m2)
+		}
+		if m1.Compare(m2) >= 0 {
+			t.Errorf("TwoBetween(%q, %q) = %q, %q: not m1 < m2", l, r, m1, m2)
+		}
+		if !l.IsEmpty() && l.Compare(m1) >= 0 {
+			t.Errorf("TwoBetween(%q, %q): m1 %q not above left", l, r, m1)
+		}
+		if !r.IsEmpty() && m2.Compare(r) >= 0 {
+			t.Errorf("TwoBetween(%q, %q): m2 %q not below right", l, r, m2)
+		}
+	})
+}

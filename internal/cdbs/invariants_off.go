@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package cdbs
+
+// invariantsEnabled is off in normal builds: the self-checks compile
+// to nothing on the hot paths.
+const invariantsEnabled = false

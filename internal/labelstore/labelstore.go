@@ -87,7 +87,7 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	if err := s.w.Flush(); err != nil {
-		s.f.Close()
+		_ = s.f.Close() // best-effort: the flush error is the one to report
 		return fmt.Errorf("labelstore: %w", err)
 	}
 	return s.f.Close()

@@ -1,0 +1,52 @@
+package qed
+
+import "testing"
+
+// FuzzBetween fuzzes the QED middle-code rules: for any valid codes
+// l ≺ r (either possibly open), Between must produce l ≺ m ≺ r with m
+// ending in 2 or 3 and containing no 0 digit — QED's "completely
+// avoid re-labeling" property says it can never fail on valid ordered
+// input.
+func FuzzBetween(f *testing.F) {
+	f.Add("", "")
+	f.Add("2", "")
+	f.Add("", "2")
+	f.Add("2", "3")
+	f.Add("2", "22")
+	f.Add("12", "13")
+	f.Add("2212", "2213")
+	f.Add("132", "2")
+	f.Add("102", "2") // contains the reserved 0 digit
+	f.Add("21", "3")  // bad ending
+	f.Fuzz(func(t *testing.T, ls, rs string) {
+		l, lerr := Parse(ls)
+		r, rerr := Parse(rs)
+		if lerr != nil || rerr != nil {
+			return // Parse already rejected the malformed code
+		}
+		m, err := Between(l, r)
+		if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
+			if err == nil {
+				t.Fatalf("Between(%q, %q) accepted unordered bounds, returned %q", l, r, m)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Between(%q, %q) failed on valid bounds: %v", l, r, err)
+		}
+		if !m.EndsValid() {
+			t.Errorf("Between(%q, %q) = %q must end with 2 or 3", l, r, m)
+		}
+		for i := 0; i < m.Len(); i++ {
+			if d := m.Digit(i); d < 1 || d > 3 {
+				t.Errorf("Between(%q, %q) = %q contains digit %d", l, r, m, d)
+			}
+		}
+		if !l.IsEmpty() && l.Compare(m) >= 0 {
+			t.Errorf("Between(%q, %q) = %q: not left < mid", l, r, m)
+		}
+		if !r.IsEmpty() && m.Compare(r) >= 0 {
+			t.Errorf("Between(%q, %q) = %q: not mid < right", l, r, m)
+		}
+	})
+}

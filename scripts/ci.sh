@@ -1,0 +1,48 @@
+#!/bin/sh
+# ci.sh — the full verification gate, runnable locally and in CI.
+#
+# Stages, in dependency order:
+#   1. gofmt         — formatting drift fails fast
+#   2. go vet        — the stock vet checks
+#   3. go build      — both tag states (the invariants tag swaps files in)
+#   4. go test       — the whole module, plus invariants-tagged label packages
+#   5. go test -race — the concurrent document layer
+#   6. labelvet      — the repo's own static-analysis suite (label invariants,
+#                      lock hygiene, dropped errors, panic allowlist)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go build -tags invariants ./..."
+go build -tags invariants ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -tags invariants ./internal/bitstr/... ./internal/cdbs/..."
+go test -tags invariants ./internal/bitstr/... ./internal/cdbs/...
+
+echo "==> go test -race ./internal/dyndoc/..."
+go test -race ./internal/dyndoc/...
+
+echo "==> labelvet ./..."
+go run ./cmd/labelvet ./...
+
+echo "==> labelvet -tags invariants ./..."
+go run ./cmd/labelvet -tags invariants ./...
+
+echo "CI gate passed."
