@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt labelvet fuzz ci
+.PHONY: all build test race vet fmt labelvet fuzz bench ci
 
 all: build
 
@@ -25,11 +25,18 @@ fmt:
 labelvet:
 	$(GO) run ./cmd/labelvet ./...
 
-# Short fuzz smoke runs for the label-assignment kernels.
+# Short fuzz smoke runs for the label-assignment kernels and the
+# word-parallel bitstr kernels (differential, against reference.go).
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAssignMiddleBinaryString -fuzztime=10s ./internal/cdbs
 	$(GO) test -run=^$$ -fuzz=FuzzTwoBetween -fuzztime=5s ./internal/cdbs
 	$(GO) test -run=^$$ -fuzz=FuzzBetween -fuzztime=10s ./internal/qed
+	$(GO) test -run=^$$ -fuzz=FuzzBitstrKernels -fuzztime=10s ./internal/bitstr
+	$(GO) test -run=^$$ -fuzz=FuzzBitstrCodecs -fuzztime=10s ./internal/bitstr
+
+# Regenerate BENCH_PR2.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
+bench:
+	sh scripts/bench.sh
 
 ci:
 	sh scripts/ci.sh

@@ -335,3 +335,13 @@ func BenchmarkBulkInsertSubtree(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkKernels runs the label-kernel micro-benchmark registry
+// that also backs `make bench` and BENCH_PR2.json (see
+// internal/bench/kernels.go), so `go test -bench Kernels .` and the
+// JSON report measure the same functions.
+func BenchmarkKernels(b *testing.B) {
+	for _, nb := range bench.KernelBenchmarks() {
+		b.Run(nb.Name, nb.F)
+	}
+}

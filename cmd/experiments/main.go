@@ -15,12 +15,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"sort"
 	"strings"
+	"testing"
 	"text/tabwriter"
 
 	"repro/internal/bench"
@@ -31,7 +33,17 @@ func main() {
 	scale := flag.Int("scale", 10, "D5 replication factor for figure6 (the paper uses 10)")
 	datasets := flag.String("datasets", "D1,D2,D3,D4,D5,D6", "datasets for figure5")
 	inserts := flag.Int("inserts", 2000, "insertions for the frequent-update experiment")
+	benchJSON := flag.String("bench-json", "", "run the kernel benchmarks and write a BENCH_*.json report to this file instead of experiments")
+	benchTime := flag.String("bench-time", "1s", "benchtime for -bench-json (e.g. 1s, 100ms, 1x)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchTime); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, r := range strings.Split(*run, ",") {
@@ -69,6 +81,41 @@ func main() {
 
 func header(title string) {
 	fmt.Printf("\n==== %s ====\n\n", title)
+}
+
+// runBenchJSON measures every kernel benchmark (internal/bench
+// KernelBenchmarks) under the given benchtime and writes the report
+// as JSON. CI uses -bench-time 1x as a smoke run; `make bench` uses
+// the default 1s to regenerate BENCH_PR2.json.
+func runBenchJSON(path, benchtime string) error {
+	// testing.Benchmark honours the test.benchtime flag, which only
+	// exists after testing.Init.
+	testing.Init()
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		if err := f.Value.Set(benchtime); err != nil {
+			return fmt.Errorf("bad -bench-time %q: %w", benchtime, err)
+		}
+	}
+	rep := bench.RunKernelBenchmarks(func(name string) {
+		fmt.Fprintf(os.Stderr, "bench %s\n", name)
+	})
+	rep.Note = "regenerate with `make bench` (scripts/bench.sh), or `go run ./cmd/experiments -bench-json FILE -bench-time 1s`"
+	rep.Benchtime = benchtime
+	rep.SeedBaseline = bench.SeedBaseline()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, benchtime %s)\n", path, len(rep.Results), benchtime)
+	return nil
 }
 
 func runTable1() error {

@@ -1,0 +1,400 @@
+package bench
+
+// Micro-benchmark registry behind `make bench` and the -bench-json
+// mode of cmd/experiments: every label-kernel hot path, each
+// word-parallel kernel paired with its retained bit-at-a-time
+// reference from bitstr/reference.go, plus end-to-end update and
+// query workloads. The pairs quantify the word-parallel rewrite; the
+// JSON report pins the numbers in BENCH_PR2.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/cdbs"
+	"repro/internal/datagen"
+	"repro/internal/qed"
+	"repro/internal/xpath"
+)
+
+// NamedBench couples a benchmark function with its canonical name.
+type NamedBench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// benchSink defeats dead-code elimination.
+var benchSink int
+
+// kernelBits returns a deterministic pseudorandom BitString of n bits.
+func kernelBits(n int, seed int64) bitstr.BitString {
+	gen := rand.New(rand.NewSource(seed))
+	data := make([]byte, (n+7)/8)
+	_, _ = gen.Read(data) // rand.Rand.Read is documented to never fail
+	s, err := bitstr.FromBytes(data, n)
+	if err != nil {
+		// Unreachable: data is exactly ceil(n/8) bytes and n >= 0.
+		panic(err)
+	}
+	return s
+}
+
+// comparePair returns two n-bit strings differing only in the last
+// bit, the worst case for the scanning predicates.
+func comparePair(n int, seed int64) (lo, hi bitstr.BitString) {
+	base := kernelBits(n-1, seed)
+	return base.AppendBit(0), base.AppendBit(1)
+}
+
+// KernelBenchmarks returns the full registry. Names use the form
+// <pkg>/<op>/<variant>/<size>; variant "word" is the production
+// kernel, "ref" the naive reference it replaced.
+func KernelBenchmarks() []NamedBench {
+	var out []NamedBench
+	add := func(name string, f func(b *testing.B)) {
+		out = append(out, NamedBench{Name: name, F: func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		}})
+	}
+
+	for _, n := range []int{64, 512} {
+		n := n
+		x, y := comparePair(n, int64(n))
+		add(fmt.Sprintf("bitstr/Compare/word/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = x.Compare(y)
+			}
+		})
+		add(fmt.Sprintf("bitstr/Compare/ref/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = bitstr.RefCompare(x, y)
+			}
+		})
+		p := y.DropLastBit()
+		add(fmt.Sprintf("bitstr/HasPrefix/word/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !x.HasPrefix(p) {
+					b.Fatal("prefix lost")
+				}
+			}
+		})
+		add(fmt.Sprintf("bitstr/HasPrefix/ref/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !bitstr.RefHasPrefix(x, p) {
+					b.Fatal("prefix lost")
+				}
+			}
+		})
+		s := kernelBits(n, int64(n)+7)
+		u := kernelBits(n, int64(n)+13)
+		add(fmt.Sprintf("bitstr/Concat/word/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = s.Concat(u).Len()
+			}
+		})
+		add(fmt.Sprintf("bitstr/Concat/ref/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink = bitstr.RefConcat(s, u).Len()
+			}
+		})
+	}
+
+	eq := kernelBits(512, 3)
+	eq2 := eq.Prefix(512)
+	add("bitstr/Equal/word/512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !eq.Equal(eq2) {
+				b.Fatal("not equal")
+			}
+		}
+	})
+	add("bitstr/Equal/ref/512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !bitstr.RefEqual(eq, eq2) {
+				b.Fatal("not equal")
+			}
+		}
+	})
+
+	padded := kernelBits(256, 5).AppendBit(1).PadRight(512)
+	add("bitstr/TrimTrailingZeros/word/512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = padded.TrimTrailingZeros().Len()
+		}
+	})
+	add("bitstr/TrimTrailingZeros/ref/512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = bitstr.RefTrimTrailingZeros(padded).Len()
+		}
+	})
+
+	w64 := kernelBits(64, 17)
+	add("bitstr/Uint/word/64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v, err := w64.Uint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = int(v)
+		}
+	})
+	add("bitstr/Uint/ref/64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v, err := bitstr.RefUint(w64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = int(v)
+		}
+	})
+
+	str512 := kernelBits(512, 19)
+	add("bitstr/String/word/512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = len(str512.String())
+		}
+	})
+	add("bitstr/String/ref/512", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = len(bitstr.RefString(str512))
+		}
+	})
+
+	add("bitstr/FromUint/word/48", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = bitstr.FromUint(0xDEADBEEFCAFE).Len()
+		}
+	})
+	add("bitstr/FromUint/ref/48", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = bitstr.RefFromUint(0xDEADBEEFCAFE).Len()
+		}
+	})
+
+	// CDBS and QED hot paths: one Between per insertion.
+	bl := bitstr.MustParse("101")
+	br := bitstr.MustParse("11")
+	br2 := bitstr.MustParse("1011010010110101")
+	add("cdbs/Between/case1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := cdbs.Between(bl, br)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = m.Len()
+		}
+	})
+	one := bitstr.MustParse("1")
+	add("cdbs/Between/case2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := cdbs.Between(one, br2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = m.Len()
+		}
+	})
+	add("cdbs/TwoBetween", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m1, m2, err := cdbs.TwoBetween(bl, br)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = m1.Len() + m2.Len()
+		}
+	})
+	add("cdbs/Encode/4096", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			codes, err := cdbs.Encode(4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = len(codes)
+		}
+	})
+	fl := bitstr.MustParse("101").PadRight(16)
+	fr := bitstr.MustParse("1011").PadRight(16)
+	add("cdbs/BetweenFixed/16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := cdbs.BetweenFixed(fl, fr, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = m.Len()
+		}
+	})
+
+	ql := qed.MustParse("112")
+	qr := qed.MustParse("113")
+	add("qed/Between", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := qed.Between(ql, qr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = m.Len()
+		}
+	})
+	add("qed/NBetween/15", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, err := qed.NBetween(ql, qr, 15)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = len(ms)
+		}
+	})
+
+	// End-to-end workloads: the E7 skewed insertion storm and an
+	// E4-style heavy query, both under V-CDBS labels.
+	add("e2e/skewed-insert-storm/V-CDBS-Containment/500", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := Frequent([]string{"V-CDBS-Containment"}, 500, true, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = int(rows[0].TotalRelabeled)
+		}
+	})
+	add("e2e/table4-insert/V-CDBS-Containment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			doc, acts := hamletActs()
+			lab, err := buildLabeling("V-CDBS-Containment", doc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := lab.InsertSiblingBefore(acts[2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out = append(out, NamedBench{Name: "e2e/figure6-q6/V-CDBS-Containment", F: benchFigure6Q6})
+	return out
+}
+
+// benchFigure6Q6 runs the heavy Q6 over a one-copy D5 corpus; the
+// corpus build is setup, only the query is timed.
+func benchFigure6Q6(b *testing.B) {
+	ds := datagen.D5(1)
+	corpus, _, err := corpusFor("V-CDBS-Containment", ds.Files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := xpath.Parse("/play/*//line")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := corpus.Count(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = n
+	}
+}
+
+// ---------------------------------------------------------------------------
+// JSON report.
+
+// BenchResult is one measured benchmark in BENCH_*.json.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Speedup compares a word-parallel kernel with its reference.
+type Speedup struct {
+	Kernel string  `json:"kernel"`
+	WordNs float64 `json:"word_ns_per_op"`
+	RefNs  float64 `json:"ref_ns_per_op"`
+	Factor float64 `json:"speedup"`
+}
+
+// BenchReport is the schema of BENCH_*.json.
+type BenchReport struct {
+	// Note describes how to regenerate the file.
+	Note string `json:"note"`
+	// Benchtime is the -benchtime the run used.
+	Benchtime string `json:"benchtime"`
+	// Results holds every measured benchmark.
+	Results []BenchResult `json:"results"`
+	// Speedups pairs each word kernel with its bit-at-a-time
+	// reference ("before" in spirit: the references are the seed's
+	// algorithms, kept compilable in bitstr/reference.go).
+	Speedups []Speedup `json:"speedups"`
+	// SeedBaseline records numbers measured at the pre-rewrite
+	// commit on the same machine, for the hot paths whose seed
+	// implementation differs from the retained references.
+	SeedBaseline []BenchResult `json:"seed_baseline,omitempty"`
+}
+
+// RunKernelBenchmarks measures every kernel benchmark and derives the
+// word-vs-reference speedups. The caller controls duration through
+// the test.benchtime flag (see cmd/experiments -bench-time).
+func RunKernelBenchmarks(progress func(name string)) *BenchReport {
+	rep := &BenchReport{}
+	byName := map[string]BenchResult{}
+	for _, nb := range KernelBenchmarks() {
+		if progress != nil {
+			progress(nb.Name)
+		}
+		r := testing.Benchmark(nb.F)
+		res := BenchResult{
+			Name:        nb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BPerOp:      r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		byName[nb.Name] = res
+	}
+	for _, res := range rep.Results {
+		if !strings.Contains(res.Name, "/word/") {
+			continue
+		}
+		refName := strings.Replace(res.Name, "/word/", "/ref/", 1)
+		ref, ok := byName[refName]
+		if !ok || res.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, Speedup{
+			Kernel: strings.Replace(res.Name, "/word/", "/", 1),
+			WordNs: res.NsPerOp,
+			RefNs:  ref.NsPerOp,
+			Factor: ref.NsPerOp / res.NsPerOp,
+		})
+	}
+	sort.Slice(rep.Speedups, func(i, j int) bool { return rep.Speedups[i].Kernel < rep.Speedups[j].Kernel })
+	return rep
+}
+
+// SeedBaseline returns the hot-path numbers measured at the growth
+// seed (commit 57baf19, same container class as CI) before the
+// word-parallel rewrite. The seed's Compare was already byte-wise;
+// everything else below ran bit-at-a-time or allocated per call.
+func SeedBaseline() []BenchResult {
+	return []BenchResult{
+		{Name: "bitstr/Compare/seed/512", NsPerOp: 62.06, BPerOp: 0, AllocsPerOp: 0},
+		{Name: "bitstr/HasPrefix/seed/512", NsPerOp: 98.36, BPerOp: 64, AllocsPerOp: 1},
+		{Name: "bitstr/Concat/seed/64", NsPerOp: 644.0, BPerOp: 16, AllocsPerOp: 1},
+		{Name: "bitstr/Concat/seed/512", NsPerOp: 2943.0, BPerOp: 128, AllocsPerOp: 1},
+		{Name: "bitstr/TrimTrailingZeros/seed/512", NsPerOp: 904.1, BPerOp: 64, AllocsPerOp: 1},
+		{Name: "bitstr/Uint/seed/64", NsPerOp: 215.2, BPerOp: 0, AllocsPerOp: 0},
+		{Name: "bitstr/String/seed/512", NsPerOp: 2366.0, BPerOp: 576, AllocsPerOp: 2},
+		{Name: "bitstr/FromUint/seed/48", NsPerOp: 121.4, BPerOp: 8, AllocsPerOp: 1},
+		{Name: "cdbs/Between/seed/case2", NsPerOp: 57.78, BPerOp: 24, AllocsPerOp: 3},
+		{Name: "cdbs/Encode/seed/4096", NsPerOp: 254099.0, BPerOp: 98304, AllocsPerOp: 8192},
+		{Name: "qed/Between/seed", NsPerOp: 95.86, BPerOp: 32, AllocsPerOp: 2},
+	}
+}

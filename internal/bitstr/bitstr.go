@@ -10,13 +10,28 @@
 //
 // BitStrings are immutable: every operation returns a new value and
 // never aliases the receiver's storage in a way that permits mutation
-// through the result.
+// through the result. Storage is write-once — no method mutates data
+// after construction — which is what lets Prefix and TrimTrailingZeros
+// return views over shared storage without breaking immutability.
+//
+// # Kernels
+//
+// The hot operations are word-parallel: they work on the packed byte
+// storage (bytes.Compare/bytes.Equal scans, shift-and-OR block copies,
+// math/bits intrinsics) instead of one bit per loop iteration, relying
+// on the invariant that all spare bits past Len-1 are zero. The
+// original bit-at-a-time implementations are retained in reference.go
+// as differential-fuzz ground truth and benchmark baselines.
+// Compare, Equal, HasPrefix, Uint, TrimTrailingZeros and AppendText
+// never allocate; Concat, Prefix (when it must copy), AppendBit and
+// SpliceBits allocate exactly once.
 package bitstr
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"strings"
+	"math/bits"
 )
 
 // BitString is an immutable sequence of bits. The zero value is the
@@ -24,7 +39,8 @@ import (
 type BitString struct {
 	// data holds ceil(n/8) bytes, MSB-first. All bits past position
 	// n-1 in the final byte are zero; this invariant lets Equal and
-	// Compare work on whole bytes.
+	// Compare work on whole bytes. data is never written after the
+	// value is constructed, so distinct BitStrings may share it.
 	data []byte
 	n    int
 }
@@ -82,6 +98,24 @@ func FromBytes(data []byte, n int) (BitString, error) {
 	return s, nil
 }
 
+// Repeat returns a BitString of n copies of bit. A non-positive n
+// yields Empty.
+func Repeat(bit byte, n int) BitString {
+	if n <= 0 {
+		return Empty
+	}
+	out := make([]byte, bytesFor(n))
+	if bit != 0 {
+		for i := range out {
+			out[i] = 0xFF
+		}
+		clearSpareBits(out, n)
+	}
+	s := BitString{data: out, n: n}
+	s.assertWellFormed()
+	return s
+}
+
 // bytesFor returns the number of bytes needed to hold n bits.
 func bytesFor(n int) int { return (n + 7) / 8 }
 
@@ -90,6 +124,16 @@ func clearSpareBits(data []byte, n int) {
 	if r := n % 8; r != 0 {
 		data[len(data)-1] &= byte(0xFF) << (8 - r)
 	}
+}
+
+// spareBits returns the bits past position n-1 in the final byte of
+// data, which the storage invariant requires to be zero.
+func spareBits(data []byte, n int) byte {
+	r := n % 8
+	if r == 0 || len(data) == 0 {
+		return 0
+	}
+	return data[len(data)-1] &^ (byte(0xFF) << (8 - r))
 }
 
 // Len returns the number of bits.
@@ -123,7 +167,7 @@ func (s BitString) EndsWithOne() bool {
 	return ok && b == 1
 }
 
-// AppendBit returns s with one extra bit appended.
+// AppendBit returns s with one extra bit appended, in one allocation.
 func (s BitString) AppendBit(bit byte) BitString {
 	out := make([]byte, bytesFor(s.n+1))
 	copy(out, s.data)
@@ -135,7 +179,9 @@ func (s BitString) AppendBit(bit byte) BitString {
 	return t
 }
 
-// Concat returns the concatenation s ⊕ t.
+// Concat returns the concatenation s ⊕ t in one allocation: s's bytes
+// are block-copied, then t's bytes are shifted in whole, each landing
+// as one shift-and-OR into at most two destination bytes.
 func (s BitString) Concat(t BitString) BitString {
 	if t.n == 0 {
 		return s
@@ -143,10 +189,32 @@ func (s BitString) Concat(t BitString) BitString {
 	if s.n == 0 {
 		return t
 	}
-	b := builderWithCap(s.n + t.n)
-	b.appendAll(s)
-	b.appendAll(t)
-	return b.bitString()
+	out := make([]byte, bytesFor(s.n+t.n))
+	copy(out, s.data)
+	orBitsAt(out, s.n, t.data, t.n)
+	u := BitString{data: out, n: s.n + t.n}
+	u.assertWellFormed()
+	return u
+}
+
+// orBitsAt ORs the first n bits of src (MSB-first, spare bits zero)
+// into dst starting at bit offset off. Bits of dst from off onward
+// must be zero, and dst must hold at least bytesFor(off+n) bytes.
+func orBitsAt(dst []byte, off int, src []byte, n int) {
+	nb := bytesFor(n)
+	di := off / 8
+	r := uint(off % 8)
+	if r == 0 {
+		copy(dst[di:], src[:nb])
+		return
+	}
+	for _, b := range src[:nb] {
+		dst[di] |= b >> r
+		di++
+		if di < len(dst) {
+			dst[di] = b << (8 - r)
+		}
+	}
 }
 
 // DropLastBit returns s without its final bit. It panics on the empty
@@ -160,6 +228,12 @@ func (s BitString) DropLastBit() BitString {
 
 // Prefix returns the first n bits of s. It panics if n is out of
 // range.
+//
+// When every bit past position n-1 in the kept bytes is already zero —
+// always the case when n is a byte multiple, and for any prefix that
+// only drops trailing zeros — the result shares s's storage instead of
+// copying. Storage is write-once, so the shared bytes can never be
+// mutated through either value and immutability holds.
 func (s BitString) Prefix(n int) BitString {
 	if n < 0 || n > s.n {
 		panic(fmt.Sprintf("bitstr: prefix length %d out of range [0,%d]", n, s.n))
@@ -167,9 +241,52 @@ func (s BitString) Prefix(n int) BitString {
 	if n == 0 {
 		return Empty
 	}
-	out := make([]byte, bytesFor(n))
-	copy(out, s.data[:bytesFor(n)])
+	if n == s.n {
+		return s
+	}
+	nb := bytesFor(n)
+	if spareBits(s.data[:nb], n) == 0 {
+		// The capped re-slice keeps any future append-style misuse
+		// from reaching the shared tail.
+		t := BitString{data: s.data[:nb:nb], n: n}
+		t.assertWellFormed()
+		return t
+	}
+	out := make([]byte, nb)
+	copy(out, s.data[:nb])
 	clearSpareBits(out, n)
+	t := BitString{data: out, n: n}
+	t.assertWellFormed()
+	return t
+}
+
+// SpliceBits returns Prefix(keep) with the low k bits of v appended
+// (MSB-first: bit k-1 of v is appended first), fused into a single
+// allocation. It is the kernel behind ReplaceLastBit and the CDBS
+// insertion rewrites (Algorithm 1 case 2 builds r[:len-1] ⊕ "01" this
+// way). It panics if keep is outside [0, Len] or k outside [0, 64].
+func (s BitString) SpliceBits(keep int, v uint64, k int) BitString {
+	if keep < 0 || keep > s.n {
+		panic(fmt.Sprintf("bitstr: splice keep %d out of range [0,%d]", keep, s.n))
+	}
+	if k < 0 || k > 64 {
+		panic(fmt.Sprintf("bitstr: splice bit count %d out of range [0,64]", k))
+	}
+	n := keep + k
+	if n == 0 {
+		return Empty
+	}
+	out := make([]byte, bytesFor(n))
+	if nb := bytesFor(keep); nb > 0 {
+		copy(out, s.data[:nb])
+		clearSpareBits(out[:nb], keep)
+	}
+	for i := 0; i < k; i++ {
+		if v>>uint(k-1-i)&1 != 0 {
+			p := keep + i
+			out[p/8] |= 1 << (7 - uint(p)%8)
+		}
+	}
 	t := BitString{data: out, n: n}
 	t.assertWellFormed()
 	return t
@@ -177,13 +294,20 @@ func (s BitString) Prefix(n int) BitString {
 
 // PadRight returns s extended with zero bits to exactly width bits.
 // F-CDBS codes are V-CDBS codes padded this way (Section 4 of the
-// paper). It panics if width < s.Len().
+// paper). When the padding fits inside s's final storage byte the
+// result shares storage (those bits are the spare bits, already zero).
+// It panics if width < s.Len().
 func (s BitString) PadRight(width int) BitString {
 	if width < s.n {
 		panic(fmt.Sprintf("bitstr: cannot pad %d bits down to %d", s.n, width))
 	}
 	if width == s.n {
 		return s
+	}
+	if bytesFor(width) == len(s.data) {
+		t := BitString{data: s.data, n: width}
+		t.assertWellFormed()
+		return t
 	}
 	out := make([]byte, bytesFor(width))
 	copy(out, s.data)
@@ -193,48 +317,64 @@ func (s BitString) PadRight(width int) BitString {
 }
 
 // TrimTrailingZeros returns s with all trailing zero bits removed.
-// This recovers a V-CDBS code from its F-CDBS padding.
+// This recovers a V-CDBS code from its F-CDBS padding. The scan is
+// byte-parallel (math/bits.TrailingZeros8 on the last non-zero byte)
+// and the result shares s's storage, so the call never allocates.
 func (s BitString) TrimTrailingZeros() BitString {
-	n := s.n
-	for n > 0 {
-		if (s.data[(n-1)/8]>>(7-(n-1)%8))&1 == 1 {
-			break
-		}
-		n--
+	i := len(s.data) - 1
+	for i >= 0 && s.data[i] == 0 {
+		i--
 	}
-	return s.Prefix(n)
+	if i < 0 {
+		return Empty
+	}
+	// Spare bits are zero, so the last set bit is at position ≤ s.n-1.
+	return s.Prefix(8*i + 8 - bits.TrailingZeros8(uint8(s.data[i])))
 }
 
-// ReplaceLastBit returns s with the final bit set to bit. It panics on
-// the empty string.
+// ReplaceLastBit returns s with the final bit set to bit, in one
+// allocation. It panics on the empty string.
 func (s BitString) ReplaceLastBit(bit byte) BitString {
-	return s.DropLastBit().AppendBit(bit)
+	if s.n == 0 {
+		panic("bitstr: ReplaceLastBit on empty string")
+	}
+	if bit != 0 {
+		bit = 1
+	}
+	return s.SpliceBits(s.n-1, uint64(bit), 1)
 }
 
-// HasPrefix reports whether p is a prefix of s (including p == s).
+// HasPrefix reports whether p is a prefix of s (including p == s). It
+// compares whole bytes and never allocates.
 func (s BitString) HasPrefix(p BitString) bool {
 	if p.n > s.n {
 		return false
 	}
-	return s.Prefix(p.n).Equal(p)
+	full := p.n / 8
+	if !bytes.Equal(s.data[:full], p.data[:full]) {
+		return false
+	}
+	r := p.n % 8
+	if r == 0 {
+		return true
+	}
+	// p's spare bits are zero, so masking s's byte suffices.
+	return s.data[full]&(byte(0xFF)<<(8-r)) == p.data[full]
 }
 
 // Compare orders two bit strings per Definition 3.1: bits are compared
 // left to right; 0 sorts before 1; a proper prefix sorts before its
-// extensions. It returns -1, 0 or +1.
+// extensions. It returns -1, 0 or +1. The shared full bytes go through
+// bytes.Compare (vectorised by the runtime); only the final partial
+// byte is masked by hand. It never allocates.
 func (s BitString) Compare(t BitString) int {
 	m := s.n
 	if t.n < m {
 		m = t.n
 	}
 	full := m / 8
-	for i := 0; i < full; i++ {
-		if s.data[i] != t.data[i] {
-			if s.data[i] < t.data[i] {
-				return -1
-			}
-			return 1
-		}
+	if c := bytes.Compare(s.data[:full], t.data[:full]); c != 0 {
+		return c
 	}
 	if r := m % 8; r != 0 {
 		mask := byte(0xFF) << (8 - r)
@@ -258,17 +398,34 @@ func (s BitString) Compare(t BitString) int {
 // Less reports s ≺ t lexicographically.
 func (s BitString) Less(t BitString) bool { return s.Compare(t) < 0 }
 
-// Equal reports bit-for-bit equality.
-func (s BitString) Equal(t BitString) bool { return s.n == t.n && s.Compare(t) == 0 }
+// Equal reports bit-for-bit equality. The spare-bits-zero invariant
+// makes whole-storage bytes.Equal sound once the lengths match.
+func (s BitString) Equal(t BitString) bool {
+	return s.n == t.n && bytes.Equal(s.data, t.data)
+}
+
+// AppendText renders the bits as '0'/'1' text appended to dst. It
+// decodes eight bits per storage byte and allocates only if dst lacks
+// capacity.
+func (s BitString) AppendText(dst []byte) []byte {
+	full := s.n / 8
+	for _, b := range s.data[:full] {
+		dst = append(dst,
+			'0'+(b>>7), '0'+((b>>6)&1), '0'+((b>>5)&1), '0'+((b>>4)&1),
+			'0'+((b>>3)&1), '0'+((b>>2)&1), '0'+((b>>1)&1), '0'+(b&1))
+	}
+	for i := full * 8; i < s.n; i++ {
+		dst = append(dst, '0'+((s.data[i/8]>>(7-i%8))&1))
+	}
+	return dst
+}
 
 // String renders the bits as a text string of '0' and '1'.
 func (s BitString) String() string {
-	var sb strings.Builder
-	sb.Grow(s.n)
-	for i := 0; i < s.n; i++ {
-		sb.WriteByte('0' + s.Bit(i))
+	if s.n == 0 {
+		return ""
 	}
-	return sb.String()
+	return string(s.AppendText(make([]byte, 0, s.n)))
 }
 
 // Bytes returns a copy of the underlying storage (ceil(Len/8) bytes,
@@ -288,56 +445,98 @@ func (s BitString) StorageBits() int { return s.n }
 // paper's V-Binary column of Table 1 uses.
 func FromUint(v uint64) BitString {
 	if v == 0 {
-		return MustParse("0")
+		return BitString{data: []byte{0}, n: 1}
 	}
-	width := 0
-	for t := v; t > 0; t >>= 1 {
-		width++
-	}
-	b := builderWithCap(width)
-	for i := width - 1; i >= 0; i-- {
-		b.appendBit(byte((v >> uint(i)) & 1))
-	}
-	return b.bitString()
+	return fromUintWidth(v, bits.Len64(v))
 }
 
 // FromUintFixed returns v in exactly width bits (F-Binary: zero-padded
-// on the left). It panics if v does not fit.
+// on the left). It panics if width is negative or v does not fit.
 func FromUintFixed(v uint64, width int) BitString {
+	if width < 0 {
+		panic(fmt.Sprintf("bitstr: negative width %d", width))
+	}
 	if width < 64 && v >= 1<<uint(width) {
 		panic(fmt.Sprintf("bitstr: %d does not fit in %d bits", v, width))
 	}
-	b := builderWithCap(width)
-	for i := width - 1; i >= 0; i-- {
-		b.appendBit(byte((v >> uint(i)) & 1))
+	if width == 0 {
+		return Empty
 	}
-	return b.bitString()
+	return fromUintWidth(v, width)
 }
 
-// Uint interprets the bits as an unsigned big-endian integer. It
-// returns an error when the string is longer than 64 bits.
+// fromUintWidth packs v MSB-first into exactly width bits, eight bits
+// per output byte. width must be positive and at least bits.Len64(v).
+func fromUintWidth(v uint64, width int) BitString {
+	out := make([]byte, bytesFor(width))
+	for j := range out {
+		// Output byte j covers value bits width-1-8j down to
+		// width-8-8j (0 = LSB of v); shifts past 64 are leading zero
+		// padding, negative shifts left-align the final partial byte.
+		shift := width - 8*(j+1)
+		switch {
+		case shift >= 64:
+		case shift >= 0:
+			out[j] = byte(v >> uint(shift))
+		default:
+			out[j] = byte(v << uint(-shift))
+		}
+	}
+	s := BitString{data: out, n: width}
+	s.assertWellFormed()
+	return s
+}
+
+// Uint interprets the bits as an unsigned big-endian integer, whole
+// bytes at a time. It returns an error when the string is longer than
+// 64 bits and never allocates.
 func (s BitString) Uint() (uint64, error) {
 	if s.n > 64 {
 		return 0, fmt.Errorf("bitstr: %d bits exceed uint64", s.n)
 	}
 	var v uint64
-	for i := 0; i < s.n; i++ {
-		v = v<<1 | uint64(s.Bit(i))
+	for _, b := range s.data {
+		v = v<<8 | uint64(b)
 	}
-	return v, nil
+	return v >> uint(len(s.data)*8-s.n), nil
 }
 
-// builder accumulates bits without reallocating per bit.
+// builder accumulates bits without reallocating per bit. After
+// bitString hands the storage off, the next mutation (or Reset)
+// switches to fresh storage so the returned BitString stays immutable.
 type builder struct {
-	data []byte
-	n    int
+	data   []byte
+	n      int
+	sealed bool
 }
 
 func builderWithCap(bits int) *builder {
 	return &builder{data: make([]byte, 0, bytesFor(bits))}
 }
 
+// Reset clears the builder for reuse, keeping its capacity unless the
+// previous contents were handed off via bitString.
+func (b *builder) Reset() {
+	if b.sealed {
+		b.data = nil
+		b.sealed = false
+	} else {
+		b.data = b.data[:0]
+	}
+	b.n = 0
+}
+
+// unseal gives the builder private storage again after a bitString
+// hand-off, so appends cannot mutate the returned value.
+func (b *builder) unseal() {
+	if b.sealed {
+		b.data = append(make([]byte, 0, cap(b.data)), b.data...)
+		b.sealed = false
+	}
+}
+
 func (b *builder) appendBit(bit byte) {
+	b.unseal()
 	if b.n%8 == 0 {
 		b.data = append(b.data, 0)
 	}
@@ -347,14 +546,23 @@ func (b *builder) appendBit(bit byte) {
 	b.n++
 }
 
+// appendAll appends every bit of s with whole-byte shift-and-OR
+// copies.
 func (b *builder) appendAll(s BitString) {
-	for i := 0; i < s.n; i++ {
-		b.appendBit(s.Bit(i))
+	if s.n == 0 {
+		return
 	}
+	b.unseal()
+	for need := bytesFor(b.n + s.n); len(b.data) < need; {
+		b.data = append(b.data, 0)
+	}
+	orBitsAt(b.data, b.n, s.data, s.n)
+	b.n += s.n
 }
 
 func (b *builder) bitString() BitString {
-	s := BitString{data: b.data, n: b.n}
+	b.sealed = true
+	s := BitString{data: b.data[:bytesFor(b.n):bytesFor(b.n)], n: b.n}
 	s.assertWellFormed()
 	return s
 }

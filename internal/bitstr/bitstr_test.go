@@ -332,17 +332,6 @@ func TestCompareTransitiveQuick(t *testing.T) {
 	}
 }
 
-func BenchmarkCompare(b *testing.B) {
-	x := MustParse(strings.Repeat("10110100", 8) + "1")
-	y := MustParse(strings.Repeat("10110100", 8) + "11")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if x.Compare(y) >= 0 {
-			b.Fatal("bad compare")
-		}
-	}
-}
-
 func BenchmarkAppendBit(b *testing.B) {
 	x := MustParse("1011010010110101")
 	b.ReportAllocs()

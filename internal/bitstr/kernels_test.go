@@ -1,0 +1,399 @@
+package bitstr
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomBits returns a deterministic pseudorandom BitString of n bits.
+func randomBits(n int, seed int64) BitString {
+	gen := rand.New(rand.NewSource(seed))
+	data := make([]byte, bytesFor(n))
+	gen.Read(data)
+	s, err := FromBytes(data, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// lastBitPair returns two n-bit strings sharing their first n-1 bits
+// and differing in the final bit — the worst case for Compare, Equal
+// and HasPrefix, which must scan the whole string.
+func lastBitPair(n int, seed int64) (lo, hi BitString) {
+	base := randomBits(n-1, seed)
+	return base.AppendBit(0), base.AppendBit(1)
+}
+
+var benchSizes = []int{64, 512}
+
+// sink defeats dead-code elimination in benchmarks and alloc tests.
+var sink int
+
+func BenchmarkCompare(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y := lastBitPair(n, int64(n))
+		b.Run(fmt.Sprintf("word/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = x.Compare(y)
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = RefCompare(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkEqual(b *testing.B) {
+	for _, n := range benchSizes {
+		x := randomBits(n, int64(n))
+		y := x.Prefix(n) // equal value, distinct header
+		b.Run(fmt.Sprintf("word/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !x.Equal(y) {
+					b.Fatal("not equal")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !RefEqual(x, y) {
+					b.Fatal("not equal")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHasPrefix(b *testing.B) {
+	for _, n := range benchSizes {
+		x := randomBits(n, int64(n))
+		p := x.Prefix(n - 3)
+		b.Run(fmt.Sprintf("word/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !x.HasPrefix(p) {
+					b.Fatal("not a prefix")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !RefHasPrefix(x, p) {
+					b.Fatal("not a prefix")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConcat(b *testing.B) {
+	for _, n := range benchSizes {
+		x := randomBits(n, int64(n))
+		y := randomBits(n, int64(n)+100)
+		b.Run(fmt.Sprintf("word/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = x.Concat(y).Len()
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = RefConcat(x, y).Len()
+			}
+		})
+	}
+}
+
+func BenchmarkTrimTrailingZeros(b *testing.B) {
+	for _, n := range benchSizes {
+		x := randomBits(n/2, int64(n)).AppendBit(1).PadRight(n)
+		b.Run(fmt.Sprintf("word/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = x.TrimTrailingZeros().Len()
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = RefTrimTrailingZeros(x).Len()
+			}
+		})
+	}
+}
+
+func BenchmarkUint(b *testing.B) {
+	x := randomBits(64, 1)
+	b.Run("word/64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := x.Uint()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = int(v)
+		}
+	})
+	b.Run("ref/64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := RefUint(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = int(v)
+		}
+	})
+}
+
+func BenchmarkString(b *testing.B) {
+	for _, n := range benchSizes {
+		x := randomBits(n, int64(n))
+		b.Run(fmt.Sprintf("word/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = len(x.String())
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink = len(RefString(x))
+			}
+		})
+	}
+}
+
+func BenchmarkFromUint(b *testing.B) {
+	const v = 0xDEADBEEFCAFE
+	b.Run("word/48", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = FromUint(v).Len()
+		}
+	})
+	b.Run("ref/48", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = RefFromUint(v).Len()
+		}
+	})
+}
+
+// TestKernelAllocs pins the allocation-free contracts of the hot
+// predicates: labels are compared millions of times per query, so a
+// single allocation per call would dominate the benchmarks.
+func TestKernelAllocs(t *testing.T) {
+	x, y := lastBitPair(512, 9)
+	padded := randomBits(256, 10).AppendBit(1).PadRight(512)
+	dst := make([]byte, 0, 512)
+	check := func(name string, want float64, f func()) {
+		t.Helper()
+		if got := testing.AllocsPerRun(200, f); got > want {
+			t.Errorf("%s: %.1f allocs per run, want <= %.0f", name, got, want)
+		}
+	}
+	check("Compare", 0, func() { sink = x.Compare(y) })
+	check("Equal", 0, func() {
+		if x.Equal(y) {
+			t.Fatal("unexpected equal")
+		}
+	})
+	p := y.DropLastBit()
+	check("HasPrefix", 0, func() {
+		if !x.HasPrefix(p) {
+			t.Fatal("prefix lost")
+		}
+	})
+	check("TrimTrailingZeros", 0, func() { sink = padded.TrimTrailingZeros().Len() })
+	check("Prefix/aligned", 0, func() { sink = x.Prefix(256).Len() })
+	short := x.Prefix(509)
+	check("PadRight/samebyte", 0, func() { sink = short.PadRight(512).Len() })
+	check("Uint", 0, func() {
+		v, err := x.Prefix(64).Uint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = int(v)
+	})
+	check("AppendText", 0, func() { dst = x.AppendText(dst[:0]) })
+	check("Bit", 0, func() { sink = int(x.Bit(511)) })
+}
+
+// TestSingleAllocKernels pins the one-allocation contracts of the
+// constructive kernels.
+func TestSingleAllocKernels(t *testing.T) {
+	x := randomBits(512, 11)
+	y := randomBits(67, 12)
+	check := func(name string, want float64, f func()) {
+		t.Helper()
+		if got := testing.AllocsPerRun(200, f); got > want {
+			t.Errorf("%s: %.1f allocs per run, want <= %.0f", name, got, want)
+		}
+	}
+	check("Concat", 1, func() { sink = x.Concat(y).Len() })
+	check("AppendBit", 1, func() { sink = x.AppendBit(1).Len() })
+	check("SpliceBits", 1, func() { sink = x.SpliceBits(500, 0b01, 2).Len() })
+	check("FromUint", 1, func() { sink = FromUint(12345).Len() })
+	check("Repeat", 1, func() { sink = Repeat(1, 300).Len() })
+	// String is buffer + string conversion; rendering is not a hot
+	// path, callers that care use AppendText with a reused buffer.
+	check("String", 2, func() { sink = len(x.String()) })
+}
+
+func TestSpliceBits(t *testing.T) {
+	s := MustParse("1101101")
+	cases := []struct {
+		keep int
+		v    uint64
+		k    int
+		want string
+	}{
+		{7, 0b01, 2, "110110101"},
+		{6, 0b01, 2, "11011001"},
+		{0, 0b101, 3, "101"},
+		{3, 0, 0, "110"},
+		{7, 0, 4, "11011010000"},
+	}
+	for _, c := range cases {
+		if got := s.SpliceBits(c.keep, c.v, c.k).String(); got != c.want {
+			t.Errorf("SpliceBits(%d, %b, %d) = %q, want %q", c.keep, c.v, c.k, got, c.want)
+		}
+	}
+	if got := Empty.SpliceBits(0, 0b11, 2).String(); got != "11" {
+		t.Errorf("SpliceBits on Empty = %q", got)
+	}
+	for _, bad := range []func(){
+		func() { s.SpliceBits(-1, 0, 1) },
+		func() { s.SpliceBits(8, 0, 1) },
+		func() { s.SpliceBits(0, 0, -1) },
+		func() { s.SpliceBits(0, 0, 65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("SpliceBits out of range did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	if got := Repeat(1, 11).String(); got != "11111111111" {
+		t.Errorf("Repeat(1, 11) = %q", got)
+	}
+	if got := Repeat(0, 9).String(); got != "000000000" {
+		t.Errorf("Repeat(0, 9) = %q", got)
+	}
+	if got := Repeat(1, 0); !got.IsEmpty() {
+		t.Errorf("Repeat(1, 0) = %q", got)
+	}
+	if got := Repeat(1, -3); !got.IsEmpty() {
+		t.Errorf("Repeat(1, -3) = %q", got)
+	}
+}
+
+func TestAppendTextMatchesString(t *testing.T) {
+	for n := 0; n <= 130; n++ {
+		s := randomBits(n, int64(n)+40)
+		if got := string(s.AppendText(nil)); got != RefString(s) {
+			t.Errorf("AppendText(%d bits) = %q, want %q", n, got, RefString(s))
+		}
+		if got := string(s.AppendText([]byte("x="))); got != "x="+RefString(s) {
+			t.Errorf("AppendText with prefix = %q", got)
+		}
+	}
+}
+
+func TestFromUintFixedNegativeWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromUintFixed(-1 width) did not panic")
+		}
+	}()
+	FromUintFixed(1, -1)
+}
+
+// TestPrefixSharingIsSafe exercises the shared-storage fast path:
+// prefixes taken at byte boundaries (or wherever the spare bits are
+// already zero) alias the parent's storage, which must stay sound
+// because no operation ever writes to an existing BitString's bytes.
+func TestPrefixSharingIsSafe(t *testing.T) {
+	parent := randomBits(128, 21)
+	p := parent.Prefix(64)
+	// Growing the prefix must not scribble over the parent's bytes.
+	grown := p.AppendBit(1).Concat(randomBits(32, 22))
+	if parent.Prefix(64).Compare(p) != 0 {
+		t.Error("parent changed after growing a shared prefix")
+	}
+	if !grown.HasPrefix(p) {
+		t.Error("grown string lost its prefix")
+	}
+	// The shared prefix still satisfies the invariant that spare bits
+	// are zero, so whole-byte Equal stays sound.
+	q := MustParse(RefString(p))
+	if !p.Equal(q) || !bytes.Equal(p.data, q.data) {
+		t.Error("shared prefix has dirty spare bits")
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	b := builderWithCap(16)
+	b.appendBit(1)
+	b.appendBit(0)
+	first := b.bitString()
+	// After sealing, Reset must discard the storage so the sealed
+	// string is never overwritten.
+	b.Reset()
+	b.appendBit(1)
+	b.appendBit(1)
+	second := b.bitString()
+	if first.String() != "10" || second.String() != "11" {
+		t.Errorf("builder reuse corrupted results: %q %q", first, second)
+	}
+	// Reset before sealing keeps the storage.
+	c := builderWithCap(8)
+	c.appendBit(1)
+	c.Reset()
+	c.appendBit(0)
+	if got := c.bitString().String(); got != "0" {
+		t.Errorf("Reset-then-append = %q", got)
+	}
+}
+
+func TestBuilderAppendAllCrossesBytes(t *testing.T) {
+	// appendAll at every bit offset, verifying the shift-and-OR block
+	// copy against per-bit appends.
+	for off := 0; off < 17; off++ {
+		for n := 0; n < 40; n++ {
+			s := randomBits(n, int64(off*100+n))
+			b := builderWithCap(off + n)
+			want := builderWithCap(off + n)
+			pre := randomBits(off, int64(off))
+			b.appendAll(pre)
+			b.appendAll(s)
+			for i := 0; i < pre.Len(); i++ {
+				want.appendBit(pre.Bit(i))
+			}
+			for i := 0; i < s.Len(); i++ {
+				want.appendBit(s.Bit(i))
+			}
+			if got, exp := b.bitString(), want.bitString(); !got.Equal(exp) {
+				t.Fatalf("appendAll(off=%d, n=%d) = %q, want %q", off, n, got, exp)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ package cdbs
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bitstr"
 )
@@ -55,8 +56,9 @@ func Between(l, r bitstr.BitString) (bitstr.BitString, error) {
 		// "1", the code the paper assigns to the middle number.
 		m = l.AppendBit(1)
 	} else {
-		// Case (2): m = r with the last bit "1" changed to "01".
-		m = r.DropLastBit().AppendBit(0).AppendBit(1)
+		// Case (2): m = r with the last bit "1" changed to "01",
+		// fused into a single allocation.
+		m = r.SpliceBits(r.Len()-1, 0b01, 2)
 	}
 	assertBetween(l, r, m)
 	return m, nil
@@ -133,14 +135,14 @@ func MustEncode(n int) []bitstr.BitString {
 
 // FixedWidth returns the F-CDBS code width for n codes: the length of
 // the longest V-CDBS code, ceil(log2(n+1)).
+//
+// ceil(log2(n+1)) == bitlen(n) except when n+1 is a power of two,
+// where bitlen(n) is already the answer.
 func FixedWidth(n int) int {
-	w := 0
-	for v := n; v > 0; v >>= 1 {
-		w++
+	if n <= 0 {
+		return 0
 	}
-	// ceil(log2(n+1)) == bitlen(n) except when n+1 is a power of two,
-	// where bitlen(n) is already the answer.
-	return w
+	return bits.Len64(uint64(n))
 }
 
 // EncodeFixed returns the F-CDBS codes for 1..n: the V-CDBS codes

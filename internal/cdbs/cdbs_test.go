@@ -343,3 +343,31 @@ func TestEncodeNegative(t *testing.T) {
 		t.Error("Encode(-1) succeeded")
 	}
 }
+
+// TestBetweenAllocs pins Between at one allocation per produced code —
+// the insertion hot path — for both branches of Algorithm 1: case 1
+// appends to the left bound, case 2 splices into the right bound.
+func TestBetweenAllocs(t *testing.T) {
+	check := func(name, left, right string) {
+		t.Helper()
+		l, r := bitstr.Empty, bitstr.Empty
+		if left != "" {
+			l = bitstr.MustParse(left)
+		}
+		if right != "" {
+			r = bitstr.MustParse(right)
+		}
+		got := testing.AllocsPerRun(200, func() {
+			if _, err := Between(l, r); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 1 {
+			t.Errorf("Between %s: %.1f allocs per run, want <= 1", name, got)
+		}
+	}
+	check("case1", "101", "11")             // l.Len() >= r.Len(): m = l+"1"
+	check("case1-open", "10110101", "")     // appending at the right end
+	check("case2", "1", "1011010010110101") // l.Len() < r.Len(): splice
+	check("case2-open", "", "1011010010110101")
+}

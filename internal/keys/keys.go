@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/bitstr"
 	"repro/internal/cdbs"
@@ -266,12 +267,13 @@ func (c intCodec) TotalBits(ks []Key) int {
 	return total + len(ks)*uintBits(uint64(maxBits))
 }
 
+// uintBits returns the bit length of v, with a 1-bit minimum (the
+// V-Binary encoding of 0 is "0").
 func uintBits(v uint64) int {
-	n := 1
-	for v >>= 1; v > 0; v >>= 1 {
-		n++
+	if v == 0 {
+		return 1
 	}
-	return n
+	return bits.Len64(v)
 }
 
 // ---------------------------------------------------------------------------

@@ -360,17 +360,15 @@ func (deweyCodec) AppendComponent(dst []byte, c Component) ([]byte, error) {
 }
 
 // AppendComponent writes the Cohen self label: ordinal−1 one-bits and
-// a zero, packed MSB-first.
+// a zero, packed MSB-first. Repeat builds the run of ones whole bytes
+// at a time (the old per-bit AppendBit loop was quadratic in the
+// ordinal).
 func (cohenCodec) AppendComponent(dst []byte, c Component) ([]byte, error) {
 	v, ok := c.(int)
 	if !ok {
 		return nil, fmt.Errorf("prefix: cohen component has type %T", c)
 	}
-	b := bitstr.Empty
-	for i := 1; i < v; i++ {
-		b = b.AppendBit(1)
-	}
-	return b.AppendBit(0).AppendTo(dst), nil
+	return bitstr.Repeat(1, v-1).AppendBit(0).AppendTo(dst), nil
 }
 
 // AppendComponent writes the already-encoded ORDPATH component bits.

@@ -107,11 +107,27 @@ func (c Code) EndsValid() bool {
 	return last == 2 || last == 3
 }
 
+// Raw digit-value suffixes for single-allocation code construction:
+// appending or splicing with a constant compiles to one string
+// concatenation, where append(dropLast(), d...) would allocate per
+// digit.
+const (
+	rawD2  = "\x02"
+	rawD3  = "\x03"
+	rawD12 = "\x01\x02"
+)
+
 // append returns c with one digit appended.
 func (c Code) append(d byte) Code { return Code{digits: c.digits + string(d)} }
 
 // dropLast returns c without its final digit.
 func (c Code) dropLast() Code { return Code{digits: c.digits[:len(c.digits)-1]} }
+
+// spliceLast returns c with its final digit replaced by the raw digit
+// suffix, in one allocation.
+func (c Code) spliceLast(suffix string) Code {
+	return Code{digits: c.digits[:len(c.digits)-1] + suffix}
+}
 
 // Compare orders codes lexicographically: digits compare numerically
 // and a proper prefix sorts before its extensions. Go string
@@ -163,20 +179,23 @@ func Between(l, r Code) (Code, error) {
 	if l.Len() < r.Len() {
 		// Work on the right neighbor's last symbol.
 		if r.digits[r.Len()-1] == 2 {
-			return r.dropLast().append(1).append(2), nil // 2 → 12
+			return r.spliceLast(rawD12), nil // 2 → 12
 		}
-		return r.dropLast().append(2), nil // 3 → 2
+		return r.spliceLast(rawD2), nil // 3 → 2
 	}
 	// Work on the left neighbor's last symbol.
-	if l.digits[l.Len()-1] == 2 {
-		m := l.dropLast().append(3) // 2 → 3
-		if r.IsEmpty() || m.Less(r) {
-			return m, nil
+	if n := l.Len(); l.digits[n-1] == 2 {
+		// x⊕3 fits between x⊕2 and r except for the adjacent pair
+		// r == x⊕3, where the code must grow instead. (With
+		// l.Len() >= r.Len(), any other r > l differs from l before
+		// the last digit and so stays above x⊕3.)
+		adjacent := r.Len() == n && r.digits[n-1] == 3 && r.digits[:n-1] == l.digits[:n-1]
+		if !adjacent {
+			return l.spliceLast(rawD3), nil // 2 → 3
 		}
-		// Adjacent pair x⊕2, x⊕3: grow instead.
-		return l.append(2), nil
+		return Code{digits: l.digits + rawD2}, nil
 	}
-	return l.append(2), nil // 3 → 32
+	return Code{digits: l.digits + rawD2}, nil // 3 → 32
 }
 
 // NBetween returns n codes m1 ≺ … ≺ mn strictly between l and r,

@@ -276,3 +276,26 @@ func BenchmarkBetween(b *testing.B) {
 		}
 	}
 }
+
+// TestBetweenAllocs pins Between at one allocation per produced code
+// on all four rule branches, including the adjacent pair that grows.
+func TestBetweenAllocs(t *testing.T) {
+	cases := []struct{ name, l, r string }{
+		{"right-ends-2", "12", "1212"},
+		{"right-ends-3", "12", "123"},
+		{"left-ends-2", "112", "12"},
+		{"adjacent", "112", "113"},
+		{"left-ends-3", "13", "2"},
+	}
+	for _, c := range cases {
+		l, r := MustParse(c.l), MustParse(c.r)
+		got := testing.AllocsPerRun(200, func() {
+			if _, err := Between(l, r); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > 1 {
+			t.Errorf("Between %s: %.1f allocs per run, want <= 1", c.name, got)
+		}
+	}
+}

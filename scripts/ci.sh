@@ -9,6 +9,8 @@
 #   5. go test -race — the concurrent document layer
 #   6. labelvet      — the repo's own static-analysis suite (label invariants,
 #                      lock hygiene, dropped errors, panic allowlist)
+#   7. bench smoke   — every benchmark once (-benchtime 1x) plus a throwaway
+#                      BENCH JSON report, so the bench machinery cannot rot
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,5 +46,9 @@ go run ./cmd/labelvet ./...
 
 echo "==> labelvet -tags invariants ./..."
 go run ./cmd/labelvet -tags invariants ./...
+
+echo "==> bench smoke (-benchtime 1x)"
+go test -run '^$' -bench . -benchtime 1x ./internal/bitstr ./internal/cdbs ./internal/qed
+BENCH_TIME=1x BENCH_OUT="${BENCH_SMOKE_OUT:-/tmp/bench_smoke.json}" sh scripts/bench.sh
 
 echo "CI gate passed."
