@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzBetween -fuzztime=10s ./internal/qed
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrKernels -fuzztime=10s ./internal/bitstr
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrCodecs -fuzztime=10s ./internal/bitstr
+	$(GO) test -run=^$$ -fuzz=FuzzReadAll -fuzztime=10s ./internal/labelstore
 
 # Regenerate BENCH_PR2.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
 bench:

@@ -26,13 +26,16 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: table1,sizes,figure5,figure6,table4,figure7,frequent,overflow")
+	run := flag.String("run", "all", "comma-separated experiments: table1,sizes,figure5,figure6,table4,figure7,frequent,live,overflow")
 	scale := flag.Int("scale", 10, "D5 replication factor for figure6 (the paper uses 10)")
 	datasets := flag.String("datasets", "D1,D2,D3,D4,D5,D6", "datasets for figure5")
 	inserts := flag.Int("inserts", 2000, "insertions for the frequent-update experiment")
+	edits := flag.Int("edits", 400, "edits for the live-document experiment")
+	metricsJSON := flag.String("metrics-json", "", "after the experiments run, dump the metrics registry as JSON to this file (- for stdout)")
 	benchJSON := flag.String("bench-json", "", "run the kernel benchmarks and write a BENCH_*.json report to this file instead of experiments")
 	benchTime := flag.String("bench-time", "1s", "benchtime for -bench-json (e.g. 1s, 100ms, 1x)")
 	flag.Parse()
@@ -62,6 +65,7 @@ func main() {
 		{"table4", runTable4},
 		{"figure7", runFigure7},
 		{"frequent", func() error { return runFrequent(*inserts) }},
+		{"live", func() error { return runLive(*edits) }},
 		{"overflow", runOverflow},
 	} {
 		if !all && !want[exp.name] {
@@ -77,6 +81,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: nothing selected by -run %q\n", *run)
 		os.Exit(2)
 	}
+	if *metricsJSON != "" {
+		if err := dumpMetrics(*metricsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpMetrics writes the process-wide metrics registry — labelstore
+// I/O and recovery, cdbs/qed code-length and relabel histograms,
+// dyndoc operation counters — as one JSON object.
+func dumpMetrics(path string) error {
+	if path == "-" {
+		return metrics.Default.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.Default.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", path)
+	return nil
 }
 
 func header(title string) {
@@ -254,7 +286,32 @@ func runFigure7() error {
 			r.Scheme, r.CaseMillis[0], r.CaseMillis[1], r.CaseMillis[2], r.CaseMillis[3], r.CaseMillis[4],
 			r.Log2Millis[0], r.LabelWrites[0])
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nlabelstore sync latency (s): %s\n",
+		metrics.Default.Histogram("labelstore_sync_seconds", nil).Summary())
+	return nil
+}
+
+func runLive(edits int) error {
+	header(fmt.Sprintf("Live documents — %d mixed edits on Hamlet (insert/query/delete, fsync per insert)", edits))
+	rows, err := bench.Live(nil, edits, 42, "")
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Scheme\tinserts\tdeletes\tqueries\tmatches\trelabeled\ttotal(ms)\tcheckpoint\trestored")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%d\t%d\n",
+			r.Scheme, r.Inserts, r.Deletes, r.Queries, r.Matches, r.Relabeled, r.Millis, r.Checkpoint, r.Restored)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nlabelstore sync latency (s): %s\n",
+		metrics.Default.Histogram("labelstore_sync_seconds", nil).Summary())
+	return nil
 }
 
 func runFrequent(inserts int) error {

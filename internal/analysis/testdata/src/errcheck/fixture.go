@@ -24,6 +24,41 @@ func dropped(c closer) {
 	fmt.Errorf("") // want `error result of fmt.Errorf is dropped`
 }
 
+// The labelstore API shape: multi-result functions whose trailing
+// error reports data loss (Recover) or a failed open. Dropping these
+// is exactly the bug class the crash-safety work exists to prevent.
+
+type record struct{}
+
+type store struct{}
+
+func (*store) Sync() error { return nil }
+
+func recoverStore(path string) ([]record, int64, error) { return nil, 0, errors.New("torn") }
+
+func openStore(path string) (*store, error) { return nil, errors.New("boom") }
+
+func droppedStoreErrors() {
+	recoverStore("labels.log")      // want `error result of .*errcheck\.recoverStore is dropped`
+	openStore("labels.log")         // want `error result of .*errcheck\.openStore is dropped`
+	s, _ := openStore("labels.log") // explicit discard is accepted
+	s.Sync()                        // want `error result of .*errcheck\.store\.Sync is dropped`
+}
+
+func handledStoreErrors() error {
+	recs, truncated, err := recoverStore("labels.log")
+	if err != nil {
+		return err
+	}
+	_ = recs
+	_ = truncated
+	s, err := openStore("labels.log")
+	if err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
 func handled(c closer) error {
 	_ = mayFail() // explicit discard is accepted
 	if err := mayFail(); err != nil {

@@ -4,6 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/bitstr"
+	"repro/internal/metrics"
+)
+
+// Order-maintenance metrics: the length of every freshly assigned
+// code, the size of relabel bursts (Relabel and LocalRelabel events)
+// and the widen-event count. One atomic update per event, so the
+// insertion hot path stays allocation-free.
+var (
+	mCodeLen     = metrics.Default.Histogram("cdbs_code_len_bits", metrics.ExpBuckets(1, 2, 12))
+	mRelabelSize = metrics.Default.Histogram("cdbs_relabel_burst_codes", metrics.ExpBuckets(1, 2, 16))
+	mWidens      = metrics.Default.Counter("cdbs_widen_events_total")
 )
 
 // Variant selects between the two CDBS storage layouts of Section 4.
@@ -197,6 +208,7 @@ func (l *List) InsertAt(i int) (bitstr.BitString, int, error) {
 	if err != nil {
 		return bitstr.Empty, 0, err
 	}
+	mCodeLen.Observe(float64(m.Len()))
 	if m.Len() > l.maxCodeLen() {
 		switch l.policy {
 		case Relabel:
@@ -208,6 +220,7 @@ func (l *List) InsertAt(i int) (bitstr.BitString, int, error) {
 			}
 			l.relabels++
 			l.relabeledCodes += int64(rewritten)
+			mRelabelSize.Observe(float64(rewritten))
 			return l.codes[i], rewritten, nil
 		case LocalRelabel:
 			return l.insertLocal(i)
@@ -295,6 +308,7 @@ func (l *List) insertLocal(i int) (bitstr.BitString, int, error) {
 	copy(l.codes[lo:hi+1], fresh)
 	l.relabels++
 	l.relabeledCodes += int64(rewritten)
+	mRelabelSize.Observe(float64(rewritten))
 	return l.codes[i], rewritten, nil
 }
 
@@ -303,6 +317,7 @@ func (l *List) insertLocal(i int) (bitstr.BitString, int, error) {
 // change).
 func (l *List) widen(need int) {
 	l.widenEvents++
+	mWidens.Inc()
 	if l.variant == FCDBS {
 		l.fixedWidth = need
 		for i, c := range l.codes {
@@ -320,7 +335,12 @@ func (l *List) Delete(i int) error {
 	if i < 0 || i >= len(l.codes) {
 		return fmt.Errorf("cdbs: delete position %d out of range [0,%d)", i, len(l.codes))
 	}
-	l.codes = append(l.codes[:i], l.codes[i+1:]...)
+	copy(l.codes[i:], l.codes[i+1:])
+	// Zero the vacated tail slot: it still aliases the removed code's
+	// bit storage, which would otherwise stay pinned against GC for
+	// the lifetime of a long-lived list.
+	l.codes[len(l.codes)-1] = bitstr.Empty
+	l.codes = l.codes[:len(l.codes)-1]
 	return nil
 }
 

@@ -236,3 +236,31 @@ func BenchmarkEncode(b *testing.B) {
 		_ = MustEncode(4096)
 	}
 }
+
+// TestDeleteReleasesTailSlot is the regression test for Delete
+// pinning the removed code's bit storage: shrinking l.codes used to
+// leave the vacated backing-array slot aliasing the deleted code,
+// keeping it reachable for the lifetime of the list. The slot must be
+// zeroed before the truncation.
+func TestDeleteReleasesTailSlot(t *testing.T) {
+	for _, v := range []Variant{VCDBS, FCDBS} {
+		l, err := NewList(6, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backing := l.codes // aliases the list's backing array
+		if err := l.Delete(2); err != nil {
+			t.Fatal(err)
+		}
+		if got := backing[len(backing)-1]; got.Len() != 0 {
+			t.Errorf("%v: vacated tail slot still holds %q", v, got)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Order and content of the survivors are unchanged.
+		if l.Len() != 5 {
+			t.Fatalf("%v: Len = %d", v, l.Len())
+		}
+	}
+}

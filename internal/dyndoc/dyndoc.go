@@ -15,9 +15,18 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
+)
+
+// Edit and query volume metrics for the live-document tier.
+var (
+	mInserts   = metrics.Default.Counter("dyndoc_inserts_total")
+	mDeletes   = metrics.Default.Counter("dyndoc_deletes_total")
+	mQueries   = metrics.Default.Counter("dyndoc_queries_total")
+	mRelabeled = metrics.Default.Counter("dyndoc_relabeled_total")
 )
 
 // Document is a live, labeled, queryable XML document.
@@ -102,8 +111,13 @@ func (d *Document) InsertElement(parent, pos int, name string) (int, int, error)
 	if name == "" {
 		return 0, 0, errors.New("dyndoc: empty element name")
 	}
-	// The xmltree position must account for text-node children, which
-	// the labeling's Tree mirrors too, so positions agree directly.
+	// Validate the xmltree position before touching the labeling, so a
+	// rejected insert mutates nothing. The position accounts for
+	// text-node children, which the labeling's Tree mirrors too, so
+	// positions agree directly.
+	if pos < 0 || pos > len(d.nodes[parent].Children) {
+		return 0, 0, fmt.Errorf("dyndoc: child position %d out of range [0,%d]", pos, len(d.nodes[parent].Children))
+	}
 	id, relabeled, err := d.lab.InsertChildAt(parent, pos)
 	if err != nil {
 		return 0, 0, err
@@ -111,8 +125,17 @@ func (d *Document) InsertElement(parent, pos int, name string) (int, int, error)
 	d.relabeled += int64(relabeled)
 	node := xmltree.NewElement(name)
 	if err := d.nodes[parent].InsertChildAt(pos, node); err != nil {
+		// Unreachable after the up-front validation unless the tree and
+		// labeling have drifted; roll the label insert back so the two
+		// views stay consistent even then.
+		if _, derr := d.lab.DeleteSubtree(id); derr != nil {
+			return 0, 0, fmt.Errorf("dyndoc: tree/labeling drift: %v (rollback also failed: %v)", err, derr)
+		}
+		d.relabeled -= int64(relabeled)
 		return 0, 0, fmt.Errorf("dyndoc: tree/labeling drift: %w", err)
 	}
+	mInserts.Inc()
+	mRelabeled.Add(int64(relabeled))
 	d.nodes = append(d.nodes, node)
 	d.names = append(d.names, name)
 	d.byName[name] = d.insertOrdered(d.byName[name], id)
@@ -178,6 +201,7 @@ func (d *Document) DeleteSubtree(id int) (int, error) {
 		}
 	}
 	d.elems = prune(d.elems, doomed)
+	mDeletes.Inc()
 	return removed, nil
 }
 
@@ -195,6 +219,7 @@ func prune(list []int, doomed map[int]bool) []int {
 // Query evaluates an absolute path expression over the current
 // document state and returns matching ids in document order.
 func (d *Document) Query(q *xpath.Query) ([]int, error) {
+	mQueries.Inc()
 	e := xpath.NewEngineIndexed(d.lab, d.names, d.byName, d.elems)
 	return e.Eval(q)
 }
@@ -224,6 +249,11 @@ func (d *Document) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, i
 	if fragment == nil || fragment.Kind != xmltree.Element {
 		return nil, 0, errors.New("dyndoc: fragment must be an element tree")
 	}
+	// Validate the xmltree position before the batch label insert, so
+	// a rejected insert leaves no phantom labeled fragment behind.
+	if pos < 0 || pos > len(d.nodes[parent].Children) {
+		return nil, 0, fmt.Errorf("dyndoc: child position %d out of range [0,%d]", pos, len(d.nodes[parent].Children))
+	}
 	ids, relabeled, err := d.lab.InsertSubtree(parent, pos, fragment)
 	if err != nil {
 		return nil, 0, err
@@ -231,8 +261,16 @@ func (d *Document) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, i
 	d.relabeled += int64(relabeled)
 	clone := cloneTree(fragment)
 	if err := d.nodes[parent].InsertChildAt(pos, clone); err != nil {
+		// Unreachable after the up-front validation unless the tree and
+		// labeling have drifted; roll the batch label insert back.
+		if _, derr := d.lab.DeleteSubtree(ids[0]); derr != nil {
+			return nil, 0, fmt.Errorf("dyndoc: tree/labeling drift: %v (rollback also failed: %v)", err, derr)
+		}
+		d.relabeled -= int64(relabeled)
 		return nil, 0, fmt.Errorf("dyndoc: tree/labeling drift: %w", err)
 	}
+	mInserts.Inc()
+	mRelabeled.Add(int64(relabeled))
 	// Register every fragment node under its preorder id.
 	idAt := 0
 	var walk func(n *xmltree.Node)

@@ -294,3 +294,63 @@ func TestInsertTreeErrors(t *testing.T) {
 		t.Error("bad parent accepted")
 	}
 }
+
+// TestRejectedInsertLeavesStateConsistent is the regression test for
+// the update-path atomicity bug: InsertElement/InsertTree used to
+// mutate the labeling before validating the xmltree position, so a
+// rejected insert left a phantom labeled node with no tree node
+// behind it. After a rejected insert, the node count, the index and
+// the tree/labeling agreement must all be exactly as before.
+func TestRejectedInsertLeavesStateConsistent(t *testing.T) {
+	frag := func() *xmltree.Node {
+		f := xmltree.NewElement("shelf")
+		f.AppendChild(xmltree.NewElement("book"))
+		return f
+	}
+	for name, b := range builders() {
+		t.Run(name, func(t *testing.T) {
+			d, err := Parse(seedDoc, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapState := func() (int, int, string) {
+				books, err := d.Count("//book")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d.Len(), books, d.XML()
+			}
+			wantLen, wantBooks, wantXML := snapState()
+			shelves, err := d.QueryString("/library/shelf")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Out-of-range positions, negative and too large, on both
+			// insert paths.
+			for _, pos := range []int{-1, 3, 99} {
+				if _, _, err := d.InsertElement(shelves[0], pos, "book"); err == nil {
+					t.Fatalf("InsertElement pos %d accepted", pos)
+				}
+				if _, _, err := d.InsertTree(shelves[0], pos, frag()); err == nil {
+					t.Fatalf("InsertTree pos %d accepted", pos)
+				}
+				gotLen, gotBooks, gotXML := snapState()
+				if gotLen != wantLen || gotBooks != wantBooks || gotXML != wantXML {
+					t.Fatalf("pos %d: state drifted: len %d->%d, books %d->%d", pos, wantLen, gotLen, wantBooks, gotBooks)
+				}
+			}
+			// The document still accepts valid edits afterwards, and
+			// ids stay in lockstep with the tree.
+			id, _, err := d.InsertElement(shelves[0], 1, "book")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := d.Name(id); got != "book" {
+				t.Fatalf("Name(%d) = %q after rejected inserts", id, got)
+			}
+			if gotLen, _, _ := snapState(); gotLen != wantLen+1 {
+				t.Fatalf("valid insert after rejections: len %d, want %d", gotLen, wantLen+1)
+			}
+		})
+	}
+}

@@ -4,33 +4,101 @@
 // caused by an insertion or a re-label goes through a Store, which
 // counts records, bytes and syncs.
 //
-// Records are length-prefixed: uvarint node id, uvarint payload
-// length, payload bytes.
+// Since v2 the store is crash-safe: records carry a CRC-32C footer, a
+// segment header versions the file, Open appends to an existing store
+// and Recover repairs a store that was torn by a crash, truncating at
+// most one partial tail record. See format.go for the layout and
+// DESIGN.md for the recovery semantics. Write and Sync latencies and
+// volumes feed the internal/metrics registry.
 package labelstore
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"time"
+
+	"repro/internal/metrics"
 )
 
-// Store is an append-only label log. Not safe for concurrent use.
+// Store metrics, registered once against the default registry. The
+// sync histogram is the per-transaction I/O cost Figure 7 adds to
+// label processing time.
+var (
+	mRecords     = metrics.Default.Counter("labelstore_records_total")
+	mBytes       = metrics.Default.Counter("labelstore_bytes_total")
+	mSyncs       = metrics.Default.Counter("labelstore_syncs_total")
+	mSyncSeconds = metrics.Default.Histogram("labelstore_sync_seconds", nil)
+	mRecoveries  = metrics.Default.Counter("labelstore_recoveries_total")
+	mTruncBytes  = metrics.Default.Counter("labelstore_recovery_truncated_bytes_total")
+	mTruncRecs   = metrics.Default.Counter("labelstore_recovery_truncated_records_total")
+)
+
+// File is the minimal contract a Store writes through: an *os.File
+// satisfies it, and faultfs.File wraps one to inject write and sync
+// failures deterministically in crash tests.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Store is an append-only label log in the v2 format. Not safe for
+// concurrent use.
 type Store struct {
-	f       *os.File
+	f       File
 	w       *bufio.Writer
+	buf     []byte // record scratch, reused across Writes
 	records int64
 	bytes   int64
 	syncs   int64
 	closed  bool
 }
 
-// Create opens (truncating) a store file.
+// Create opens (truncating) a store file and writes the v2 header.
 func Create(path string) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("labelstore: %w", err)
+	}
+	s, err := NewStore(f)
+	if err != nil {
+		_ = f.Close() // the header-write error is the one to report
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewStore starts a fresh v2 store on an already-open file, writing
+// the segment header through it. The caller owns nothing afterwards:
+// Close closes f. Fault-injection tests hand in a faultfs.File here.
+func NewStore(f File) (*Store, error) {
+	s := &Store{f: f, w: bufio.NewWriter(f)}
+	if _, err := s.w.Write(header()); err != nil {
+		return nil, fmt.Errorf("labelstore: writing header: %w", err)
+	}
+	return s, nil
+}
+
+// Open appends to an existing store. It first runs crash recovery on
+// the file — validating the header and every record checksum and
+// truncating a torn tail in place (see Recover) — so an Open after a
+// kill always lands on a clean record boundary. Stats count only what
+// this Store session writes; use ReadAll or Recover for the
+// pre-existing contents.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("labelstore: %w", err)
+	}
+	if _, _, err := recoverOpenFile(f); err != nil {
+		_ = f.Close() // the recovery error is the one to report
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
 		return nil, fmt.Errorf("labelstore: %w", err)
 	}
 	return &Store{f: f, w: bufio.NewWriter(f)}, nil
@@ -39,31 +107,31 @@ func Create(path string) (*Store, error) {
 // ErrClosed reports use after Close.
 var ErrClosed = errors.New("labelstore: store is closed")
 
-// Write appends one label record.
+// Write appends one label record (buffered; Sync makes it durable).
 func (s *Store) Write(id uint64, payload []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], id)
-	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
-	if _, err := s.w.Write(hdr[:n]); err != nil {
-		return fmt.Errorf("labelstore: %w", err)
-	}
-	if _, err := s.w.Write(payload); err != nil {
+	s.buf = appendRecord(s.buf[:0], id, payload)
+	if _, err := s.w.Write(s.buf); err != nil {
 		return fmt.Errorf("labelstore: %w", err)
 	}
 	s.records++
-	s.bytes += int64(n + len(payload))
+	s.bytes += int64(len(s.buf))
+	mRecords.Inc()
+	mBytes.Add(int64(len(s.buf)))
 	return nil
 }
 
 // Sync flushes buffered records and fsyncs the file — the per-
-// transaction I/O cost of an update.
+// transaction I/O cost of an update. Records written before a
+// successful Sync are the store's durability unit: Recover never
+// loses them.
 func (s *Store) Sync() error {
 	if s.closed {
 		return ErrClosed
 	}
+	start := time.Now()
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("labelstore: %w", err)
 	}
@@ -71,11 +139,13 @@ func (s *Store) Sync() error {
 		return fmt.Errorf("labelstore: %w", err)
 	}
 	s.syncs++
+	mSyncs.Inc()
+	mSyncSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }
 
-// Stats returns the cumulative record count, byte count and sync
-// count.
+// Stats returns the record count, byte count and sync count written
+// through this Store (for Open, since the Open).
 func (s *Store) Stats() (records, bytes, syncs int64) {
 	return s.records, s.bytes, s.syncs
 }
@@ -99,7 +169,11 @@ type Record struct {
 	Payload []byte
 }
 
-// ReadAll parses a store file back into records.
+// ReadAll parses a store file back into records. It is strict: a file
+// cut inside a record — a torn varint, payload or checksum — is an
+// error (io.ErrUnexpectedEOF or ErrCorrupt in the chain), never a
+// silently shortened result. Use Recover to repair such a file. Files
+// without the v2 magic are parsed as legacy v1 logs.
 func ReadAll(path string) ([]Record, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -107,26 +181,49 @@ func ReadAll(path string) ([]Record, error) {
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
+	v2, err := sniffV2(r)
+	if err != nil {
+		return nil, err
+	}
+	read := readRecordV1
+	if v2 {
+		read = readRecordV2
+	}
 	var out []Record
 	for {
-		id, err := binary.ReadUvarint(r)
+		rec, _, err := read(r)
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("labelstore: corrupt id: %w", err)
+			return nil, err
 		}
-		n, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, fmt.Errorf("labelstore: corrupt length: %w", err)
-		}
-		if n > 1<<24 {
-			return nil, fmt.Errorf("labelstore: implausible record length %d", n)
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil, fmt.Errorf("labelstore: truncated payload: %w", err)
-		}
-		out = append(out, Record{ID: id, Payload: payload})
+		out = append(out, rec)
 	}
+}
+
+// sniffV2 inspects the stream head. On a v2 header it consumes the
+// header and returns true; otherwise it consumes nothing and returns
+// false (legacy v1). A file that starts with the magic but carries an
+// unknown version is an error, as is a non-empty strict prefix of the
+// header — a store torn before its header fully hit the disk.
+func sniffV2(r *bufio.Reader) (bool, error) {
+	head, err := r.Peek(headerSize)
+	if err != nil && err != io.EOF {
+		return false, fmt.Errorf("labelstore: %w", err)
+	}
+	if len(head) >= headerSize && string(head[:len(magic)]) == magic {
+		if head[len(magic)] != FormatVersion {
+			return false, fmt.Errorf("labelstore: unsupported format version %d", head[len(magic)])
+		}
+		if _, err := r.Discard(headerSize); err != nil {
+			return false, fmt.Errorf("labelstore: %w", err)
+		}
+		return true, nil
+	}
+	full := header()
+	if len(head) > 0 && len(head) < headerSize && string(head) == string(full[:len(head)]) {
+		return false, fmt.Errorf("labelstore: torn segment header (%d of %d bytes): %w", len(head), headerSize, io.ErrUnexpectedEOF)
+	}
+	return false, nil
 }

@@ -2,22 +2,78 @@ package labelstore
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
-func TestRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "labels.log")
-	s, err := Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []Record{
+// testRecords is a corpus with the framing edge cases: empty payload,
+// one byte, multi-byte varint id, payload longer than the varint
+// scratch.
+func testRecords() []Record {
+	return []Record{
 		{ID: 0, Payload: []byte{}},
 		{ID: 1, Payload: []byte{0xAB}},
 		{ID: 130, Payload: []byte("hello label")},
 		{ID: 1 << 40, Payload: bytes.Repeat([]byte{7}, 300)},
+	}
+}
+
+// writeStore creates a v2 store at path holding recs, synced once.
+func writeStore(t *testing.T, path string, recs []Record) {
+	t.Helper()
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := s.Write(r.ID, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sameRecords compares record slices.
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !bytes.Equal(a[i].Payload, b[i].Payload) {
+			return false
+		}
+	}
+	return true
+}
+
+// v1Bytes encodes records in the legacy checksum-free v1 format.
+func v1Bytes(recs []Record) []byte {
+	var out []byte
+	var hdr [2 * binary.MaxVarintLen64]byte
+	for _, r := range recs {
+		n := binary.PutUvarint(hdr[:], r.ID)
+		n += binary.PutUvarint(hdr[n:], uint64(len(r.Payload)))
+		out = append(out, hdr[:n]...)
+		out = append(out, r.Payload...)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	want := testRecords()
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
 	}
 	for _, r := range want {
 		if err := s.Write(r.ID, r.Payload); err != nil {
@@ -38,13 +94,188 @@ func TestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(want) {
-		t.Fatalf("ReadAll returned %d records", len(got))
+	if !sameRecords(got, want) {
+		t.Errorf("ReadAll = %+v, want %+v", got, want)
 	}
-	for i := range want {
-		if got[i].ID != want[i].ID || !bytes.Equal(got[i].Payload, want[i].Payload) {
-			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+	// The file leads with the v2 segment header.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < headerSize || string(raw[:len(magic)]) != magic || raw[len(magic)] != FormatVersion {
+		t.Errorf("file does not start with the v2 header: % x", raw[:min(len(raw), headerSize)])
+	}
+}
+
+func TestOpenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	first := testRecords()
+	writeStore(t, path, first)
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := []Record{{ID: 99, Payload: []byte("appended")}, {ID: 100, Payload: nil}}
+	for _, r := range extra {
+		if err := s.Write(r.ID, r.Payload); err != nil {
+			t.Fatal(err)
 		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _, _ := s.Stats(); n != 2 {
+		t.Errorf("Open-session Stats records = %d, want 2", n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Record{}, first...), Record{ID: 99, Payload: []byte("appended")}, Record{ID: 100, Payload: []byte{}})
+	if !sameRecords(got, want) {
+		t.Errorf("after append: %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("Open of a missing store succeeded")
+	}
+}
+
+func TestOpenRepairsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	writeStore(t, path, testRecords())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last record in half, as a crash mid-write would.
+	if err := os.WriteFile(path, raw[:len(raw)-150], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(7, []byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(testRecords()[:3], Record{ID: 7, Payload: []byte("post-crash")})
+	if !sameRecords(got, want) {
+		t.Errorf("after torn-tail Open: %+v, want %+v", got, want)
+	}
+}
+
+func TestReadAllV1Legacy(t *testing.T) {
+	want := testRecords()
+	path := filepath.Join(t.TempDir(), "v1.log")
+	if err := os.WriteFile(path, v1Bytes(want), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v1 round-trips nil payloads as empty.
+	if !sameRecords(got, want) {
+		t.Errorf("v1 ReadAll = %+v, want %+v", got, want)
+	}
+	// An empty file is an empty v1 store.
+	empty := filepath.Join(t.TempDir(), "empty.log")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadAll(empty); err != nil || len(got) != 0 {
+		t.Errorf("empty file: %v, %v", got, err)
+	}
+}
+
+// TestReadAllTornVarint is the regression for the v1 reader treating
+// io.EOF from a partially-read id uvarint as a clean end of file: a
+// file cut mid-varint must fail with io.ErrUnexpectedEOF, in both
+// formats.
+func TestReadAllTornVarint(t *testing.T) {
+	dir := t.TempDir()
+
+	// v1: one whole record, then a multi-byte id varint cut short.
+	v1 := append(v1Bytes(testRecords()[:1]), 0x80, 0x80)
+	p1 := filepath.Join(dir, "v1-torn")
+	if err := os.WriteFile(p1, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(p1); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("v1 torn id accepted: err = %v", err)
+	}
+
+	// v2: header + one whole record + a torn id varint.
+	p2 := filepath.Join(dir, "v2-torn")
+	writeStore(t, p2, testRecords()[:1])
+	raw, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, append(raw, 0x80), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(p2); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("v2 torn id accepted: err = %v", err)
+	}
+
+	// A bare torn varint with no preceding record.
+	p3 := filepath.Join(dir, "bare")
+	if err := os.WriteFile(p3, []byte{0xFF}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(p3); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("bare torn varint accepted: err = %v", err)
+	}
+}
+
+func TestReadAllChecksumMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	writeStore(t, path, testRecords())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the third record; the length stays
+	// plausible so only the CRC can catch it.
+	raw[headerSize+len(raw[headerSize:])/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip not detected: err = %v", err)
+	}
+}
+
+func TestReadAllUnsupportedVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	h := header()
+	h[len(magic)] = 9
+	if err := os.WriteFile(path, h, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAll(path); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, _, err := Recover(path); err == nil {
+		t.Error("Recover accepted a future version")
 	}
 }
 
@@ -73,7 +304,7 @@ func TestReadAllErrors(t *testing.T) {
 	if _, err := ReadAll(filepath.Join(dir, "missing")); err == nil {
 		t.Error("missing file accepted")
 	}
-	// Truncated payload.
+	// Truncated v1 payload.
 	bad := filepath.Join(dir, "bad")
 	if err := os.WriteFile(bad, []byte{1, 10, 0xFF}, 0o644); err != nil {
 		t.Fatal(err)

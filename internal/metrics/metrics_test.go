@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if g.Value() != 1.0 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+	if c.String() != "42" || g.String() != "1" {
+		t.Errorf("String() = %q, %q", c.String(), g.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	if got := h.Mean(); math.Abs(got-21.2) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+	// 0.5 and 1 land in bucket le=1; 1.5 in le=2; 3 in le=4; 100 overflows.
+	s := h.snapshot()
+	if s.Overflow != 1 || len(s.Buckets) != 3 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// Quantiles are monotone and inside the observed bucket range.
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 > p99 || p50 <= 0 || p99 > 8 {
+		t.Errorf("p50=%v p99=%v", p50, p99)
+	}
+	if h.Quantile(0.0) < 0 {
+		t.Errorf("q0 = %v", h.Quantile(0))
+	}
+}
+
+func TestHistogramEmptyAndDefaults(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", nil) // DefBuckets
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if len(h.bounds) != len(DefBuckets()) {
+		t.Errorf("default bounds = %d", len(h.bounds))
+	}
+	// Unsorted, duplicated bounds are normalised.
+	h2 := r.Histogram("h2", []float64{4, 1, 2, 2, 1})
+	if len(h2.bounds) != 3 || h2.bounds[0] != 1 || h2.bounds[2] != 4 {
+		t.Errorf("bounds = %v", h2.bounds)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(2.5)
+	r.Histogram("c", []float64{1, 10}).Observe(5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if parsed["a"].(float64) != 3 || parsed["b"].(float64) != 2.5 {
+		t.Errorf("parsed = %v", parsed)
+	}
+	hist, ok := parsed["c"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Errorf("histogram entry = %v", parsed["c"])
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	c := r.Counter("a")
+	h := r.Histogram("b", []float64{1})
+	c.Inc()
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.over.Load() != 0 {
+		t.Error("Reset left state behind")
+	}
+	// Pointers stay live after Reset.
+	c.Inc()
+	if r.Counter("a").Value() != 1 {
+		t.Error("counter pointer stale after Reset")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n")
+			h := r.Histogram("h", []float64{1, 2, 4})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 5))
+				r.Gauge("g").Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("n").Value() != 8000 {
+		t.Errorf("counter = %d", r.Counter("n").Value())
+	}
+	if r.Histogram("h", nil).Count() != 8000 {
+		t.Errorf("histogram count = %d", r.Histogram("h", nil).Count())
+	}
+}

@@ -30,7 +30,14 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/metrics"
 )
+
+// mCodeLen tracks the digit length of every code Between assigns —
+// the growth signal behind QED's storage curve. One atomic update,
+// no allocation, so the insertion kernel stays at its alloc pin.
+var mCodeLen = metrics.Default.Histogram("qed_code_len_digits", metrics.ExpBuckets(1, 2, 12))
 
 // Code is an immutable QED code: a sequence of quaternary digits
 // 1..3 ending with 2 or 3. The zero value is the empty code.
@@ -164,6 +171,15 @@ func (c Code) String() string {
 // meaning open. Between never fails on valid ordered input — QED's
 // "completely avoid re-labeling" property.
 func Between(l, r Code) (Code, error) {
+	m, err := between(l, r)
+	if err == nil {
+		mCodeLen.Observe(float64(m.Len()))
+	}
+	return m, err
+}
+
+// between implements the middle-code rules.
+func between(l, r Code) (Code, error) {
 	if !l.IsEmpty() && !l.EndsValid() {
 		return Empty, fmt.Errorf("%w: left %q", ErrBadEnding, l)
 	}

@@ -6,11 +6,15 @@
 #   2. go vet        — the stock vet checks
 #   3. go build      — both tag states (the invariants tag swaps files in)
 #   4. go test       — the whole module, plus invariants-tagged label packages
-#   5. go test -race — the concurrent document layer
-#   6. labelvet      — the repo's own static-analysis suite (label invariants,
+#   5. go test -race — the concurrent document layer and the labelstore
+#   6. crash safety  — the recovery/fault-injection suite by name, then the
+#                      FuzzReadAll seed corpus as a short fuzz run
+#   7. labelvet      — the repo's own static-analysis suite (label invariants,
 #                      lock hygiene, dropped errors, panic allowlist)
-#   7. bench smoke   — every benchmark once (-benchtime 1x) plus a throwaway
+#   8. bench smoke   — every benchmark once (-benchtime 1x) plus a throwaway
 #                      BENCH JSON report, so the bench machinery cannot rot
+#   9. metrics smoke — experiments binary dumps a -metrics-json snapshot and
+#                      the labelstore/cdbs/qed/dyndoc keys must be present
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,8 +42,14 @@ go test ./...
 echo "==> go test -tags invariants ./internal/bitstr/... ./internal/cdbs/..."
 go test -tags invariants ./internal/bitstr/... ./internal/cdbs/...
 
-echo "==> go test -race ./internal/dyndoc/..."
-go test -race ./internal/dyndoc/...
+echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/..."
+go test -race ./internal/dyndoc/... ./internal/labelstore/...
+
+echo "==> crash-safety suite (recovery + fault injection)"
+go test -count=1 -run 'TestRecover|TestFault|TestSynced|TestReadAllTorn' ./internal/labelstore ./internal/labelstore/faultfs
+
+echo "==> FuzzReadAll seed corpus (5s)"
+go test -run '^$' -fuzz 'FuzzReadAll' -fuzztime 5s ./internal/labelstore
 
 echo "==> labelvet ./..."
 go run ./cmd/labelvet ./...
@@ -50,5 +60,15 @@ go run ./cmd/labelvet -tags invariants ./...
 echo "==> bench smoke (-benchtime 1x)"
 go test -run '^$' -bench . -benchtime 1x ./internal/bitstr ./internal/cdbs ./internal/qed
 BENCH_TIME=1x BENCH_OUT="${BENCH_SMOKE_OUT:-/tmp/bench_smoke.json}" sh scripts/bench.sh
+
+echo "==> metrics snapshot smoke (-metrics-json)"
+metrics_out="${METRICS_SMOKE_OUT:-/tmp/metrics_smoke.json}"
+go run ./cmd/experiments -run live,overflow -edits 60 -metrics-json "$metrics_out" >/dev/null
+for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_codes qed_code_len_digits dyndoc_inserts_total; do
+	if ! grep -q "\"$key\"" "$metrics_out"; then
+		echo "metrics smoke: $key missing from $metrics_out" >&2
+		exit 1
+	fi
+done
 
 echo "CI gate passed."
