@@ -88,9 +88,10 @@ func TestFaultInjectionMatrix(t *testing.T) {
 		fault faultfs.Fault
 	}
 	var cases []tc
-	// With a bufio-buffered store, file writes happen at each Sync
-	// (flush); ops 1..batches exist, plus the header flush inside
-	// write #1. Cover every boundary generously.
+	// NewStore writes and syncs the header unbuffered (write #1 and
+	// sync #1); after that the records are bufio-buffered, so batch b
+	// hits the file as write/sync #(b+1) at its Sync. Ops 1..batches+1
+	// cover every boundary.
 	for n := 1; n <= batches+1; n++ {
 		cases = append(cases,
 			tc{fmt.Sprintf("write-error-%d", n), faultfs.Fault{Op: faultfs.OpWrite, N: n}},
@@ -142,7 +143,9 @@ func TestFaultDuringHeader(t *testing.T) {
 // fault, without any recovery at all when the tail is clean.
 func TestSyncedDataSurvivesWedge(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "labels.log")
-	written, synced, failed := driveStore(t, path, 5, 2, faultfs.Fault{Op: faultfs.OpSync, N: 3})
+	// Sync #1 is the header sync inside NewStore, so sync #4 kills
+	// batch 3's fsync, leaving batches 1 and 2 durable.
+	written, synced, failed := driveStore(t, path, 5, 2, faultfs.Fault{Op: faultfs.OpSync, N: 4})
 	if failed == nil || synced != 2 {
 		t.Fatalf("synced = %d, failed = %v", synced, failed)
 	}

@@ -72,14 +72,20 @@ func Create(path string) (*Store, error) {
 }
 
 // NewStore starts a fresh v2 store on an already-open file, writing
-// the segment header through it. The caller owns nothing afterwards:
-// Close closes f. Fault-injection tests hand in a faultfs.File here.
+// and syncing the segment header through it immediately — the header
+// is not buffered, so the on-disk file is a valid empty v2 store from
+// the moment NewStore returns, and a crash before the first Sync
+// cannot leave a headerless (zero-length) file behind. The caller
+// owns nothing afterwards: Close closes f. Fault-injection tests hand
+// in a faultfs.File here.
 func NewStore(f File) (*Store, error) {
-	s := &Store{f: f, w: bufio.NewWriter(f)}
-	if _, err := s.w.Write(header()); err != nil {
+	if _, err := f.Write(header()); err != nil {
 		return nil, fmt.Errorf("labelstore: writing header: %w", err)
 	}
-	return s, nil
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("labelstore: syncing header: %w", err)
+	}
+	return &Store{f: f, w: bufio.NewWriter(f)}, nil
 }
 
 // Open appends to an existing store. It first runs crash recovery on

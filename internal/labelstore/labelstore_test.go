@@ -141,6 +141,41 @@ func TestOpenAppend(t *testing.T) {
 	}
 }
 
+// TestOpenEmptyFile: Open on a zero-length file — the state a crash
+// leaves between file creation and the header landing — must repair
+// it to a valid v2 store before appending. The regression it guards:
+// appending CRC-footed v2 records behind no header, which ReadAll
+// rejects and Recover used to mis-parse as legacy v1 (wrong IDs,
+// garbage payloads, no error).
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{{ID: 42, Payload: []byte("after empty")}}
+	if err := s.Write(want[0].ID, want[0].Payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(path)
+	if err != nil || !sameRecords(got, want) {
+		t.Errorf("ReadAll after Open-on-empty = %+v, %v, want %+v", got, err, want)
+	}
+	recovered, truncated, err := Recover(path)
+	if err != nil || truncated != 0 || !sameRecords(recovered, want) {
+		t.Errorf("Recover after Open-on-empty = %+v, %d, %v", recovered, truncated, err)
+	}
+}
+
 func TestOpenMissing(t *testing.T) {
 	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
 		t.Error("Open of a missing store succeeded")
@@ -311,6 +346,30 @@ func TestReadAllErrors(t *testing.T) {
 	}
 	if _, err := ReadAll(bad); err == nil {
 		t.Error("truncated payload accepted")
+	}
+}
+
+// TestCreateHeaderDurable: the segment header is written and synced
+// by Create itself, not buffered until the first Sync — a store that
+// crashes right after creation leaves a valid empty v2 file, never a
+// zero-length one.
+func TestCreateHeaderDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.log")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// No Write, no Sync: the on-disk file must already be complete.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != headerSize || string(raw[:len(magic)]) != magic || raw[len(magic)] != FormatVersion {
+		t.Fatalf("freshly created store on disk = % x, want the %d-byte v2 header", raw, headerSize)
+	}
+	if got, err := ReadAll(path); err != nil || len(got) != 0 {
+		t.Errorf("freshly created store: ReadAll = %v, %v", got, err)
 	}
 }
 

@@ -20,7 +20,8 @@ import (
 // so a damaged middle means the tail was never durable either).
 //
 // Special cases: a file shorter than the segment header that is a
-// prefix of it (the crash hit before the header landed) is reset to a
+// prefix of it — including a zero-length file, the state a crash
+// leaves between creation and the header landing — is reset to a
 // valid empty v2 store; legacy v1 files (no magic) are scanned with
 // the same boundary rules, just without checksum protection.
 func Recover(path string) (records []Record, truncatedBytes int64, err error) {
@@ -59,9 +60,12 @@ func recoverOpenFile(f *os.File) (records []Record, truncatedBytes int64, err er
 	if v2 && head[len(magic)] != FormatVersion {
 		return nil, 0, fmt.Errorf("labelstore: unsupported format version %d", head[len(magic)])
 	}
-	if !v2 && len(head) > 0 && len(head) < headerSize && string(head) == string(full[:len(head)]) {
-		// The crash landed inside the header: nothing was ever
-		// readable, so reset to a valid empty store.
+	if !v2 && len(head) < headerSize && string(head) == string(full[:len(head)]) {
+		// The crash landed before the header was complete — possibly
+		// before any byte of it (a zero-length file): nothing was ever
+		// readable, so reset to a valid empty store. Without this,
+		// Open would append v2 records to a headerless file that every
+		// reader then mis-parses as legacy v1.
 		if err := rewriteHeader(f); err != nil {
 			return nil, 0, err
 		}
