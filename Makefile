@@ -30,12 +30,14 @@ labelvet:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzAssignMiddleBinaryString -fuzztime=10s ./internal/cdbs
 	$(GO) test -run=^$$ -fuzz=FuzzTwoBetween -fuzztime=5s ./internal/cdbs
+	$(GO) test -run=^$$ -fuzz=FuzzEncodeBetween -fuzztime=10s ./internal/cdbs
 	$(GO) test -run=^$$ -fuzz=FuzzBetween -fuzztime=10s ./internal/qed
+	$(GO) test -run=^$$ -fuzz=FuzzEncodeBetween -fuzztime=10s ./internal/qed
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrKernels -fuzztime=10s ./internal/bitstr
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrCodecs -fuzztime=10s ./internal/bitstr
 	$(GO) test -run=^$$ -fuzz=FuzzReadAll -fuzztime=10s ./internal/labelstore
 
-# Regenerate BENCH_PR2.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
+# Regenerate BENCH_PR4.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
 bench:
 	sh scripts/bench.sh
 

@@ -337,7 +337,7 @@ func BenchmarkBulkInsertSubtree(b *testing.B) {
 }
 
 // BenchmarkKernels runs the label-kernel micro-benchmark registry
-// that also backs `make bench` and BENCH_PR2.json (see
+// that also backs `make bench` and BENCH_PR4.json (see
 // internal/bench/kernels.go), so `go test -bench Kernels .` and the
 // JSON report measure the same functions.
 func BenchmarkKernels(b *testing.B) {

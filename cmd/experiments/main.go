@@ -118,7 +118,7 @@ func header(title string) {
 // runBenchJSON measures every kernel benchmark (internal/bench
 // KernelBenchmarks) under the given benchtime and writes the report
 // as JSON. CI uses -bench-time 1x as a smoke run; `make bench` uses
-// the default 1s to regenerate BENCH_PR2.json.
+// the default 1s to regenerate BENCH_PR4.json.
 func runBenchJSON(path, benchtime string) error {
 	// testing.Benchmark honours the test.benchtime flag, which only
 	// exists after testing.Init.

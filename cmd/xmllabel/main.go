@@ -10,9 +10,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/datagen"
@@ -41,6 +43,10 @@ func main() {
 		e, err := registry.Lookup(*schemeName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xmllabel:", err)
+			if errors.Is(err, registry.ErrUnknownScheme) {
+				fmt.Fprintln(os.Stderr, "xmllabel: known schemes:", strings.Join(registry.Names(), ", "))
+				os.Exit(2)
+			}
 			os.Exit(1)
 		}
 		entries = []registry.Entry{e}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -51,6 +53,10 @@ func main() {
 	entry, err := registry.Lookup(*schemeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xquery:", err)
+		if errors.Is(err, registry.ErrUnknownScheme) {
+			fmt.Fprintln(os.Stderr, "xquery: known schemes:", strings.Join(registry.Names(), ", "))
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 

@@ -23,11 +23,14 @@
 package dynxml
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 
 	"repro/internal/bitstr"
 	"repro/internal/cdbs"
 	"repro/internal/dyndoc"
+	"repro/internal/metrics"
 	"repro/internal/qed"
 	"repro/internal/registry"
 	"repro/internal/scheme"
@@ -133,14 +136,11 @@ type Labeling = scheme.Labeling
 // "V-CDBS-Containment", "QED-Prefix", "Prime".
 func Schemes() []string { return registry.Names() }
 
-// Label labels doc with the named scheme.
-func Label(doc *Document, schemeName string) (Labeling, error) {
-	entry, err := registry.Lookup(schemeName)
-	if err != nil {
-		return nil, err
-	}
-	return entry.Build(doc)
-}
+// ErrUnknownScheme matches, via errors.Is, every error a scheme-name
+// lookup produces — from Open and from the deprecated constructors
+// alike. The error text carries a did-you-mean suggestion for
+// near-miss names.
+var ErrUnknownScheme = registry.ErrUnknownScheme
 
 // ---------------------------------------------------------------------------
 // Queries
@@ -161,42 +161,346 @@ func ParseQuery(s string) (*Query, error) { return xpath.Parse(s) }
 func NewEngine(doc *Document, lab Labeling) (*Engine, error) { return xpath.NewEngine(doc, lab) }
 
 // ---------------------------------------------------------------------------
-// Live documents
+// Live documents: the Open API
 
 // LiveDocument binds a document, a labeling and a query index into one
 // editable, queryable unit: insert and delete elements while running
 // path queries, with the dynamic schemes never re-labeling a node.
 type LiveDocument = dyndoc.Document
 
-// Live wraps doc as a LiveDocument under the named scheme.
-func Live(doc *Document, schemeName string) (*LiveDocument, error) {
-	entry, err := registry.Lookup(schemeName)
+// SharedDocument is a LiveDocument for concurrent use: queries are
+// lock-free over copy-on-write snapshots, so no reader ever blocks
+// behind a writer, and every reader sees only complete batches.
+type SharedDocument = dyndoc.Concurrent
+
+// Batch edit types, re-exported from the document layer: an Edit is
+// one operation of Handle.ApplyBatch, an EditResult what it did.
+type (
+	Edit       = dyndoc.Edit
+	EditResult = dyndoc.EditResult
+)
+
+// Batch edit operations.
+const (
+	OpInsertElement = dyndoc.OpInsertElement
+	OpInsertTree    = dyndoc.OpInsertTree
+	OpDeleteSubtree = dyndoc.OpDeleteSubtree
+)
+
+// DefaultScheme is the labeling scheme Open uses when WithScheme is
+// not given: the paper's headline compact dynamic scheme.
+const DefaultScheme = "V-CDBS-Containment"
+
+// config collects Open's options.
+type config struct {
+	scheme     string
+	concurrent bool
+	batchSize  int
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithScheme selects the labeling scheme by its registry name (see
+// Schemes). Unknown names make Open fail with an error matching
+// ErrUnknownScheme.
+func WithScheme(name string) Option { return func(c *config) { c.scheme = name } }
+
+// WithConcurrent opens the document for shared use: lock-free
+// snapshot queries and serialized copy-on-write edits (the Shared
+// accessor exposes the full concurrent API).
+func WithConcurrent() Option { return func(c *config) { c.concurrent = true } }
+
+// WithBatchSize caps how many edits one ApplyBatch call applies per
+// published snapshot on a concurrent handle: a batch larger than n is
+// split into chunks of at most n edits, each chunk published (and
+// thus made visible to readers, and applied atomically) on its own.
+// Zero or negative n — and any n on a non-concurrent handle — leaves
+// batches unsplit.
+func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
+
+// Handle is an opened document: one labeled, queryable, editable XML
+// tree. A concurrent handle (WithConcurrent) routes every call
+// through snapshot isolation; a plain handle edits in place with no
+// synchronization, like a LiveDocument.
+type Handle struct {
+	schemeName string
+	batchSize  int
+	live       *dyndoc.Document
+	shared     *dyndoc.Concurrent
+}
+
+// Open parses or wraps an XML document and labels it. src may be a
+// *Document (wrapped in place), a string or []byte of XML text, or an
+// io.Reader streaming XML text. Options select the scheme
+// (WithScheme), concurrent snapshot mode (WithConcurrent) and the
+// concurrent batch chunk size (WithBatchSize).
+//
+// Open subsumes the deprecated Label, Live, ParseLive and ParseShared
+// constructors:
+//
+//	Label(doc, s)      → Open(doc, WithScheme(s)) then Labeling()
+//	Live(doc, s)       → Open(doc, WithScheme(s)) then Live()
+//	ParseLive(text, s) → Open(text, WithScheme(s)) then Live()
+//	ParseShared(t, s)  → Open(t, WithScheme(s), WithConcurrent()) then Shared()
+func Open(src any, opts ...Option) (*Handle, error) {
+	cfg := config{scheme: DefaultScheme}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	entry, err := registry.Lookup(cfg.scheme)
 	if err != nil {
 		return nil, err
 	}
-	return dyndoc.New(doc, entry.Build)
+	doc, err := docFrom(src)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{schemeName: entry.Name, batchSize: cfg.batchSize}
+	if cfg.concurrent {
+		h.shared, err = dyndoc.NewConcurrent(doc, entry.Build)
+	} else {
+		h.live, err = dyndoc.New(doc, entry.Build)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// docFrom turns any supported source value into a parsed document.
+func docFrom(src any) (*Document, error) {
+	switch s := src.(type) {
+	case *Document:
+		if s == nil {
+			return nil, fmt.Errorf("dynxml: Open got a nil *Document")
+		}
+		return s, nil
+	case string:
+		return xmltree.ParseString(s)
+	case []byte:
+		return xmltree.ParseString(string(s))
+	case io.Reader:
+		return xmltree.Parse(s)
+	default:
+		return nil, fmt.Errorf("dynxml: Open cannot read a %T (want *Document, string, []byte or io.Reader)", src)
+	}
+}
+
+// Scheme returns the registry name of the handle's labeling scheme.
+func (h *Handle) Scheme() string { return h.schemeName }
+
+// Concurrent reports whether the handle was opened with
+// WithConcurrent.
+func (h *Handle) Concurrent() bool { return h.shared != nil }
+
+// Live returns the underlying in-place document, or nil on a
+// concurrent handle (whose document is only reachable through
+// snapshots — use Shared).
+func (h *Handle) Live() *LiveDocument { return h.live }
+
+// Shared returns the underlying shared document, or nil when the
+// handle was opened without WithConcurrent.
+func (h *Handle) Shared() *SharedDocument { return h.shared }
+
+// Labeling returns the document's labeling. On a concurrent handle it
+// is the latest snapshot's labeling: immutable, safe to read, and
+// left behind by the next edit.
+func (h *Handle) Labeling() Labeling {
+	if h.shared != nil {
+		var lab Labeling
+		_ = h.shared.Snapshot(func(d *LiveDocument) error {
+			lab = d.Labeling()
+			return nil
+		})
+		return lab
+	}
+	return h.live.Labeling()
+}
+
+// Len returns the live node count.
+func (h *Handle) Len() int {
+	if h.shared != nil {
+		return h.shared.Len()
+	}
+	return h.live.Len()
+}
+
+// Relabeled returns the cumulative count of existing nodes whose
+// labels updates have rewritten.
+func (h *Handle) Relabeled() int64 {
+	if h.shared != nil {
+		return h.shared.Relabeled()
+	}
+	return h.live.Relabeled()
+}
+
+// Name returns the element name of a live node id.
+func (h *Handle) Name(id int) (string, error) {
+	if h.shared != nil {
+		return h.shared.Name(id)
+	}
+	return h.live.Name(id)
+}
+
+// XML serialises the current document.
+func (h *Handle) XML() string {
+	if h.shared != nil {
+		return h.shared.XML()
+	}
+	return h.live.XML()
+}
+
+// Query evaluates a parsed path expression; on a concurrent handle
+// the evaluation is lock-free against the latest snapshot.
+func (h *Handle) Query(q *Query) ([]int, error) {
+	if h.shared != nil {
+		return h.shared.Query(q)
+	}
+	return h.live.Query(q)
+}
+
+// QueryString parses and evaluates a path expression.
+func (h *Handle) QueryString(path string) ([]int, error) {
+	if h.shared != nil {
+		return h.shared.QueryString(path)
+	}
+	return h.live.QueryString(path)
+}
+
+// Count returns the number of matches for a path expression.
+func (h *Handle) Count(path string) (int, error) {
+	if h.shared != nil {
+		return h.shared.Count(path)
+	}
+	return h.live.Count(path)
+}
+
+// InsertElement inserts a fresh element as the pos-th child of parent
+// and returns its id and the re-label count.
+func (h *Handle) InsertElement(parent, pos int, name string) (int, int, error) {
+	if h.shared != nil {
+		return h.shared.InsertElement(parent, pos, name)
+	}
+	return h.live.InsertElement(parent, pos, name)
+}
+
+// InsertTree inserts a deep copy of fragment as the pos-th child of
+// parent and returns the new ids in preorder plus the re-label count.
+func (h *Handle) InsertTree(parent, pos int, fragment *Node) ([]int, int, error) {
+	if h.shared != nil {
+		return h.shared.InsertTree(parent, pos, fragment)
+	}
+	return h.live.InsertTree(parent, pos, fragment)
+}
+
+// InsertTreeBatch inserts the fragments as consecutive children of
+// parent in one bulk operation: the label write path runs once for
+// the whole run, and on a concurrent handle a single snapshot is
+// published for the batch.
+func (h *Handle) InsertTreeBatch(parent, pos int, fragments []*Node) ([][]int, int, error) {
+	if h.shared != nil {
+		return h.shared.InsertTreeBatch(parent, pos, fragments)
+	}
+	return h.live.InsertTreeBatch(parent, pos, fragments)
+}
+
+// DeleteSubtree removes the node and its descendants, returning how
+// many nodes were removed.
+func (h *Handle) DeleteSubtree(id int) (int, error) {
+	if h.shared != nil {
+		return h.shared.DeleteSubtree(id)
+	}
+	return h.live.DeleteSubtree(id)
+}
+
+// ApplyBatch applies the edits in order and returns one result per
+// completed edit. On a concurrent handle the batch is applied on a
+// private copy and published atomically — in chunks of WithBatchSize
+// edits when that option was given, each chunk atomic on its own — so
+// readers never see a torn chunk. On a plain handle edits apply in
+// place and an error leaves the already-applied prefix behind (its
+// results are returned with the error).
+func (h *Handle) ApplyBatch(edits []Edit) ([]EditResult, error) {
+	if h.shared == nil {
+		return h.live.ApplyBatch(edits)
+	}
+	if h.batchSize <= 0 || len(edits) <= h.batchSize {
+		return h.shared.ApplyBatch(edits)
+	}
+	var out []EditResult
+	for start := 0; start < len(edits); start += h.batchSize {
+		end := min(start+h.batchSize, len(edits))
+		res, err := h.shared.ApplyBatch(edits[start:end])
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+// MetricsJSON returns a read-only JSON snapshot of the process-wide
+// metrics registry: label sizes, re-label bursts, batch sizes,
+// snapshot swaps, reader staleness and the rest of the instrumented
+// counters and histograms.
+func MetricsJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := metrics.Default.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated constructors, kept as shims over Open.
+
+// Label labels doc with the named scheme.
+//
+// Deprecated: use Open(doc, WithScheme(schemeName)) and Labeling.
+func Label(doc *Document, schemeName string) (Labeling, error) {
+	h, err := Open(doc, WithScheme(schemeName))
+	if err != nil {
+		return nil, err
+	}
+	return h.Labeling(), nil
+}
+
+// Live wraps doc as a LiveDocument under the named scheme.
+//
+// Deprecated: use Open(doc, WithScheme(schemeName)) and Live.
+func Live(doc *Document, schemeName string) (*LiveDocument, error) {
+	h, err := Open(doc, WithScheme(schemeName))
+	if err != nil {
+		return nil, err
+	}
+	return h.Live(), nil
 }
 
 // ParseLive parses XML text into a LiveDocument under the named
 // scheme.
+//
+// Deprecated: use Open(text, WithScheme(schemeName)) and Live.
 func ParseLive(text, schemeName string) (*LiveDocument, error) {
-	entry, err := registry.Lookup(schemeName)
+	h, err := Open(text, WithScheme(schemeName))
 	if err != nil {
 		return nil, err
 	}
-	return dyndoc.Parse(text, entry.Build)
+	return h.Live(), nil
 }
-
-// SharedDocument is a LiveDocument safe for concurrent use: queries
-// run under a read lock, edits under the write lock.
-type SharedDocument = dyndoc.Concurrent
 
 // ParseShared parses XML text into a SharedDocument under the named
 // scheme.
+//
+// Deprecated: use Open(text, WithScheme(schemeName), WithConcurrent())
+// and Shared.
 func ParseShared(text, schemeName string) (*SharedDocument, error) {
-	entry, err := registry.Lookup(schemeName)
+	h, err := Open(text, WithScheme(schemeName), WithConcurrent())
 	if err != nil {
 		return nil, err
 	}
-	return dyndoc.ParseConcurrent(text, entry.Build)
+	return h.Shared(), nil
 }

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/cdbs"
+	"repro/internal/containment"
+	"repro/internal/dyndoc"
+	"repro/internal/keys"
+	"repro/internal/qed"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Batch-insertion and snapshot-concurrency workloads added with the
+// bulk write path. The word/ref pairs quantify EncodeBetween (one
+// even subdivision of the gap) against the chained per-gap reference,
+// and one batched list insert against the same count of sequential
+// Between inserts at one position — the access pattern a bulk XML
+// fragment insert produces.
+
+// benchShelf builds the fragment shape the dyndoc batch benchmarks
+// insert.
+func benchShelf() *xmltree.Node {
+	shelf := xmltree.NewElement("shelf")
+	for i := 0; i < 2; i++ {
+		book := xmltree.NewElement("book")
+		book.AppendChild(xmltree.NewElement("title"))
+		shelf.AppendChild(book)
+	}
+	return shelf
+}
+
+const benchSeedDoc = `<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>`
+
+// batchBenchmarks returns the batch and snapshot benchmark set;
+// KernelBenchmarks folds them into the registry.
+func batchBenchmarks() []NamedBench {
+	var out []NamedBench
+	add := func(name string, f func(b *testing.B)) {
+		out = append(out, NamedBench{Name: name, F: func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		}})
+	}
+
+	bl := bitstr.MustParse("101")
+	br := bitstr.MustParse("11")
+	add("cdbs/EncodeBetween/word/256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			codes, err := cdbs.EncodeBetween(bl, br, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = len(codes)
+		}
+	})
+	add("cdbs/EncodeBetween/ref/256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			codes, err := cdbs.RefNBetween(bl, br, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = len(codes)
+		}
+	})
+
+	ql := qed.MustParse("112")
+	qr := qed.MustParse("113")
+	add("qed/EncodeBetween/word/256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			codes, err := qed.EncodeBetween(ql, qr, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = len(codes)
+		}
+	})
+	add("qed/EncodeBetween/ref/256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			codes, err := qed.RefNBetween(ql, qr, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = len(codes)
+		}
+	})
+
+	// The acceptance pair: one InsertNAt against 256 sequential
+	// InsertAt calls at the same position, each building a fresh
+	// 64-code list so both sides pay identical setup.
+	add("cdbs/ListInsert/word/256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l, err := cdbs.NewList(64, cdbs.VCDBS)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := l.InsertNAt(32, 256); err != nil {
+				b.Fatal(err)
+			}
+			benchSink = l.TotalBits()
+		}
+	})
+	add("cdbs/ListInsert/ref/256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l, err := cdbs.NewList(64, cdbs.VCDBS)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < 256; k++ {
+				if _, _, err := l.InsertAt(32); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchSink = l.TotalBits()
+		}
+	})
+
+	// Document-level batch insert against the same fragments inserted
+	// one at a time.
+	fragments := make([]*xmltree.Node, 32)
+	for i := range fragments {
+		fragments[i] = benchShelf()
+	}
+	add("dyndoc/InsertTreeBatch/word/32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := dyndoc.Parse(benchSeedDoc, containment.Build(keys.VCDBS()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := d.InsertTreeBatch(0, 0, fragments); err != nil {
+				b.Fatal(err)
+			}
+			benchSink = d.Len()
+		}
+	})
+	add("dyndoc/InsertTreeBatch/ref/32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d, err := dyndoc.Parse(benchSeedDoc, containment.Build(keys.VCDBS()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k, f := range fragments {
+				if _, _, err := d.InsertTree(0, k, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchSink = d.Len()
+		}
+	})
+
+	// Lock-free readers racing a churning snapshot writer: the writer
+	// batch-inserts fragments and deletes them again so the document
+	// size stays bounded across b.N, while the timed loop queries.
+	add("e2e/readers-under-writers/V-CDBS-Containment", func(b *testing.B) {
+		c, err := dyndoc.ParseConcurrent(benchSeedDoc, containment.Build(keys.VCDBS()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		churn := []*xmltree.Node{benchShelf(), benchShelf()}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ids, _, err := c.InsertTreeBatch(0, 0, churn)
+				if err != nil {
+					return
+				}
+				edits := make([]dyndoc.Edit, len(ids))
+				for k, fids := range ids {
+					edits[k] = dyndoc.Edit{Op: dyndoc.OpDeleteSubtree, Node: fids[0]}
+				}
+				if _, err := c.ApplyBatch(edits); err != nil {
+					return
+				}
+			}
+		}()
+		q := xpath.MustParse("//book")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ids, err := c.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink = len(ids)
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+
+	return out
+}

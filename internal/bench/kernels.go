@@ -4,8 +4,10 @@ package bench
 // mode of cmd/experiments: every label-kernel hot path, each
 // word-parallel kernel paired with its retained bit-at-a-time
 // reference from bitstr/reference.go, plus end-to-end update and
-// query workloads. The pairs quantify the word-parallel rewrite; the
-// JSON report pins the numbers in BENCH_PR2.json.
+// query workloads, and the batch-insertion and snapshot-concurrency
+// set from batch.go. The pairs quantify the word-parallel rewrite and
+// the bulk write path; the JSON report pins the numbers in
+// BENCH_PR4.json.
 
 import (
 	"fmt"
@@ -274,6 +276,7 @@ func KernelBenchmarks() []NamedBench {
 		}
 	})
 	out = append(out, NamedBench{Name: "e2e/figure6-q6/V-CDBS-Containment", F: benchFigure6Q6})
+	out = append(out, batchBenchmarks()...)
 	return out
 }
 

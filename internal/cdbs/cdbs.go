@@ -84,33 +84,71 @@ func TwoBetween(l, r bitstr.BitString) (m1, m2 bitstr.BitString, err error) {
 // assigned evenly the way Algorithm 2 assigns the initial encoding, so
 // that bulk insertion of a run of siblings keeps codes short.
 func NBetween(l, r bitstr.BitString, n int) ([]bitstr.BitString, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("cdbs: NBetween count %d is negative", n)
-	}
-	out := make([]bitstr.BitString, n+2)
-	out[0], out[n+1] = l, r
-	if err := subdivide(out, 0, n+1); err != nil {
-		return nil, err
-	}
-	return out[1 : n+1], nil
+	return EncodeBetween(l, r, n)
 }
 
-// subdivide fills out[(lo,hi)] exclusive with evenly assigned codes,
-// mirroring procedure SubEncoding of Algorithm 2.
-func subdivide(out []bitstr.BitString, lo, hi int) error {
-	if lo+1 >= hi {
-		return nil
+// EncodeBetween generalizes Algorithm 2 to an arbitrary gap: it emits
+// n compact, ordered codes strictly between l and r in one pass. It
+// assigns exactly the codes the gap-by-gap subdivision (RefNBetween)
+// assigns — Algorithm 1's case split depends only on the lengths of
+// the bounds, so procedure SubEncoding collapses to a closed
+// positional recursion (fillGap) that needs no per-gap validation.
+// The bounds are validated once up front instead of once per emitted
+// code, which is what makes bulk insertion a single-pass kernel.
+//
+// Compactness: with both bounds empty, EncodeBetween(Empty, Empty, n)
+// is Encode(n) bit for bit, so it inherits Theorem 4.4 — the total
+// size equals the V-Binary encoding of 1..n. Against non-empty bounds
+// each subdivision level extends the deeper bound by at most one bit
+// (case 1 appends "1", case 2 rewrites the final "1" to "01"), and an
+// even subdivision of n codes is at most FixedWidth(n)+1 levels deep,
+// so no code exceeds max(len(l), len(r)) + FixedWidth(n) + 1 bits.
+func EncodeBetween(l, r bitstr.BitString, n int) ([]bitstr.BitString, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cdbs: EncodeBetween count %d is negative", n)
 	}
-	mid := (lo + hi + 1) / 2 // round((lo+hi)/2), half rounds up
-	m, err := Between(out[lo], out[hi])
-	if err != nil {
-		return err
+	if n == 0 {
+		// Zero codes need no gap: bounds are not validated, matching the
+		// historical NBetween contract the reference keeps.
+		return nil, nil
+	}
+	if !l.IsEmpty() && !l.EndsWithOne() {
+		return nil, fmt.Errorf("%w: left %q", ErrNotEndingInOne, l)
+	}
+	if !r.IsEmpty() && !r.EndsWithOne() {
+		return nil, fmt.Errorf("%w: right %q", ErrNotEndingInOne, r)
+	}
+	if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
+		return nil, fmt.Errorf("%w: %q vs %q", ErrNotOrdered, l, r)
+	}
+	out := make([]bitstr.BitString, n)
+	fillGap(out, l, r)
+	assertEncodeBetween(l, r, out)
+	return out, nil
+}
+
+// fillGap assigns the codes of the open gap (l, r) into out. The
+// middle slot gets the gap's Algorithm 1 code, computed from the
+// bound lengths alone (the bounds are already validated), and the two
+// halves recurse with that code as their shared bound. The slice
+// midpoint len(out)/2 equals SubEncoding's round((lo+hi)/2) pivot at
+// every depth — with gap size s = hi−lo−1, the pivot's offset into
+// the gap is floor((lo+hi+1)/2) − (lo+1) = floor(s/2) — so the output
+// matches RefNBetween exactly.
+func fillGap(out []bitstr.BitString, l, r bitstr.BitString) {
+	if len(out) == 0 {
+		return
+	}
+	mid := len(out) / 2
+	var m bitstr.BitString
+	if l.Len() >= r.Len() {
+		m = l.AppendBit(1) // Algorithm 1, case (1)
+	} else {
+		m = r.SpliceBits(r.Len()-1, 0b01, 2) // case (2): last "1" → "01"
 	}
 	out[mid] = m
-	if err := subdivide(out, lo, mid); err != nil {
-		return err
-	}
-	return subdivide(out, mid, hi)
+	fillGap(out[:mid], l, m)
+	fillGap(out[mid+1:], m, r)
 }
 
 // Encode implements Algorithm 2: it returns the V-CDBS codes for the

@@ -1,0 +1,307 @@
+package cdbs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+// boundsGrid returns a spread of valid CDBS bound pairs (l ≺ r, either
+// possibly open) used by the EncodeBetween tests.
+func boundsGrid(t *testing.T) [][2]bitstr.BitString {
+	t.Helper()
+	parse := func(s string) bitstr.BitString {
+		b, err := bitstr.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	return [][2]bitstr.BitString{
+		{bitstr.Empty, bitstr.Empty},
+		{parse("1"), bitstr.Empty},
+		{bitstr.Empty, parse("1")},
+		{parse("01"), parse("1")},
+		{parse("1"), parse("11")},
+		{parse("0101"), parse("011")},
+		{parse("01"), parse("010001")},
+		{parse("001"), parse("0011")},
+		{parse("0111"), parse("1")},
+		{parse("101"), parse("11")},
+	}
+}
+
+// TestEncodeBetweenMatchesReference pins the one-pass fillGap to the
+// validated per-gap reference implementation, bit for bit, across the
+// bounds grid and a range of counts.
+func TestEncodeBetweenMatchesReference(t *testing.T) {
+	for _, bounds := range boundsGrid(t) {
+		l, r := bounds[0], bounds[1]
+		for _, n := range []int{0, 1, 2, 3, 5, 8, 17, 64, 255, 256, 1000} {
+			got, err := EncodeBetween(l, r, n)
+			if err != nil {
+				t.Fatalf("EncodeBetween(%q, %q, %d): %v", l, r, n, err)
+			}
+			want, err := RefNBetween(l, r, n)
+			if err != nil {
+				t.Fatalf("RefNBetween(%q, %q, %d): %v", l, r, n, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("EncodeBetween(%q, %q, %d): %d codes, reference %d", l, r, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Compare(want[i]) != 0 || got[i].Len() != want[i].Len() {
+					t.Fatalf("EncodeBetween(%q, %q, %d)[%d] = %q, reference %q", l, r, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBetweenOpenEqualsEncode checks that over the fully open
+// gap EncodeBetween is exactly the initial encoding: the compactness
+// claim reduces bulk insertion to Theorem 4.2's optimality.
+func TestEncodeBetweenOpenEqualsEncode(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1024} {
+		got, err := EncodeBetween(bitstr.Empty, bitstr.Empty, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Encode(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d codes vs Encode's %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Compare(want[i]) != 0 {
+				t.Fatalf("n=%d code %d: %q vs Encode's %q", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEncodeBetweenCompactness bounds the longest emitted code: a
+// batch of n codes inside (l, r) never needs more than
+// max(|l|, |r|) + FixedWidth(n) + 1 bits, i.e. the fresh-encoding
+// width on top of the bound it is squeezed against.
+func TestEncodeBetweenCompactness(t *testing.T) {
+	for _, bounds := range boundsGrid(t) {
+		l, r := bounds[0], bounds[1]
+		for _, n := range []int{1, 3, 16, 255, 1024} {
+			out, err := EncodeBetween(l, r, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			limit := max(l.Len(), r.Len()) + FixedWidth(n) + 1
+			for i, c := range out {
+				if c.Len() > limit {
+					t.Fatalf("EncodeBetween(%q, %q, %d)[%d] = %q has %d bits, limit %d",
+						l, r, n, i, c, c.Len(), limit)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBetweenOrderedInsideBounds re-states the acceptance
+// property directly: n codes, strictly increasing, strictly inside
+// (l, r), every one ending in bit 1.
+func TestEncodeBetweenOrderedInsideBounds(t *testing.T) {
+	for _, bounds := range boundsGrid(t) {
+		l, r := bounds[0], bounds[1]
+		out, err := EncodeBetween(l, r, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := l
+		for i, c := range out {
+			if !c.EndsWithOne() {
+				t.Fatalf("code %d %q does not end in 1", i, c)
+			}
+			if !prev.IsEmpty() && prev.Compare(c) >= 0 {
+				t.Fatalf("code %d %q not above its predecessor %q", i, c, prev)
+			}
+			prev = c
+		}
+		if !r.IsEmpty() && prev.Compare(r) >= 0 {
+			t.Fatalf("last code %q not below right bound %q", prev, r)
+		}
+	}
+}
+
+// TestEncodeBetweenValidation covers the rejection paths.
+func TestEncodeBetweenValidation(t *testing.T) {
+	one := bitstr.MustParse("1")
+	ten := bitstr.MustParse("10")
+	if _, err := EncodeBetween(one, one, -1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := EncodeBetween(ten, bitstr.Empty, 1); err == nil {
+		t.Fatal("left bound not ending in 1 accepted")
+	}
+	if _, err := EncodeBetween(bitstr.Empty, ten, 1); err == nil {
+		t.Fatal("right bound not ending in 1 accepted")
+	}
+	if _, err := EncodeBetween(bitstr.MustParse("11"), one, 1); err == nil {
+		t.Fatal("unordered bounds accepted")
+	}
+	// n == 0 short-circuits before the order check, matching the old
+	// NBetween behaviour.
+	if out, err := EncodeBetween(bitstr.MustParse("11"), one, 0); err != nil || len(out) != 0 {
+		t.Fatalf("EncodeBetween(unordered, 0) = %v, %v; want empty, nil", out, err)
+	}
+}
+
+// TestInsertNAtMatchesSequential checks the bulk list insertion
+// against n sequential InsertAt calls on every variant/policy
+// combination: the resulting code sequences must be valid and the
+// list lengths equal, and under Widen the bulk path must never
+// re-label.
+func TestInsertNAtMatchesSequential(t *testing.T) {
+	for _, v := range []Variant{VCDBS, FCDBS} {
+		for _, p := range []OverflowPolicy{Widen, Relabel, LocalRelabel} {
+			t.Run(fmt.Sprintf("%v/%d", v, p), func(t *testing.T) {
+				const start, n, at = 20, 50, 7
+				bulk, err := NewListPolicy(start, v, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq, err := NewListPolicy(start, v, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, relabeled, err := bulk.InsertNAt(at, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fresh) != n {
+					t.Fatalf("InsertNAt returned %d codes, want %d", len(fresh), n)
+				}
+				if p == Widen && relabeled != 0 {
+					t.Fatalf("Widen bulk insert re-labeled %d codes", relabeled)
+				}
+				for k := 0; k < n; k++ {
+					if _, _, err := seq.InsertAt(at + k); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if bulk.Len() != seq.Len() {
+					t.Fatalf("bulk len %d, sequential len %d", bulk.Len(), seq.Len())
+				}
+				if err := bulk.Validate(); err != nil {
+					t.Fatalf("bulk list invalid: %v", err)
+				}
+				if err := seq.Validate(); err != nil {
+					t.Fatalf("sequential list invalid: %v", err)
+				}
+				// The returned codes must be exactly the list slots
+				// they landed in.
+				for k, c := range fresh {
+					if bulk.Code(at+k).Compare(c) != 0 {
+						t.Fatalf("returned code %d = %q, list slot holds %q", k, c, bulk.Code(at+k))
+					}
+				}
+				// And bulk codes must be no longer than what chained
+				// sequential insertion produced in the same gap.
+				if bt, st := bulk.TotalBits(), seq.TotalBits(); bt > st {
+					t.Fatalf("bulk total %d bits exceeds sequential total %d bits", bt, st)
+				}
+			})
+		}
+	}
+}
+
+// TestInsertNAtEdgeCases covers boundaries and trivial counts.
+func TestInsertNAtEdgeCases(t *testing.T) {
+	l, err := NewList(5, VCDBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, rl, err := l.InsertNAt(2, 0); err != nil || out != nil || rl != 0 {
+		t.Fatalf("InsertNAt(2, 0) = %v, %d, %v; want nil, 0, nil", out, rl, err)
+	}
+	if _, _, err := l.InsertNAt(2, -1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, _, err := l.InsertNAt(-1, 1); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	if _, _, err := l.InsertNAt(l.Len()+1, 1); err == nil {
+		t.Fatal("position past the end accepted")
+	}
+	// Inserting at both ends must stay valid.
+	if _, _, err := l.InsertNAt(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.InsertNAt(l.Len(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A single-code batch is exactly InsertAt.
+	a, err := NewList(10, VCDBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewList(10, VCDBS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, _, err := a.InsertNAt(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, _, err := b.InsertAt(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac[0].Compare(bc) != 0 {
+		t.Fatalf("InsertNAt(4,1) = %q, InsertAt(4) = %q", ac[0], bc)
+	}
+}
+
+// FuzzEncodeBetween differentially fuzzes the one-pass batch encoder
+// against the validated per-gap reference over arbitrary bounds and
+// counts. Run with `-tags invariants` to layer the package
+// self-checks on top.
+func FuzzEncodeBetween(f *testing.F) {
+	f.Add("", "", 5)
+	f.Add("1", "", 3)
+	f.Add("", "1", 7)
+	f.Add("01", "1", 16)
+	f.Add("0101", "011", 200)
+	f.Add("11", "01", 4) // not ordered
+	f.Add("10", "11", 2) // invalid left
+	f.Add("1", "11", -1) // negative count
+	f.Add("0x", "1", 1)  // invalid alphabet
+	f.Fuzz(func(t *testing.T, ls, rs string, n int) {
+		if n > 4096 {
+			n %= 4096
+		}
+		l, lerr := bitstr.Parse(ls)
+		r, rerr := bitstr.Parse(rs)
+		if lerr != nil || rerr != nil {
+			return
+		}
+		got, gerr := EncodeBetween(l, r, n)
+		want, werr := RefNBetween(l, r, n)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("EncodeBetween(%q, %q, %d) err = %v, reference err = %v", l, r, n, gerr, werr)
+		}
+		if gerr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("EncodeBetween(%q, %q, %d): %d codes, reference %d", l, r, n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Compare(want[i]) != 0 || got[i].Len() != want[i].Len() {
+				t.Fatalf("EncodeBetween(%q, %q, %d)[%d] = %q, reference %q", l, r, n, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ var (
 	mCodeLen     = metrics.Default.Histogram("cdbs_code_len_bits", metrics.ExpBuckets(1, 2, 12))
 	mRelabelSize = metrics.Default.Histogram("cdbs_relabel_burst_codes", metrics.ExpBuckets(1, 2, 16))
 	mWidens      = metrics.Default.Counter("cdbs_widen_events_total")
+	mBatchInsert = metrics.Default.Histogram("cdbs_batch_insert_codes", metrics.ExpBuckets(1, 2, 16))
 )
 
 // Variant selects between the two CDBS storage layouts of Section 4.
@@ -237,6 +238,76 @@ func (l *List) InsertAt(i int) (bitstr.BitString, int, error) {
 	return m, 0, nil
 }
 
+// InsertNAt inserts n new codes before position i in one batch. One
+// EncodeBetween call lays the whole run into the gap with Algorithm
+// 2's even subdivision, so the codes stay O(log n) bits deep where n
+// sequential InsertAt calls at one position would chain Algorithm 1
+// through each other's output and reach O(n) bits. It returns the new
+// codes in order and the number of existing codes whose values had to
+// change: zero except on overflow under the relabel policies.
+func (l *List) InsertNAt(i, n int) ([]bitstr.BitString, int, error) {
+	if i < 0 || i > len(l.codes) {
+		return nil, 0, fmt.Errorf("cdbs: insert position %d out of range [0,%d]", i, len(l.codes))
+	}
+	if n < 0 {
+		return nil, 0, fmt.Errorf("cdbs: insert count %d is negative", n)
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	mBatchInsert.Observe(float64(n))
+	left, right := bitstr.Empty, bitstr.Empty
+	if i > 0 {
+		left = l.codes[i-1]
+	}
+	if i < len(l.codes) {
+		right = l.codes[i]
+	}
+	if l.variant == FCDBS {
+		left = left.TrimTrailingZeros()
+		right = right.TrimTrailingZeros()
+	}
+	fresh, err := EncodeBetween(left, right, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	maxLen := 0
+	for _, c := range fresh {
+		mCodeLen.Observe(float64(c.Len()))
+		if c.Len() > maxLen {
+			maxLen = c.Len()
+		}
+	}
+	if maxLen > l.maxCodeLen() {
+		switch l.policy {
+		case Relabel:
+			// Overflow (Example 6.1): re-encode everything, then
+			// return the freshly assigned codes at positions i..i+n.
+			rewritten := len(l.codes)
+			if err := l.reencode(len(l.codes) + n); err != nil {
+				return nil, 0, err
+			}
+			l.relabels++
+			l.relabeledCodes += int64(rewritten)
+			mRelabelSize.Observe(float64(rewritten))
+			return append([]bitstr.BitString(nil), l.codes[i:i+n]...), rewritten, nil
+		case LocalRelabel:
+			return l.insertLocalN(i, n)
+		default:
+			l.widen(maxLen)
+		}
+	}
+	if l.variant == FCDBS {
+		for fi, c := range fresh {
+			fresh[fi] = c.PadRight(l.fixedWidth)
+		}
+	}
+	l.codes = append(l.codes, make([]bitstr.BitString, n)...)
+	copy(l.codes[i+n:], l.codes[i:])
+	copy(l.codes[i:], fresh)
+	return fresh, 0, nil
+}
+
 // insertLocal re-encodes a window of codes around position i to make
 // room. The fresh window codes are as short as the window's outer
 // neighbors allow (Algorithm 2's even subdivision); if they still
@@ -245,6 +316,16 @@ func (l *List) InsertAt(i int) (bitstr.BitString, int, error) {
 // windows keep code lengths at O(log n + log window). It returns the
 // new code and the number of existing codes rewritten.
 func (l *List) insertLocal(i int) (bitstr.BitString, int, error) {
+	codes, rewritten, err := l.insertLocalN(i, 1)
+	if err != nil {
+		return bitstr.Empty, 0, err
+	}
+	return codes[0], rewritten, nil
+}
+
+// insertLocalN is insertLocal for a batch of n codes: the flattened
+// window absorbs the whole run in one even subdivision.
+func (l *List) insertLocalN(i, n int) ([]bitstr.BitString, int, error) {
 	lo, hi := i-l.window, i+l.window
 	if lo < 0 {
 		lo = 0
@@ -282,9 +363,9 @@ func (l *List) insertLocal(i int) (bitstr.BitString, int, error) {
 		left = left.TrimTrailingZeros()
 		right = right.TrimTrailingZeros()
 	}
-	fresh, err := NBetween(left, right, hi-lo+1)
+	fresh, err := EncodeBetween(left, right, hi-lo+n)
 	if err != nil {
-		return bitstr.Empty, 0, err
+		return nil, 0, err
 	}
 	maxLen := 0
 	for _, c := range fresh {
@@ -300,16 +381,16 @@ func (l *List) insertLocal(i int) (bitstr.BitString, int, error) {
 			fresh[fi] = c.PadRight(l.fixedWidth)
 		}
 	}
-	// Splice: the window's hi-lo old codes are replaced and one extra
-	// code is inserted at relative position i-lo.
+	// Splice: the window's hi-lo old codes are replaced and n extra
+	// codes are inserted at relative position i-lo.
 	rewritten := hi - lo
-	l.codes = append(l.codes, bitstr.Empty)
-	copy(l.codes[hi+1:], l.codes[hi:])
-	copy(l.codes[lo:hi+1], fresh)
+	l.codes = append(l.codes, make([]bitstr.BitString, n)...)
+	copy(l.codes[hi+n:], l.codes[hi:len(l.codes)-n])
+	copy(l.codes[lo:hi+n], fresh)
 	l.relabels++
 	l.relabeledCodes += int64(rewritten)
 	mRelabelSize.Observe(float64(rewritten))
-	return l.codes[i], rewritten, nil
+	return append([]bitstr.BitString(nil), l.codes[i:i+n]...), rewritten, nil
 }
 
 // widen grows the fixed field so a code of length need fits. Existing

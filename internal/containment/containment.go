@@ -296,6 +296,82 @@ func (l *Labeling) InsertSubtree(parent, pos int, shape *xmltree.Node) ([]int, i
 	return ids, 0, nil
 }
 
+// InsertSubtrees inserts fragments shaped like the given element
+// trees as consecutive children of parent starting at position pos,
+// placing all 2×total endpoint keys into the one gap with a single
+// even subdivision — the batch generalisation of InsertSubtree, where
+// n sequential inserts would subdivide the same gap n times and grow
+// the later fragments' keys. It implements scheme.BatchInserter.
+func (l *Labeling) InsertSubtrees(parent, pos int, shapes []*xmltree.Node) ([][]int, int, error) {
+	if len(shapes) == 0 {
+		return nil, 0, nil
+	}
+	total := 0
+	for _, shape := range shapes {
+		if shape == nil {
+			return nil, 0, errors.New("containment: nil shape")
+		}
+		total += shape.SubtreeSize()
+	}
+	if err := l.tree.ValidateInsert(parent, pos); err != nil {
+		return nil, 0, err
+	}
+	left, right := l.gapBounds(parent, pos)
+	ks, err := l.codec.NBetween(left, right, 2*total)
+	if err != nil && !errors.Is(err, keys.ErrNoRoom) {
+		return nil, 0, fmt.Errorf("containment: %w", err)
+	}
+	ids := make([][]int, len(shapes))
+	for k, shape := range shapes {
+		ids[k] = l.addShape(parent, pos+k, shape)
+		for range ids[k] {
+			l.start = append(l.start, nil)
+			l.end = append(l.end, nil)
+		}
+	}
+	if err != nil {
+		// Static codec out of room: re-encode everything.
+		changed, rerr := l.reassign()
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		return ids, changed, nil
+	}
+	// Assign the fresh keys across the fragments in document order:
+	// start at pre-visit, end at post-visit, fragments consecutive.
+	cursor := 0
+	for k, shape := range shapes {
+		idAt := 0
+		var walk func(n *xmltree.Node)
+		walk = func(n *xmltree.Node) {
+			id := ids[k][idAt]
+			idAt++
+			l.start[id] = ks[cursor]
+			cursor++
+			for _, c := range n.Children {
+				walk(c)
+			}
+			l.end[id] = ks[cursor]
+			cursor++
+		}
+		walk(shape)
+	}
+	return ids, 0, nil
+}
+
+// CloneLabeling returns an independent deep copy, implementing
+// scheme.Cloner. Keys are immutable values (bit strings, QED codes,
+// boxed numbers) that are replaced, never mutated, so the key slices
+// are copied shallowly; the structural mirror is deep-copied.
+func (l *Labeling) CloneLabeling() scheme.Labeling {
+	return &Labeling{
+		codec: l.codec,
+		tree:  l.tree.Clone(),
+		start: append([]keys.Key(nil), l.start...),
+		end:   append([]keys.Key(nil), l.end...),
+	}
+}
+
 // addShape mirrors the fragment into the structural tree, returning
 // the fresh ids in preorder.
 func (l *Labeling) addShape(parent, pos int, shape *xmltree.Node) []int {

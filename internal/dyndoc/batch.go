@@ -1,0 +1,159 @@
+package dyndoc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// mBatchSize tracks how many edits (ApplyBatch) or fragments
+// (InsertTreeBatch) each batch carries — the amortization knob the
+// snapshot layer pays one clone per.
+var mBatchSize = metrics.Default.Histogram("dyndoc_batch_size", metrics.ExpBuckets(1, 2, 12))
+
+// EditOp selects the operation of one batch Edit.
+type EditOp int
+
+const (
+	// OpInsertElement inserts a fresh element Name as the Pos-th child
+	// of Parent.
+	OpInsertElement EditOp = iota
+	// OpInsertTree inserts a deep copy of Fragment as the Pos-th child
+	// of Parent.
+	OpInsertTree
+	// OpDeleteSubtree removes node Node and its descendants.
+	OpDeleteSubtree
+)
+
+// Edit is one operation of a batch. Exactly the fields its Op reads
+// are meaningful; the rest are ignored.
+type Edit struct {
+	Op       EditOp
+	Parent   int           // insert ops: parent id
+	Pos      int           // insert ops: child position
+	Name     string        // OpInsertElement: element name
+	Fragment *xmltree.Node // OpInsertTree: fragment shape
+	Node     int           // OpDeleteSubtree: subtree root id
+}
+
+// EditResult reports what one Edit did.
+type EditResult struct {
+	IDs       []int // ids created by an insert op (preorder), nil for deletes
+	Relabeled int   // existing nodes re-labeled by the op
+	Removed   int   // nodes removed by a delete op
+}
+
+// ApplyBatch applies the edits in order against the document and
+// returns one result per completed edit. Later edits may reference
+// ids created by earlier ones. On error the already-applied prefix of
+// results is returned with it; on a Concurrent document ApplyBatch is
+// instead all-or-nothing (the batch runs on a private clone).
+func (d *Document) ApplyBatch(edits []Edit) ([]EditResult, error) {
+	if len(edits) == 0 {
+		return nil, nil
+	}
+	mBatchSize.Observe(float64(len(edits)))
+	out := make([]EditResult, 0, len(edits))
+	for i, e := range edits {
+		switch e.Op {
+		case OpInsertElement:
+			id, relabeled, err := d.InsertElement(e.Parent, e.Pos, e.Name)
+			if err != nil {
+				return out, fmt.Errorf("dyndoc: batch edit %d: %w", i, err)
+			}
+			out = append(out, EditResult{IDs: []int{id}, Relabeled: relabeled})
+		case OpInsertTree:
+			ids, relabeled, err := d.InsertTree(e.Parent, e.Pos, e.Fragment)
+			if err != nil {
+				return out, fmt.Errorf("dyndoc: batch edit %d: %w", i, err)
+			}
+			out = append(out, EditResult{IDs: ids, Relabeled: relabeled})
+		case OpDeleteSubtree:
+			removed, err := d.DeleteSubtree(e.Node)
+			if err != nil {
+				return out, fmt.Errorf("dyndoc: batch edit %d: %w", i, err)
+			}
+			out = append(out, EditResult{Removed: removed})
+		default:
+			return out, fmt.Errorf("dyndoc: batch edit %d: unknown op %d", i, e.Op)
+		}
+	}
+	return out, nil
+}
+
+// InsertTreeBatch inserts deep copies of the fragments as consecutive
+// children of parent starting at pos. When the labeling implements
+// scheme.BatchInserter the whole run takes the label write path once
+// — every fragment code lands in the single gap with one even
+// subdivision (EncodeBetween), so the codes stay as short as a fresh
+// bulk encoding — otherwise it degrades to per-fragment InsertTree.
+// It returns one preorder id slice per fragment and the total
+// re-label count.
+func (d *Document) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) ([][]int, int, error) {
+	if len(fragments) == 0 {
+		return nil, 0, nil
+	}
+	mBatchSize.Observe(float64(len(fragments)))
+	bi, ok := d.lab.(scheme.BatchInserter)
+	if !ok {
+		out := make([][]int, len(fragments))
+		total := 0
+		for k, f := range fragments {
+			ids, relabeled, err := d.InsertTree(parent, pos+k, f)
+			if err != nil {
+				return nil, 0, fmt.Errorf("dyndoc: batch fragment %d: %w", k, err)
+			}
+			out[k] = ids
+			total += relabeled
+		}
+		return out, total, nil
+	}
+	if parent < 0 || parent >= len(d.nodes) || !d.lab.Tree().Alive(parent) {
+		return nil, 0, fmt.Errorf("%w: parent %d", ErrBadNode, parent)
+	}
+	for _, f := range fragments {
+		if f == nil || f.Kind != xmltree.Element {
+			return nil, 0, errors.New("dyndoc: fragment must be an element tree")
+		}
+	}
+	if pos < 0 || pos > len(d.nodes[parent].Children) {
+		return nil, 0, fmt.Errorf("dyndoc: child position %d out of range [0,%d]", pos, len(d.nodes[parent].Children))
+	}
+	ids, relabeled, err := bi.InsertSubtrees(parent, pos, fragments)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.relabeled += int64(relabeled)
+	mInserts.Add(int64(len(fragments)))
+	mRelabeled.Add(int64(relabeled))
+	for k, f := range fragments {
+		clone := cloneTree(f)
+		if err := d.nodes[parent].InsertChildAt(pos+k, clone); err != nil {
+			// Unreachable after the up-front validation: position pos+k
+			// is in range once the k preceding fragments are attached.
+			return nil, 0, fmt.Errorf("dyndoc: tree/labeling drift: %w", err)
+		}
+		idAt := 0
+		var walk func(n *xmltree.Node)
+		walk = func(n *xmltree.Node) {
+			id := ids[k][idAt]
+			idAt++
+			for id >= len(d.nodes) {
+				d.nodes = append(d.nodes, nil)
+				d.names = append(d.names, "")
+			}
+			d.nodes[id] = n
+			d.names[id] = n.Name
+			d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
+			d.elems = d.insertOrdered(d.elems, id)
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(clone)
+	}
+	return ids, relabeled, nil
+}

@@ -1,0 +1,52 @@
+package dyndoc
+
+import (
+	"fmt"
+
+	"repro/internal/scheme"
+	"repro/internal/xmltree"
+)
+
+// Clone returns an independent deep copy of the document: the XML
+// tree, the labeling (via scheme.Cloner) and the index lists share no
+// mutable state with the original, so one side can be edited while
+// the other is read. Clone fails when the labeling does not implement
+// scheme.Cloner (all schemes in this repository do).
+func (d *Document) Clone() (*Document, error) {
+	cl, ok := d.lab.(scheme.Cloner)
+	if !ok {
+		return nil, fmt.Errorf("dyndoc: labeling %s does not implement scheme.Cloner", d.lab.Name())
+	}
+	nodeMap := make(map[*xmltree.Node]*xmltree.Node, len(d.nodes))
+	var copyTree func(n *xmltree.Node) *xmltree.Node
+	copyTree = func(n *xmltree.Node) *xmltree.Node {
+		out := &xmltree.Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+		nodeMap[n] = out
+		for _, c := range n.Children {
+			out.AppendChild(copyTree(c))
+		}
+		return out
+	}
+	root := copyTree(d.doc.Root)
+	nodes := make([]*xmltree.Node, len(d.nodes))
+	for i, n := range d.nodes {
+		// Detached (deleted) nodes map to nil; their dead ids are never
+		// dereferenced because Tree().Alive gates every access.
+		if n != nil {
+			nodes[i] = nodeMap[n]
+		}
+	}
+	byName := make(map[string][]int, len(d.byName))
+	for name, list := range d.byName {
+		byName[name] = append([]int(nil), list...)
+	}
+	return &Document{
+		doc:       &xmltree.Document{Root: root},
+		lab:       cl.CloneLabeling(),
+		nodes:     nodes,
+		names:     append([]string(nil), d.names...),
+		byName:    byName,
+		elems:     append([]int(nil), d.elems...),
+		relabeled: d.relabeled,
+	}, nil
+}

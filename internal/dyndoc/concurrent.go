@@ -1,19 +1,52 @@
 package dyndoc
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
 
-// Concurrent wraps a Document for shared use: queries take a read
-// lock and run concurrently; edits take the write lock. The zero value
-// is not usable — construct with NewConcurrent or ParseConcurrent.
+// Snapshot-concurrency metrics: how often a writer published a new
+// snapshot, and how many generations behind the published head a
+// reader's snapshot was by the time its query finished (0 = the
+// reader saw the latest state; >0 = writers published during the
+// read, which lock-free readers tolerate by design).
+var (
+	mSnapshotSwaps = metrics.Default.Counter("dyndoc_snapshot_swaps_total")
+	mStaleness     = metrics.Default.Histogram("dyndoc_reader_staleness_gens", metrics.LinearBuckets(0, 1, 16))
+)
+
+// snapshot is one immutable published state of a shared document: the
+// (document, labeling, engine) triple queries run against, plus the
+// generation that produced it. Nothing reachable from a published
+// snapshot is ever mutated again — writers build the next snapshot on
+// a deep copy and publish it with one atomic pointer swap — so
+// readers traverse it without any synchronization.
+type snapshot struct {
+	d   *Document
+	eng *xpath.Engine
+	gen uint64
+}
+
+// Concurrent wraps a Document for shared use with copy-on-write
+// snapshots. Queries are lock-free: they load the latest snapshot
+// with one atomic pointer read and evaluate against its immutable
+// (document, labeling, engine) triple, so no reader ever blocks
+// behind a writer. Writers serialize on a mutex, clone the current
+// document, apply their edits to the private clone and publish it as
+// the next snapshot; a reader racing a publish simply keeps the
+// previous complete snapshot for the rest of its query. The zero
+// value is not usable — construct with NewConcurrent or
+// ParseConcurrent, which require the labeling to implement
+// scheme.Cloner.
 type Concurrent struct {
-	mu sync.RWMutex
-	d  *Document
+	mu   sync.Mutex // serializes writers; never taken on the query path
+	snap atomic.Pointer[snapshot]
 }
 
 // NewConcurrent wraps doc under the given builder.
@@ -22,7 +55,7 @@ func NewConcurrent(doc *xmltree.Document, build scheme.Builder) (*Concurrent, er
 	if err != nil {
 		return nil, err
 	}
-	return &Concurrent{d: d}, nil
+	return newConcurrent(d)
 }
 
 // ParseConcurrent parses XML text into a shared live document.
@@ -31,42 +64,48 @@ func ParseConcurrent(text string, build scheme.Builder) (*Concurrent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Concurrent{d: d}, nil
+	return newConcurrent(d)
 }
+
+// newConcurrent publishes the initial snapshot, failing fast when the
+// labeling cannot support copy-on-write updates.
+func newConcurrent(d *Document) (*Concurrent, error) {
+	if _, ok := d.lab.(scheme.Cloner); !ok {
+		return nil, fmt.Errorf("dyndoc: labeling %s does not support snapshots (missing scheme.Cloner)", d.lab.Name())
+	}
+	c := &Concurrent{}
+	c.snap.Store(&snapshot{d: d, eng: d.engine()})
+	return c, nil
+}
+
+// load returns the latest published snapshot: one atomic pointer
+// read, the whole synchronization cost of the query path.
+func (c *Concurrent) load() *snapshot { return c.snap.Load() }
+
+// Generation returns the published snapshot generation, which
+// increases by one per successful write.
+func (c *Concurrent) Generation() uint64 { return c.load().gen }
 
 // Len returns the live node count.
-func (c *Concurrent) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.d.Len()
-}
+func (c *Concurrent) Len() int { return c.load().d.Len() }
 
 // Relabeled returns the cumulative re-label count.
-func (c *Concurrent) Relabeled() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.d.Relabeled()
-}
+func (c *Concurrent) Relabeled() int64 { return c.load().d.Relabeled() }
 
 // Name returns the element name of a live node id.
-func (c *Concurrent) Name(id int) (string, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.d.Name(id)
-}
+func (c *Concurrent) Name(id int) (string, error) { return c.load().d.Name(id) }
 
-// XML serialises the current document.
-func (c *Concurrent) XML() string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.d.XML()
-}
+// XML serialises the latest published snapshot.
+func (c *Concurrent) XML() string { return c.load().d.XML() }
 
-// Query evaluates a parsed path expression under the read lock.
+// Query evaluates a parsed path expression against the latest
+// published snapshot, lock-free.
 func (c *Concurrent) Query(q *xpath.Query) ([]int, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.d.Query(q)
+	s := c.load()
+	mQueries.Inc()
+	ids, err := s.eng.Eval(q)
+	mStaleness.Observe(float64(c.load().gen - s.gen))
+	return ids, err
 }
 
 // QueryString parses and evaluates a path expression.
@@ -84,39 +123,114 @@ func (c *Concurrent) Count(path string) (int, error) {
 	return len(ids), err
 }
 
-// InsertElement inserts a fresh element under the write lock.
+// update is the single writer path: it clones the current snapshot's
+// document, applies fn to the clone and publishes the result as the
+// next snapshot. When fn fails nothing is published, so readers never
+// observe a partially applied edit.
+func (c *Concurrent) update(fn func(d *Document) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.load()
+	next, err := cur.d.Clone()
+	if err != nil {
+		return err
+	}
+	if err := fn(next); err != nil {
+		return err
+	}
+	c.snap.Store(&snapshot{d: next, eng: next.engine(), gen: cur.gen + 1})
+	mSnapshotSwaps.Inc()
+	return nil
+}
+
+// InsertElement inserts a fresh element and publishes a new snapshot.
 func (c *Concurrent) InsertElement(parent, pos int, name string) (int, int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.d.InsertElement(parent, pos, name)
+	var id, relabeled int
+	err := c.update(func(d *Document) error {
+		var err error
+		id, relabeled, err = d.InsertElement(parent, pos, name)
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, relabeled, nil
 }
 
-// InsertTree inserts a fragment copy under the write lock.
+// InsertTree inserts a fragment copy and publishes a new snapshot.
 func (c *Concurrent) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.d.InsertTree(parent, pos, fragment)
+	var ids []int
+	var relabeled int
+	err := c.update(func(d *Document) error {
+		var err error
+		ids, relabeled, err = d.InsertTree(parent, pos, fragment)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ids, relabeled, nil
 }
 
-// DeleteSubtree removes a subtree under the write lock.
+// InsertTreeBatch inserts the fragments as consecutive children of
+// parent in one batch, paying the snapshot clone once for the whole
+// run (see Document.InsertTreeBatch for the label-side batching).
+func (c *Concurrent) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) ([][]int, int, error) {
+	var ids [][]int
+	var relabeled int
+	err := c.update(func(d *Document) error {
+		var err error
+		ids, relabeled, err = d.InsertTreeBatch(parent, pos, fragments)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ids, relabeled, nil
+}
+
+// DeleteSubtree removes a subtree and publishes a new snapshot.
 func (c *Concurrent) DeleteSubtree(id int) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.d.DeleteSubtree(id)
+	var removed int
+	err := c.update(func(d *Document) error {
+		var err error
+		removed, err = d.DeleteSubtree(id)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return removed, nil
 }
 
-// Snapshot runs fn with the read lock held, giving it consistent
-// access to the underlying document for composite reads.
+// ApplyBatch applies the edits against one clone and publishes a
+// single snapshot: readers observe none or all of the batch, and the
+// clone cost is paid once per batch instead of once per edit.
+func (c *Concurrent) ApplyBatch(edits []Edit) ([]EditResult, error) {
+	var out []EditResult
+	err := c.update(func(d *Document) error {
+		var err error
+		out, err = d.ApplyBatch(edits)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Snapshot runs fn against the latest published snapshot without any
+// locking. The document fn receives is immutable and stays consistent
+// for as long as fn holds it, even while writers publish newer
+// snapshots; fn must only read it.
 func (c *Concurrent) Snapshot(fn func(d *Document) error) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return fn(c.d)
+	return fn(c.load().d)
 }
 
-// Update runs fn with the write lock held, for composite edits that
-// must be atomic with respect to readers.
+// Update runs fn against a private clone of the document and
+// publishes the clone as one new snapshot when fn succeeds, making
+// composite edits atomic with respect to readers. When fn returns an
+// error nothing is published and the shared document is unchanged.
 func (c *Concurrent) Update(fn func(d *Document) error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return fn(c.d)
+	return c.update(fn)
 }

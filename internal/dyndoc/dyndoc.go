@@ -220,8 +220,15 @@ func prune(list []int, doomed map[int]bool) []int {
 // document state and returns matching ids in document order.
 func (d *Document) Query(q *xpath.Query) ([]int, error) {
 	mQueries.Inc()
-	e := xpath.NewEngineIndexed(d.lab, d.names, d.byName, d.elems)
-	return e.Eval(q)
+	return d.engine().Eval(q)
+}
+
+// engine builds a query engine over the document's current index
+// views. Construction is a zero-work struct literal; the engine stays
+// valid (and safe to share across goroutines) as long as the document
+// is not edited, which is what the snapshot layer relies on.
+func (d *Document) engine() *xpath.Engine {
+	return xpath.NewEngineIndexed(d.lab, d.names, d.byName, d.elems)
 }
 
 // QueryString parses and evaluates a path expression.

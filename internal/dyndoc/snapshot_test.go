@@ -1,0 +1,236 @@
+package dyndoc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/containment"
+	"repro/internal/keys"
+	"repro/internal/xmltree"
+)
+
+// TestSnapshotStorm hammers a shared document with batch writers and
+// lock-free readers. Every writer inserts elements in PAIRS through
+// one ApplyBatch, so any reader that ever observes an odd "//pair"
+// count has seen a half-applied batch — the property the snapshot
+// design makes impossible. Run under -race this also proves the
+// reader path touches no unsynchronized mutable state.
+func TestSnapshotStorm(t *testing.T) {
+	c, err := ParseConcurrent(seedDoc, containment.Build(keys.VCDBS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const readers = 8
+	const batchesEach = 60
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < batchesEach; i++ {
+				res, err := c.ApplyBatch([]Edit{
+					{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "pair"},
+					{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "pair"},
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Every other batch, take the pair out again — also in
+				// one batch — so deletes race the readers too.
+				if i%2 == 1 {
+					if _, err := c.ApplyBatch([]Edit{
+						{Op: OpDeleteSubtree, Node: res[0].IDs[0]},
+						{Op: OpDeleteSubtree, Node: res[1].IDs[0]},
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := c.Count("//pair")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if n%2 != 0 {
+					errCh <- errors.New("reader observed an odd pair count: torn batch visible")
+					return
+				}
+				// Snapshot consistency: the document a reader holds
+				// must not move under it even while writers publish.
+				if err := c.Snapshot(func(d *Document) error {
+					before := d.Len()
+					if _, err := d.QueryString("//pair"); err != nil {
+						return err
+					}
+					if d.Len() != before {
+						return errors.New("snapshot document changed during read")
+					}
+					return nil
+				}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Let readers overlap the full write storm, then wind them down.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case err := <-errCh:
+			close(stop)
+			t.Fatal(err)
+		case <-done:
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+			return
+		case <-time.After(time.Millisecond):
+			if c.Generation() >= writers*batchesEach {
+				close(stop)
+				<-done
+				select {
+				case err := <-errCh:
+					t.Fatal(err)
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// TestQueryDoesNotBlockOnWriter proves the read path acquires no
+// mutex: a Query completes while a writer sits inside Update holding
+// the writer lock.
+func TestQueryDoesNotBlockOnWriter(t *testing.T) {
+	c, err := ParseConcurrent(seedDoc, containment.Build(keys.VCDBS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		writerDone <- c.Update(func(d *Document) error {
+			close(entered)
+			<-release
+			_, _, err := d.InsertElement(0, 0, "late")
+			return err
+		})
+	}()
+	<-entered
+
+	queryDone := make(chan error, 1)
+	go func() {
+		n, err := c.Count("//book")
+		if err == nil && n != 3 {
+			err = errors.New("unexpected book count before the write published")
+		}
+		queryDone <- err
+	}()
+	select {
+	case err := <-queryDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query blocked behind a writer holding the update lock")
+	}
+	close(release)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Count("//late"); err != nil || n != 1 {
+		t.Fatalf("Count(//late) = %d, %v; want 1", n, err)
+	}
+}
+
+// TestGenerationAndRollback checks that each successful write
+// publishes exactly one new generation and a failed update publishes
+// nothing at all.
+func TestGenerationAndRollback(t *testing.T) {
+	c, err := ParseConcurrent(seedDoc, containment.Build(keys.VCDBS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("initial generation %d, want 0", g)
+	}
+	if _, _, err := c.InsertElement(0, 0, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("generation %d after one write, want 1", g)
+	}
+	xml := c.XML()
+	boom := errors.New("boom")
+	err = c.Update(func(d *Document) error {
+		if _, _, err := d.InsertElement(0, 0, "phantom"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Update returned %v, want boom", err)
+	}
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("failed update advanced the generation to %d", g)
+	}
+	if c.XML() != xml {
+		t.Fatal("failed update leaked state into the published snapshot")
+	}
+	if n, err := c.Count("//phantom"); err != nil || n != 0 {
+		t.Fatalf("Count(//phantom) = %d, %v; want 0", n, err)
+	}
+}
+
+// TestConcurrentBatchInsert checks the shared-document batch entry
+// points work end to end.
+func TestConcurrentBatchInsert(t *testing.T) {
+	c, err := ParseConcurrent(seedDoc, containment.Build(keys.VCDBS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fragments := []*xmltree.Node{
+		shelfFragment(2),
+		shelfFragment(1),
+	}
+	ids, relabeled, err := c.InsertTreeBatch(0, 0, fragments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || relabeled != 0 {
+		t.Fatalf("InsertTreeBatch = %d slices, %d relabeled", len(ids), relabeled)
+	}
+	if n, err := c.Count("/library/shelf"); err != nil || n != 4 {
+		t.Fatalf("Count(/library/shelf) = %d, %v; want 4", n, err)
+	}
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("batch of %d fragments published %d generations, want 1", len(fragments), g)
+	}
+}

@@ -35,6 +35,11 @@ type ComponentCodec interface {
 	// bounds are open. Static codecs return ErrNoRoom except when
 	// appending (r == nil).
 	Between(l, r Component) (Component, error)
+	// NBetween returns n ordered self labels strictly between l and r
+	// (nil bounds open), assigned with even subdivision so a bulk
+	// sibling run gets short labels. Static codecs return ErrNoRoom
+	// when the gap cannot hold n labels.
+	NBetween(l, r Component, n int) ([]Component, error)
 	// Compare orders two self labels.
 	Compare(a, b Component) int
 	// Bits returns the storage of one component, including its
@@ -91,6 +96,34 @@ func (deweyCodec) Between(l, r Component) (Component, error) {
 	return nil, ErrNoRoom
 }
 
+// NBetween spreads n ordinals evenly across the integer gap, or
+// counts up from l when the right bound is open (appending).
+func (deweyCodec) NBetween(l, r Component, n int) ([]Component, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("prefix: NBetween count %d is negative", n)
+	}
+	lv := 0
+	if l != nil {
+		lv = l.(int)
+	}
+	out := make([]Component, n)
+	if r == nil {
+		for i := range out {
+			out[i] = lv + i + 1
+		}
+		return out, nil
+	}
+	rv := r.(int)
+	if rv-lv-1 < n {
+		return nil, ErrNoRoom
+	}
+	span := rv - lv
+	for i := range out {
+		out[i] = lv + span*(i+1)/(n+1)
+	}
+	return out, nil
+}
+
 func (deweyCodec) Compare(a, b Component) int { return intCompare(a.(int), b.(int)) }
 
 func (deweyCodec) Bits(c Component) int { return 8 * deweyid.UTF8ComponentBytes(c.(int)) }
@@ -122,6 +155,10 @@ func (cohenCodec) Initial(n int) ([]Component, error) { return deweyCodec{}.Init
 
 func (cohenCodec) Between(l, r Component) (Component, error) {
 	return deweyCodec{}.Between(l, r)
+}
+
+func (cohenCodec) NBetween(l, r Component, n int) ([]Component, error) {
+	return deweyCodec{}.NBetween(l, r, n)
 }
 
 func (cohenCodec) Compare(a, b Component) int { return intCompare(a.(int), b.(int)) }
@@ -201,6 +238,45 @@ func (c ordpathCodec) Between(l, r Component) (Component, error) {
 	return c.encodeSelf(m)
 }
 
+// NBetween subdivides with per-gap Between calls: ORDPATH's careting
+// rules have no closed positional form, so the generic even
+// subdivision is its bulk path.
+func (c ordpathCodec) NBetween(l, r Component, n int) ([]Component, error) {
+	return nBetweenByBisection(c, l, r, n)
+}
+
+// nBetweenByBisection is the generic even-subdivision bulk assignment
+// for codecs without a one-pass closed form: each gap's middle label
+// comes from one Between call, exactly the shape of Algorithm 2's
+// procedure SubEncoding.
+func nBetweenByBisection(c ComponentCodec, l, r Component, n int) ([]Component, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("prefix: NBetween count %d is negative", n)
+	}
+	out := make([]Component, n+2)
+	out[0], out[n+1] = l, r
+	var sub func(lo, hi int) error
+	sub = func(lo, hi int) error {
+		if lo+1 >= hi {
+			return nil
+		}
+		mid := (lo + hi + 1) / 2
+		m, err := c.Between(out[lo], out[hi])
+		if err != nil {
+			return err
+		}
+		out[mid] = m
+		if err := sub(lo, mid); err != nil {
+			return err
+		}
+		return sub(mid, hi)
+	}
+	if err := sub(0, n+1); err != nil {
+		return nil, err
+	}
+	return out[1 : n+1], nil
+}
+
 func (c ordpathCodec) Compare(a, b Component) int {
 	ab, bb := a.(bitstr.BitString), b.(bitstr.BitString)
 	// The component code is order-preserving for raw bit comparison,
@@ -259,6 +335,27 @@ func (qedPrefixCodec) Between(l, r Component) (Component, error) {
 	return qed.Between(lc, rc)
 }
 
+// NBetween lays the run into the gap with qed.EncodeBetween's
+// one-pass even subdivision.
+func (qedPrefixCodec) NBetween(l, r Component, n int) ([]Component, error) {
+	lc, rc := qed.Empty, qed.Empty
+	if l != nil {
+		lc = l.(qed.Code)
+	}
+	if r != nil {
+		rc = r.(qed.Code)
+	}
+	codes, err := qed.EncodeBetween(lc, rc, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Component, n)
+	for i, code := range codes {
+		out[i] = code
+	}
+	return out, nil
+}
+
 func (qedPrefixCodec) Compare(a, b Component) int {
 	return a.(qed.Code).Compare(b.(qed.Code))
 }
@@ -300,6 +397,27 @@ func (cdbsPrefixCodec) Between(l, r Component) (Component, error) {
 		rb = r.(bitstr.BitString)
 	}
 	return cdbs.Between(lb, rb)
+}
+
+// NBetween lays the run into the gap with cdbs.EncodeBetween's
+// one-pass even subdivision.
+func (cdbsPrefixCodec) NBetween(l, r Component, n int) ([]Component, error) {
+	lb, rb := bitstr.Empty, bitstr.Empty
+	if l != nil {
+		lb = l.(bitstr.BitString)
+	}
+	if r != nil {
+		rb = r.(bitstr.BitString)
+	}
+	codes, err := cdbs.EncodeBetween(lb, rb, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Component, n)
+	for i, code := range codes {
+		out[i] = code
+	}
+	return out, nil
 }
 
 func (cdbsPrefixCodec) Compare(a, b Component) int {

@@ -270,6 +270,94 @@ func (l *Labeling) MarshalLabel(v int) ([]byte, error) {
 	return out, nil
 }
 
+// CloneLabeling returns an independent deep copy, implementing
+// scheme.Cloner. Label slices are write-once (every assignment goes
+// through extend, which allocates fresh storage), so the outer slice
+// is copied and the component sequences are shared.
+func (l *Labeling) CloneLabeling() scheme.Labeling {
+	return &Labeling{
+		codec:  l.codec,
+		tree:   l.tree.Clone(),
+		labels: append([][]Component(nil), l.labels...),
+	}
+}
+
+// InsertSubtrees inserts fragments shaped like the given element
+// trees as consecutive children of parent starting at position pos.
+// The fragment roots' self labels are laid into the one sibling gap
+// with a single NBetween call (descendants always get fresh initial
+// labels); a static codec whose gap cannot hold the run falls back to
+// sequential insertion, paying the per-fragment re-label cost a loop
+// of single inserts would. It implements scheme.BatchInserter.
+func (l *Labeling) InsertSubtrees(parent, pos int, shapes []*xmltree.Node) ([][]int, int, error) {
+	if len(shapes) == 0 {
+		return nil, 0, nil
+	}
+	for _, shape := range shapes {
+		if shape == nil {
+			return nil, 0, errors.New("prefix: nil shape")
+		}
+	}
+	if err := l.tree.ValidateInsert(parent, pos); err != nil {
+		return nil, 0, err
+	}
+	kids := l.tree.Children[parent]
+	var left, right Component
+	if pos > 0 {
+		left = l.selfOf(kids[pos-1])
+	}
+	if pos < len(kids) {
+		right = l.selfOf(kids[pos])
+	}
+	selfs, err := l.codec.NBetween(left, right, len(shapes))
+	if errors.Is(err, ErrNoRoom) {
+		ids := make([][]int, len(shapes))
+		relabeled := 0
+		for k, shape := range shapes {
+			fids, rl, err := l.InsertSubtree(parent, pos+k, shape)
+			if err != nil {
+				return nil, 0, err
+			}
+			ids[k] = fids
+			relabeled += rl
+		}
+		return ids, relabeled, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("prefix: %w", err)
+	}
+	ids := make([][]int, len(shapes))
+	for k, shape := range shapes {
+		rootID := l.tree.AddChild(parent, pos+k)
+		l.labels = append(l.labels, extend(l.labels[parent], selfs[k]))
+		fids := []int{rootID}
+		var add func(pid int, n *xmltree.Node) error
+		add = func(pid int, n *xmltree.Node) error {
+			if len(n.Children) == 0 {
+				return nil
+			}
+			kidSelfs, err := l.codec.Initial(len(n.Children))
+			if err != nil {
+				return err
+			}
+			for i, c := range n.Children {
+				id := l.tree.AddChild(pid, i)
+				l.labels = append(l.labels, extend(l.labels[pid], kidSelfs[i]))
+				fids = append(fids, id)
+				if err := add(id, c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := add(rootID, shape); err != nil {
+			return nil, 0, err
+		}
+		ids[k] = fids
+	}
+	return ids, 0, nil
+}
+
 // InsertSubtree inserts a fragment shaped like the given element tree
 // as the pos-th child of parent. The fragment root's self label is
 // created in the gap (re-labeling followers only under static codecs);

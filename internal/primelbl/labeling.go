@@ -46,6 +46,12 @@ func (l *Labeling) Tree() *scheme.Tree { return l.tree }
 // Scheme exposes the underlying prime machinery.
 func (l *Labeling) Scheme() *Scheme { return l.s }
 
+// CloneLabeling returns an independent deep copy, implementing
+// scheme.Cloner.
+func (l *Labeling) CloneLabeling() scheme.Labeling {
+	return &Labeling{s: l.s.Clone(), tree: l.tree.Clone()}
+}
+
 // Level returns the node depth. Prime labels do not encode the level;
 // like the original implementation the depth is tracked beside them.
 func (l *Labeling) Level(v int) int { return l.tree.Depths[v] }

@@ -249,6 +249,22 @@ func (s *Scheme) InsertBefore(pos, parent int) (scRecalcs int, err error) {
 // performed, including the initial build.
 func (s *Scheme) TotalSCRecalcs() int64 { return s.scRecalcs }
 
+// Clone returns an independent deep copy of the scheme state. The
+// big.Int label and SC values are never mutated after assignment
+// (recomputeSC installs a freshly allocated value), so their pointer
+// slices are copied shallowly; the ordering numbers are shifted in
+// place by InsertBefore and are copied deeply.
+func (s *Scheme) Clone() *Scheme {
+	return &Scheme{
+		selfPrimes: append([]int64(nil), s.selfPrimes...),
+		labels:     append([]*big.Int(nil), s.labels...),
+		parents:    append([]int(nil), s.parents...),
+		ordering:   append([]int64(nil), s.ordering...),
+		sc:         append([]*big.Int(nil), s.sc...),
+		scRecalcs:  s.scRecalcs,
+	}
+}
+
 // firstPrimes returns the first n primes using a sieve sized with the
 // prime-counting estimate.
 func firstPrimes(n int) []int64 {

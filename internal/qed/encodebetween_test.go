@@ -1,0 +1,157 @@
+package qed
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// qedBoundsGrid returns a spread of valid QED bound pairs (l < r,
+// either possibly open).
+func qedBoundsGrid() [][2]Code {
+	return [][2]Code{
+		{Empty, Empty},
+		{MustParse("2"), Empty},
+		{Empty, MustParse("2")},
+		{MustParse("12"), MustParse("2")},
+		{MustParse("2"), MustParse("3")},
+		{MustParse("2"), MustParse("22")},
+		{MustParse("112"), MustParse("113")},
+		{MustParse("23"), MustParse("3")},
+		{MustParse("12"), MustParse("122")},
+		{MustParse("222"), MustParse("23")},
+	}
+}
+
+// TestEncodeBetweenMatchesReference pins the one-pass batch encoder to
+// the validated per-gap reference, digit for digit.
+func TestEncodeBetweenMatchesReference(t *testing.T) {
+	for _, bounds := range qedBoundsGrid() {
+		l, r := bounds[0], bounds[1]
+		for _, n := range []int{0, 1, 2, 3, 5, 8, 17, 64, 255, 256, 500} {
+			got, err := EncodeBetween(l, r, n)
+			if err != nil {
+				t.Fatalf("EncodeBetween(%v, %v, %d): %v", l, r, n, err)
+			}
+			want, err := RefNBetween(l, r, n)
+			if err != nil {
+				t.Fatalf("RefNBetween(%v, %v, %d): %v", l, r, n, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("EncodeBetween(%v, %v, %d): %d codes, reference %d", l, r, n, len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("EncodeBetween(%v, %v, %d)[%d] = %v, reference %v", l, r, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBetweenCompactness bounds the longest emitted code: each
+// bisection level adds at most one quaternary digit on top of the
+// longer bound, so a batch of n codes never needs more than
+// max(|l|, |r|) + ceil(log2(n+1)) + 1 digits. (Unlike CDBS, QED's
+// initial Encode uses its own top-down split, so the open gap is
+// covered by this bound rather than digit equality with Encode.)
+func TestEncodeBetweenCompactness(t *testing.T) {
+	for _, bounds := range qedBoundsGrid() {
+		l, r := bounds[0], bounds[1]
+		for _, n := range []int{1, 3, 16, 255, 729} {
+			out, err := EncodeBetween(l, r, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			limit := max(l.Len(), r.Len()) + bits.Len(uint(n)) + 1
+			for i, c := range out {
+				if c.Len() > limit {
+					t.Fatalf("EncodeBetween(%v, %v, %d)[%d] = %v has %d digits, limit %d",
+						l, r, n, i, c, c.Len(), limit)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBetweenOrderedInsideBounds re-states the acceptance
+// property: n codes, strictly increasing, strictly inside (l, r),
+// every one ending with quaternary digit 2 or 3.
+func TestEncodeBetweenOrderedInsideBounds(t *testing.T) {
+	for _, bounds := range qedBoundsGrid() {
+		l, r := bounds[0], bounds[1]
+		out, err := EncodeBetween(l, r, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := l
+		for i, c := range out {
+			if !c.EndsValid() {
+				t.Fatalf("code %d %v does not end with 2 or 3", i, c)
+			}
+			if !prev.IsEmpty() && prev.Compare(c) >= 0 {
+				t.Fatalf("code %d %v not above its predecessor %v", i, c, prev)
+			}
+			prev = c
+		}
+		if !r.IsEmpty() && prev.Compare(r) >= 0 {
+			t.Fatalf("last code %v not below right bound %v", prev, r)
+		}
+	}
+}
+
+// TestEncodeBetweenValidation covers the rejection paths. (Bounds
+// with an invalid ending cannot be built from outside the package —
+// Parse rejects them — so only count and ordering are checkable here.)
+func TestEncodeBetweenValidation(t *testing.T) {
+	two := MustParse("2")
+	if _, err := EncodeBetween(two, two, -1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := EncodeBetween(MustParse("3"), two, 1); err == nil {
+		t.Fatal("unordered bounds accepted")
+	}
+	if out, err := EncodeBetween(MustParse("3"), two, 0); err != nil || len(out) != 0 {
+		t.Fatalf("EncodeBetween(unordered, 0) = %v, %v; want empty, nil", out, err)
+	}
+}
+
+// FuzzEncodeBetween differentially fuzzes the one-pass batch encoder
+// against the validated per-gap reference over arbitrary bounds and
+// counts.
+func FuzzEncodeBetween(f *testing.F) {
+	f.Add("", "", 5)
+	f.Add("2", "", 3)
+	f.Add("", "2", 7)
+	f.Add("12", "2", 16)
+	f.Add("112", "113", 200)
+	f.Add("3", "2", 4)  // not ordered
+	f.Add("21", "2", 2) // invalid left ending
+	f.Add("2", "3", -1) // negative count
+	f.Add("4", "2", 1)  // invalid digit
+	f.Fuzz(func(t *testing.T, ls, rs string, n int) {
+		if n > 4096 {
+			n %= 4096
+		}
+		l, lerr := Parse(ls)
+		r, rerr := Parse(rs)
+		if lerr != nil || rerr != nil {
+			return
+		}
+		got, gerr := EncodeBetween(l, r, n)
+		want, werr := RefNBetween(l, r, n)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("EncodeBetween(%v, %v, %d) err = %v, reference err = %v", l, r, n, gerr, werr)
+		}
+		if gerr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("EncodeBetween(%v, %v, %d): %d codes, reference %d", l, r, n, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("EncodeBetween(%v, %v, %d)[%d] = %v, reference %v", l, r, n, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -178,7 +178,7 @@ func Between(l, r Code) (Code, error) {
 	return m, err
 }
 
-// between implements the middle-code rules.
+// between implements the middle-code rules with full validation.
 func between(l, r Code) (Code, error) {
 	if !l.IsEmpty() && !l.EndsValid() {
 		return Empty, fmt.Errorf("%w: left %q", ErrBadEnding, l)
@@ -189,15 +189,23 @@ func between(l, r Code) (Code, error) {
 	if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
 		return Empty, fmt.Errorf("%w: %q vs %q", ErrNotOrdered, l, r)
 	}
+	return middle(l, r), nil
+}
+
+// middle applies the middle-code rules to already-validated bounds.
+// It never fails on valid ordered input — QED's "completely avoid
+// re-labeling" property — which is what lets EncodeBetween run the
+// subdivision without per-gap error paths.
+func middle(l, r Code) Code {
 	if l.IsEmpty() && r.IsEmpty() {
-		return MustParse("2"), nil
+		return Code{digits: rawD2}
 	}
 	if l.Len() < r.Len() {
 		// Work on the right neighbor's last symbol.
 		if r.digits[r.Len()-1] == 2 {
-			return r.spliceLast(rawD12), nil // 2 → 12
+			return r.spliceLast(rawD12) // 2 → 12
 		}
-		return r.spliceLast(rawD2), nil // 3 → 2
+		return r.spliceLast(rawD2) // 3 → 2
 	}
 	// Work on the left neighbor's last symbol.
 	if n := l.Len(); l.digits[n-1] == 2 {
@@ -207,41 +215,66 @@ func between(l, r Code) (Code, error) {
 		// the last digit and so stays above x⊕3.)
 		adjacent := r.Len() == n && r.digits[n-1] == 3 && r.digits[:n-1] == l.digits[:n-1]
 		if !adjacent {
-			return l.spliceLast(rawD3), nil // 2 → 3
+			return l.spliceLast(rawD3) // 2 → 3
 		}
-		return Code{digits: l.digits + rawD2}, nil
+		return Code{digits: l.digits + rawD2}
 	}
-	return Code{digits: l.digits + rawD2}, nil // 3 → 32
+	return Code{digits: l.digits + rawD2} // 3 → 32
 }
 
 // NBetween returns n codes m1 ≺ … ≺ mn strictly between l and r,
 // assigned by even subdivision so a bulk insertion gets short codes.
 func NBetween(l, r Code, n int) ([]Code, error) {
+	return EncodeBetween(l, r, n)
+}
+
+// EncodeBetween is the bulk counterpart of cdbs.EncodeBetween for the
+// QED encoding: it emits n ordered codes strictly between l and r in
+// one pass, validating the bounds once and applying the middle-code
+// rules positionally. The output matches the gap-by-gap subdivision
+// (RefNBetween) code for code; with both bounds empty the run is the
+// even subdivision of the whole code universe, the same shape
+// Encode(n) produces.
+func EncodeBetween(l, r Code, n int) ([]Code, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("qed: NBetween count %d is negative", n)
+		return nil, fmt.Errorf("qed: EncodeBetween count %d is negative", n)
 	}
-	out := make([]Code, n+2)
-	out[0], out[n+1] = l, r
-	var sub func(lo, hi int) error
-	sub = func(lo, hi int) error {
-		if lo+1 >= hi {
-			return nil
-		}
-		mid := (lo + hi + 1) / 2
-		m, err := Between(out[lo], out[hi])
-		if err != nil {
-			return err
-		}
-		out[mid] = m
-		if err := sub(lo, mid); err != nil {
-			return err
-		}
-		return sub(mid, hi)
+	if n == 0 {
+		// Zero codes need no gap: bounds are not validated, matching the
+		// historical NBetween contract the reference keeps.
+		return nil, nil
 	}
-	if err := sub(0, n+1); err != nil {
-		return nil, err
+	if !l.IsEmpty() && !l.EndsValid() {
+		return nil, fmt.Errorf("%w: left %q", ErrBadEnding, l)
 	}
-	return out[1 : n+1], nil
+	if !r.IsEmpty() && !r.EndsValid() {
+		return nil, fmt.Errorf("%w: right %q", ErrBadEnding, r)
+	}
+	if !l.IsEmpty() && !r.IsEmpty() && l.Compare(r) >= 0 {
+		return nil, fmt.Errorf("%w: %q vs %q", ErrNotOrdered, l, r)
+	}
+	out := make([]Code, n)
+	fillGap(out, l, r)
+	for _, m := range out {
+		mCodeLen.Observe(float64(m.Len()))
+	}
+	return out, nil
+}
+
+// fillGap assigns the codes of the open gap (l, r) into out: the
+// middle slot gets the gap's middle code and the halves recurse with
+// it as their shared bound. The slice midpoint len(out)/2 equals the
+// (lo+hi+1)/2 pivot of the index-based subdivision at every depth, so
+// the output matches RefNBetween exactly.
+func fillGap(out []Code, l, r Code) {
+	if len(out) == 0 {
+		return
+	}
+	mid := len(out) / 2
+	m := middle(l, r)
+	out[mid] = m
+	fillGap(out[:mid], l, m)
+	fillGap(out[mid+1:], m, r)
 }
 
 // TwoBetween returns m1 ≺ m2 strictly between l and r, for containment

@@ -4,8 +4,10 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/containment"
 	"repro/internal/keys"
@@ -54,12 +56,79 @@ func Names() []string {
 	return out
 }
 
-// Lookup finds a scheme by its figure name.
+// ErrUnknownScheme is the sentinel every failed Lookup matches with
+// errors.Is, whatever the requested name was.
+var ErrUnknownScheme = errors.New("registry: unknown scheme")
+
+// UnknownSchemeError reports a failed Lookup: the requested name plus
+// the registered name closest to it by edit distance, when one is
+// close enough to plausibly be a typo. It unwraps to
+// ErrUnknownScheme.
+type UnknownSchemeError struct {
+	Name       string // the requested scheme name
+	Suggestion string // nearest registered name; "" when none is close
+}
+
+// Error renders a did-you-mean hint when a near match exists, and the
+// full known-name list otherwise.
+func (e *UnknownSchemeError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("registry: unknown scheme %q (did you mean %q?)", e.Name, e.Suggestion)
+	}
+	return fmt.Sprintf("registry: unknown scheme %q (known: %v)", e.Name, Names())
+}
+
+// Unwrap makes errors.Is(err, ErrUnknownScheme) hold.
+func (e *UnknownSchemeError) Unwrap() error { return ErrUnknownScheme }
+
+// Lookup finds a scheme by its figure name. A failed lookup returns
+// an *UnknownSchemeError carrying a nearest-match suggestion; match
+// it with errors.Is(err, ErrUnknownScheme).
 func Lookup(name string) (Entry, error) {
 	for _, e := range All() {
 		if e.Name == name {
 			return e, nil
 		}
 	}
-	return Entry{}, fmt.Errorf("registry: unknown scheme %q (known: %v)", name, Names())
+	return Entry{}, &UnknownSchemeError{Name: name, Suggestion: nearest(name)}
+}
+
+// nearest returns the registered name with the smallest
+// case-insensitive edit distance to name, when that distance is small
+// enough to plausibly be a typo (at most 3 edits or half the
+// requested name, whichever is larger).
+func nearest(name string) string {
+	limit := 3
+	if h := len(name) / 2; h > limit {
+		limit = h
+	}
+	best, bestDist := "", limit+1
+	for _, e := range All() {
+		if d := editDistance(strings.ToLower(name), strings.ToLower(e.Name)); d < bestDist {
+			best, bestDist = e.Name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b, two-row
+// dynamic programming over bytes.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }

@@ -74,6 +74,32 @@ type LabelMarshaler interface {
 	MarshalLabel(v int) ([]byte, error)
 }
 
+// Cloner is implemented by labelings that can produce an independent
+// deep copy of themselves. Snapshot layers (dyndoc.Concurrent) clone
+// the labeling to build the next copy-on-write snapshot; like
+// LabelMarshaler it is a separate interface so the capability can be
+// discovered without widening Labeling. A clone must share no mutable
+// state with its original: an edit on either side must never be
+// observable on the other.
+type Cloner interface {
+	// CloneLabeling returns an independent deep copy of the labeling.
+	CloneLabeling() Labeling
+}
+
+// BatchInserter is implemented by labelings with a bulk sibling-run
+// insertion path: the whole run takes the label-assignment write path
+// once, so dynamic codecs place every code of the run into the single
+// gap at (parent, pos) with one even subdivision (EncodeBetween) —
+// short codes, one validation — instead of splitting the gap once per
+// fragment.
+type BatchInserter interface {
+	// InsertSubtrees inserts fragments with the shapes of the given
+	// element trees as consecutive children of parent starting at
+	// position pos. It returns one preorder id slice per fragment and
+	// the total re-label count for existing nodes.
+	InsertSubtrees(parent, pos int, shapes []*xmltree.Node) (ids [][]int, relabeled int, err error)
+}
+
 // ErrBadNode reports a node id that is out of range or dead.
 var ErrBadNode = errors.New("scheme: bad node id")
 
@@ -114,6 +140,24 @@ func NewTree(doc *xmltree.Document) *Tree {
 		}
 	}
 	return t
+}
+
+// Clone returns a deep copy of the structural mirror that shares no
+// state with the original, for labelings that implement Cloner.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{
+		Parents:  append([]int(nil), t.Parents...),
+		Children: make([][]int, len(t.Children)),
+		Depths:   append([]int(nil), t.Depths...),
+		Dead:     append([]bool(nil), t.Dead...),
+		live:     t.live,
+	}
+	for i, kids := range t.Children {
+		if kids != nil {
+			out.Children[i] = append([]int(nil), kids...)
+		}
+	}
+	return out
 }
 
 // Len returns the number of live nodes.

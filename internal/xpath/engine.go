@@ -13,6 +13,12 @@ import (
 // through the labeling's predicates, so the per-scheme label costs are
 // what the evaluation measures. The element-name index and child lists
 // are ordinary index structures, identical for every scheme.
+//
+// An Engine holds no mutable state of its own: Eval only reads the
+// labeling and index views it was built over. As long as those stay
+// unmodified — e.g. inside one dyndoc snapshot, whose state is frozen
+// at publish time — one Engine may be shared and evaluated from any
+// number of goroutines concurrently with no locking.
 type Engine struct {
 	lab    scheme.Labeling
 	names  []string

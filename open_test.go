@@ -1,0 +1,221 @@
+package dynxml
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const openSeed = `<library><shelf><book/><book/></shelf><shelf><book/></shelf></library>`
+
+// TestOpenSourceKinds drives every supported src type through Open.
+func TestOpenSourceKinds(t *testing.T) {
+	doc, err := ParseXMLString(openSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]any{
+		"document": doc,
+		"string":   openSeed,
+		"bytes":    []byte(openSeed),
+		"reader":   strings.NewReader(openSeed),
+	} {
+		t.Run(name, func(t *testing.T) {
+			h, err := Open(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Scheme() != DefaultScheme {
+				t.Fatalf("Scheme = %q, want %q", h.Scheme(), DefaultScheme)
+			}
+			if h.Concurrent() {
+				t.Fatal("plain handle reports concurrent")
+			}
+			if n, err := h.Count("//book"); err != nil || n != 3 {
+				t.Fatalf("Count(//book) = %d, %v; want 3", n, err)
+			}
+		})
+	}
+	if _, err := Open(42); err == nil {
+		t.Fatal("unsupported source type accepted")
+	}
+	if _, err := Open((*Document)(nil)); err == nil {
+		t.Fatal("nil document accepted")
+	}
+	if _, err := Open("<broken"); err == nil {
+		t.Fatal("bad XML accepted")
+	}
+}
+
+// TestOpenOptions covers WithScheme, WithConcurrent and the typed
+// unknown-scheme failure.
+func TestOpenOptions(t *testing.T) {
+	h, err := Open(openSeed, WithScheme("QED-Prefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Scheme() != "QED-Prefix" {
+		t.Fatalf("Scheme = %q", h.Scheme())
+	}
+	if h.Live() == nil || h.Shared() != nil {
+		t.Fatal("plain handle accessors wrong")
+	}
+	if h.Labeling() == nil {
+		t.Fatal("no labeling on plain handle")
+	}
+
+	c, err := Open(openSeed, WithConcurrent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Concurrent() || c.Shared() == nil || c.Live() != nil {
+		t.Fatal("concurrent handle accessors wrong")
+	}
+	if c.Labeling() == nil {
+		t.Fatal("no labeling on concurrent handle")
+	}
+	if _, _, err := c.InsertElement(0, 0, "index"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Count("//index"); err != nil || n != 1 {
+		t.Fatalf("Count(//index) = %d, %v; want 1", n, err)
+	}
+
+	_, err = Open(openSeed, WithScheme("V-CDBS-Containmen"))
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("errors.Is(err, ErrUnknownScheme) = false for %v", err)
+	}
+	if !strings.Contains(err.Error(), "did you mean") || !strings.Contains(err.Error(), "V-CDBS-Containment") {
+		t.Fatalf("near-miss error lacks a suggestion: %q", err)
+	}
+}
+
+// TestOpenBatch checks ApplyBatch and InsertTreeBatch through the
+// handle, including concurrent chunking under WithBatchSize.
+func TestOpenBatch(t *testing.T) {
+	h, err := Open(openSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.ApplyBatch([]Edit{
+		{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "a"},
+		{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "b"},
+	})
+	if err != nil || len(res) != 2 {
+		t.Fatalf("ApplyBatch = %d results, %v", len(res), err)
+	}
+
+	c, err := Open(openSeed, WithConcurrent(), WithBatchSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := make([]Edit, 5)
+	for i := range edits {
+		edits[i] = Edit{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "x"}
+	}
+	res, err = c.ApplyBatch(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("chunked ApplyBatch returned %d results, want 5", len(res))
+	}
+	// 5 edits in chunks of 2 → 3 published snapshots.
+	if g := c.Shared().Generation(); g != 3 {
+		t.Fatalf("generation %d after chunked batch, want 3", g)
+	}
+	if n, err := c.Count("//x"); err != nil || n != 5 {
+		t.Fatalf("Count(//x) = %d, %v; want 5", n, err)
+	}
+
+	frag, err := ParseXMLString("<shelf><book/></shelf>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _, err := c.InsertTreeBatch(0, 0, []*Node{frag.Root, frag.Root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("InsertTreeBatch returned %d slices", len(ids))
+	}
+	if removed, err := c.DeleteSubtree(ids[0][0]); err != nil || removed != 2 {
+		t.Fatalf("DeleteSubtree = %d, %v; want 2", removed, err)
+	}
+}
+
+// TestDeprecatedShimsMatchOpen checks the legacy constructors agree
+// with their Open spellings.
+func TestDeprecatedShimsMatchOpen(t *testing.T) {
+	doc, err := ParseXMLString(openSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := Label(doc, "V-CDBS-Containment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.Len() != doc.Len() {
+		t.Fatalf("Label labeling has %d nodes, document %d", lab.Len(), doc.Len())
+	}
+	live, err := ParseLive(openSeed, "QED-Prefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Open(openSeed, WithScheme("QED-Prefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.XML() != h.XML() {
+		t.Fatal("ParseLive and Open disagree")
+	}
+	shared, err := ParseShared(openSeed, "V-CDBS-Containment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Len() != h.Len() {
+		t.Fatal("ParseShared and Open disagree on node count")
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := Label(doc, "bogus"); return err },
+		func() error { _, err := Live(doc, "bogus"); return err },
+		func() error { _, err := ParseLive(openSeed, "bogus"); return err },
+		func() error { _, err := ParseShared(openSeed, "bogus"); return err },
+	} {
+		if err := bad(); !errors.Is(err, ErrUnknownScheme) {
+			t.Fatalf("shim error %v does not match ErrUnknownScheme", err)
+		}
+	}
+}
+
+// TestMetricsJSON checks the read-only metrics snapshot carries the
+// instrumented keys after some activity.
+func TestMetricsJSON(t *testing.T) {
+	c, err := Open(openSeed, WithConcurrent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApplyBatch([]Edit{{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "m"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.QueryString("//m"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := MetricsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"dyndoc_snapshot_swaps_total",
+		"dyndoc_reader_staleness_gens",
+		"dyndoc_batch_size",
+		"cdbs_code_len_bits",
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("metrics snapshot lacks %q:\n%s", key, data)
+		}
+	}
+}

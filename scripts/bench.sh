@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR2.json, the checked-in record of the
+# bench.sh — regenerate BENCH_PR4.json, the checked-in record of the
 # label-kernel benchmarks (see internal/bench/kernels.go).
 #
 #   sh scripts/bench.sh            # full run, benchtime 1s
@@ -10,7 +10,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-1s}"
-BENCH_OUT="${BENCH_OUT:-BENCH_PR2.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR4.json}"
 
 echo "==> go run ./cmd/experiments -bench-json $BENCH_OUT -bench-time $BENCH_TIME"
 go run ./cmd/experiments -bench-json "$BENCH_OUT" -bench-time "$BENCH_TIME"
