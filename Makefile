@@ -36,8 +36,9 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrKernels -fuzztime=10s ./internal/bitstr
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrCodecs -fuzztime=10s ./internal/bitstr
 	$(GO) test -run=^$$ -fuzz=FuzzReadAll -fuzztime=10s ./internal/labelstore
+	$(GO) test -run=^$$ -fuzz=FuzzEditCodec -fuzztime=10s ./internal/journal
 
-# Regenerate BENCH_PR4.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
+# Regenerate BENCH_PR5.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
 bench:
 	sh scripts/bench.sh
 

@@ -22,15 +22,18 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"text/tabwriter"
+	"time"
 
+	dynxml "repro"
 	"repro/internal/bench"
 	"repro/internal/metrics"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: table1,sizes,figure5,figure6,table4,figure7,frequent,live,overflow")
+	run := flag.String("run", "all", "comma-separated experiments: table1,sizes,figure5,figure6,table4,figure7,frequent,live,overflow,durable")
 	scale := flag.Int("scale", 10, "D5 replication factor for figure6 (the paper uses 10)")
 	datasets := flag.String("datasets", "D1,D2,D3,D4,D5,D6", "datasets for figure5")
 	inserts := flag.Int("inserts", 2000, "insertions for the frequent-update experiment")
@@ -67,6 +70,7 @@ func main() {
 		{"frequent", func() error { return runFrequent(*inserts) }},
 		{"live", func() error { return runLive(*edits) }},
 		{"overflow", runOverflow},
+		{"durable", func() error { return runDurable(*edits) }},
 	} {
 		if !all && !want[exp.name] {
 			continue
@@ -341,6 +345,98 @@ func runFrequent(inserts int) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runDurable drives the PR 5 durable-document path end to end: a
+// journaled handle per durability mode, 8 concurrent writers issuing
+// insert+delete commits, then checkpoint, close and replay. The
+// group-commit effect shows in the batches/sync column at "always" —
+// without coalescing it would pin at 1.
+func runDurable(edits int) error {
+	const writers = 8
+	rounds := edits / (2 * writers)
+	if rounds < 1 {
+		rounds = 1
+	}
+	commits := 2 * rounds * writers
+	header(fmt.Sprintf("Durable documents — %d insert+delete commits, %d writers, per durability mode", commits, writers))
+	appends := metrics.Default.Counter("journal_appends_total")
+	syncs := metrics.Default.Counter("journal_group_commits_total")
+	replayed := metrics.Default.Counter("journal_replayed_edits_total")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Durability\tcommits\ttotal(ms)\tus/commit\tgroup syncs\tbatches/sync\treplayed")
+	for _, d := range []dynxml.Durability{dynxml.Always, dynxml.Interval(5 * time.Millisecond), dynxml.None} {
+		dir, err := os.MkdirTemp("", "durable-")
+		if err != nil {
+			return err
+		}
+		h, err := dynxml.Open("<root><a></a><b></b></root>",
+			dynxml.WithScheme("V-CDBS-Containment"), dynxml.WithJournal(dir), dynxml.WithDurability(d))
+		if err != nil {
+			return err
+		}
+		a0, s0 := appends.Value(), syncs.Value()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		for i := 0; i < writers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					id, _, err := h.InsertElement(0, 0, "w")
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := h.DeleteSubtree(id); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		elapsed := time.Since(start)
+		if err := h.Checkpoint(); err != nil {
+			return err
+		}
+		if err := h.Close(); err != nil {
+			return err
+		}
+		r0 := replayed.Value()
+		re, err := dynxml.Open(nil, dynxml.WithJournal(dir))
+		if err != nil {
+			return err
+		}
+		if n, err := re.Count("//a"); err != nil || n != 1 {
+			return fmt.Errorf("durable: replay lost the document (count //a = %d, %v)", n, err)
+		}
+		if err := re.Close(); err != nil {
+			return err
+		}
+		da, ds := appends.Value()-a0, syncs.Value()-s0
+		perSync := "-"
+		if ds > 0 {
+			perSync = fmt.Sprintf("%.1f", float64(da)/float64(ds))
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.2f\t%d\t%s\t%d\n",
+			d, commits, float64(elapsed.Microseconds())/1000, float64(elapsed.Microseconds())/float64(commits),
+			ds, perSync, replayed.Value()-r0)
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\njournal append latency (s): %s\n",
+		metrics.Default.Histogram("journal_append_seconds", nil).Summary())
 	return nil
 }
 

@@ -24,12 +24,16 @@ package dynxml
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bitstr"
 	"repro/internal/cdbs"
 	"repro/internal/dyndoc"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/qed"
 	"repro/internal/registry"
@@ -196,6 +200,9 @@ type config struct {
 	scheme     string
 	concurrent bool
 	batchSize  int
+	journalDir string
+	durability *Durability
+	recover    bool
 }
 
 // Option configures Open.
@@ -219,22 +226,88 @@ func WithConcurrent() Option { return func(c *config) { c.concurrent = true } }
 // batches unsplit.
 func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
 
+// Durability selects when a journaled handle forces edits to stable
+// storage: Always, Interval(d) or None. See the package README's
+// durability table for the loss window each mode accepts.
+type Durability struct {
+	mode     journal.Mode
+	interval time.Duration
+}
+
+// Durability modes for WithDurability.
+var (
+	// Always fsyncs before an edit call returns; concurrent writers
+	// share fsyncs via group commit. Acknowledged edits survive power
+	// loss.
+	Always = Durability{mode: journal.SyncAlways}
+	// None never fsyncs on the edit path (Close still does); a crash
+	// loses whatever the OS had not written back.
+	None = Durability{mode: journal.SyncNone}
+)
+
+// Interval acknowledges edits immediately and fsyncs on a timer: a
+// crash loses at most the last d of acknowledged edits.
+func Interval(d time.Duration) Durability {
+	return Durability{mode: journal.SyncInterval, interval: d}
+}
+
+// String names the durability mode.
+func (d Durability) String() string {
+	if d.mode == journal.SyncInterval {
+		return fmt.Sprintf("interval(%s)", d.interval)
+	}
+	return d.mode.String()
+}
+
+// WithJournal makes the document durable: every edit batch is
+// appended to a write-ahead journal in dir before its call returns
+// (see WithDurability for how hard that guarantee is). A journaled
+// handle is always concurrent. When dir already holds a journal, Open
+// replays it instead of parsing src — pass nil src for that case —
+// and the scheme recorded in the journal wins over WithScheme.
+func WithJournal(dir string) Option { return func(c *config) { c.journalDir = dir } }
+
+// WithDurability selects the journal's sync mode (default Always).
+// It requires WithJournal.
+func WithDurability(d Durability) Option { return func(c *config) { c.durability = &d } }
+
+// WithRecover permits Open to repair crash damage when replaying a
+// journal: truncate a torn log tail, discard an incomplete checkpoint
+// and drop stray segments. Without it a crashed journal fails with
+// ErrRecoveryTruncated. Repair never drops an edit that was
+// acknowledged under Always durability. It requires WithJournal.
+func WithRecover() Option { return func(c *config) { c.recover = true } }
+
+// ErrClosed reports a call on a closed Handle, matching errors.Is.
+var ErrClosed = errors.New("dynxml: handle is closed")
+
+// ErrRecoveryTruncated matches, via errors.Is, the error Open returns
+// when a journal bears crash damage and WithRecover was not given.
+var ErrRecoveryTruncated = journal.ErrRecoveryTruncated
+
 // Handle is an opened document: one labeled, queryable, editable XML
 // tree. A concurrent handle (WithConcurrent) routes every call
 // through snapshot isolation; a plain handle edits in place with no
-// synchronization, like a LiveDocument.
+// synchronization, like a LiveDocument. A journaled handle
+// (WithJournal) is concurrent and appends every edit batch to its
+// write-ahead journal before acknowledging it.
 type Handle struct {
 	schemeName string
 	batchSize  int
 	live       *dyndoc.Document
 	shared     *dyndoc.Concurrent
+	jnl        *journal.Journal
+	closed     atomic.Bool
 }
 
 // Open parses or wraps an XML document and labels it. src may be a
 // *Document (wrapped in place), a string or []byte of XML text, or an
 // io.Reader streaming XML text. Options select the scheme
-// (WithScheme), concurrent snapshot mode (WithConcurrent) and the
-// concurrent batch chunk size (WithBatchSize).
+// (WithScheme), concurrent snapshot mode (WithConcurrent), the
+// concurrent batch chunk size (WithBatchSize) and durable journaling
+// (WithJournal, WithDurability, WithRecover). With WithJournal and an
+// existing journal, src must be nil: the document is rebuilt from the
+// journal, not parsed.
 //
 // Open subsumes the deprecated Label, Live, ParseLive and ParseShared
 // constructors:
@@ -247,6 +320,16 @@ func Open(src any, opts ...Option) (*Handle, error) {
 	cfg := config{scheme: DefaultScheme}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.journalDir == "" {
+		if cfg.durability != nil {
+			return nil, errors.New("dynxml: WithDurability requires WithJournal")
+		}
+		if cfg.recover {
+			return nil, errors.New("dynxml: WithRecover requires WithJournal")
+		}
+	} else {
+		return openJournaled(src, cfg)
 	}
 	entry, err := registry.Lookup(cfg.scheme)
 	if err != nil {
@@ -265,6 +348,67 @@ func Open(src any, opts ...Option) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	return h, nil
+}
+
+// openJournaled is Open's WithJournal path: create a fresh journal
+// from src, or — when the directory already holds one — replay it.
+// Either way the handle comes back concurrent, with the journal's
+// Append installed as the document's commit hook so snapshot
+// publication and journal append are acknowledged together.
+func openJournaled(src any, cfg config) (*Handle, error) {
+	jcfg := journal.Config{
+		Dir:     cfg.journalDir,
+		Scheme:  cfg.scheme,
+		Mode:    journal.SyncAlways,
+		Recover: cfg.recover,
+	}
+	if cfg.durability != nil {
+		jcfg.Mode = cfg.durability.mode
+		jcfg.Interval = cfg.durability.interval
+	}
+	exists, err := journal.Exists(cfg.journalDir)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{batchSize: cfg.batchSize}
+	var d *dyndoc.Document
+	if exists {
+		if src != nil {
+			return nil, fmt.Errorf("dynxml: %s already holds a journal; pass nil src to replay it", cfg.journalDir)
+		}
+		var info journal.ReplayInfo
+		h.jnl, d, info, err = journal.Replay(jcfg)
+		if err != nil {
+			return nil, err
+		}
+		h.schemeName = info.Scheme
+	} else {
+		entry, err := registry.Lookup(cfg.scheme)
+		if err != nil {
+			return nil, err
+		}
+		jcfg.Scheme = entry.Name
+		doc, err := docFrom(src)
+		if err != nil {
+			return nil, err
+		}
+		d, err = dyndoc.New(doc, entry.Build)
+		if err != nil {
+			return nil, err
+		}
+		h.jnl, err = journal.Create(jcfg, d)
+		if err != nil {
+			return nil, err
+		}
+		h.schemeName = entry.Name
+	}
+	h.shared, err = dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		_ = h.jnl.Close()
+		return nil, err
+	}
+	h.shared.SetCommitHook(h.jnl.Append)
 	return h, nil
 }
 
@@ -287,8 +431,19 @@ func docFrom(src any) (*Document, error) {
 	}
 }
 
+// check guards the error-returning methods of a closed handle.
+func (h *Handle) check() error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
 // Scheme returns the registry name of the handle's labeling scheme.
 func (h *Handle) Scheme() string { return h.schemeName }
+
+// Journaled reports whether the handle writes a journal.
+func (h *Handle) Journaled() bool { return h.jnl != nil }
 
 // Concurrent reports whether the handle was opened with
 // WithConcurrent.
@@ -337,6 +492,9 @@ func (h *Handle) Relabeled() int64 {
 
 // Name returns the element name of a live node id.
 func (h *Handle) Name(id int) (string, error) {
+	if err := h.check(); err != nil {
+		return "", err
+	}
 	if h.shared != nil {
 		return h.shared.Name(id)
 	}
@@ -354,6 +512,9 @@ func (h *Handle) XML() string {
 // Query evaluates a parsed path expression; on a concurrent handle
 // the evaluation is lock-free against the latest snapshot.
 func (h *Handle) Query(q *Query) ([]int, error) {
+	if err := h.check(); err != nil {
+		return nil, err
+	}
 	if h.shared != nil {
 		return h.shared.Query(q)
 	}
@@ -362,6 +523,9 @@ func (h *Handle) Query(q *Query) ([]int, error) {
 
 // QueryString parses and evaluates a path expression.
 func (h *Handle) QueryString(path string) ([]int, error) {
+	if err := h.check(); err != nil {
+		return nil, err
+	}
 	if h.shared != nil {
 		return h.shared.QueryString(path)
 	}
@@ -370,6 +534,9 @@ func (h *Handle) QueryString(path string) ([]int, error) {
 
 // Count returns the number of matches for a path expression.
 func (h *Handle) Count(path string) (int, error) {
+	if err := h.check(); err != nil {
+		return 0, err
+	}
 	if h.shared != nil {
 		return h.shared.Count(path)
 	}
@@ -379,6 +546,9 @@ func (h *Handle) Count(path string) (int, error) {
 // InsertElement inserts a fresh element as the pos-th child of parent
 // and returns its id and the re-label count.
 func (h *Handle) InsertElement(parent, pos int, name string) (int, int, error) {
+	if err := h.check(); err != nil {
+		return 0, 0, err
+	}
 	if h.shared != nil {
 		return h.shared.InsertElement(parent, pos, name)
 	}
@@ -388,6 +558,9 @@ func (h *Handle) InsertElement(parent, pos int, name string) (int, int, error) {
 // InsertTree inserts a deep copy of fragment as the pos-th child of
 // parent and returns the new ids in preorder plus the re-label count.
 func (h *Handle) InsertTree(parent, pos int, fragment *Node) ([]int, int, error) {
+	if err := h.check(); err != nil {
+		return nil, 0, err
+	}
 	if h.shared != nil {
 		return h.shared.InsertTree(parent, pos, fragment)
 	}
@@ -399,6 +572,9 @@ func (h *Handle) InsertTree(parent, pos int, fragment *Node) ([]int, int, error)
 // the whole run, and on a concurrent handle a single snapshot is
 // published for the batch.
 func (h *Handle) InsertTreeBatch(parent, pos int, fragments []*Node) ([][]int, int, error) {
+	if err := h.check(); err != nil {
+		return nil, 0, err
+	}
 	if h.shared != nil {
 		return h.shared.InsertTreeBatch(parent, pos, fragments)
 	}
@@ -408,6 +584,9 @@ func (h *Handle) InsertTreeBatch(parent, pos int, fragments []*Node) ([][]int, i
 // DeleteSubtree removes the node and its descendants, returning how
 // many nodes were removed.
 func (h *Handle) DeleteSubtree(id int) (int, error) {
+	if err := h.check(); err != nil {
+		return 0, err
+	}
 	if h.shared != nil {
 		return h.shared.DeleteSubtree(id)
 	}
@@ -422,6 +601,9 @@ func (h *Handle) DeleteSubtree(id int) (int, error) {
 // place and an error leaves the already-applied prefix behind (its
 // results are returned with the error).
 func (h *Handle) ApplyBatch(edits []Edit) ([]EditResult, error) {
+	if err := h.check(); err != nil {
+		return nil, err
+	}
 	if h.shared == nil {
 		return h.live.ApplyBatch(edits)
 	}
@@ -438,6 +620,85 @@ func (h *Handle) ApplyBatch(edits []Edit) ([]EditResult, error) {
 		out = append(out, res...)
 	}
 	return out, nil
+}
+
+// Sync blocks until every edit acknowledged so far is on stable
+// storage. On an unjournaled handle it is a no-op. Use it to get an
+// Always-grade durability point under Interval or None durability.
+func (h *Handle) Sync() error {
+	if err := h.check(); err != nil {
+		return err
+	}
+	if h.jnl == nil {
+		return nil
+	}
+	return h.jnl.Sync()
+}
+
+// Checkpoint persists the current document state as a fresh journal
+// checkpoint and truncates the replayed log prefix, bounding recovery
+// time and disk use. Edits issued concurrently simply land in the new
+// log. On an unjournaled handle it is a no-op.
+func (h *Handle) Checkpoint() error {
+	if err := h.check(); err != nil {
+		return err
+	}
+	if h.jnl == nil {
+		return nil
+	}
+	return h.shared.Locked(func(d *LiveDocument) error {
+		return h.jnl.Checkpoint(d)
+	})
+}
+
+// Close releases the handle. On a journaled handle it makes every
+// acknowledged edit durable (regardless of mode) and closes the
+// journal files; a closed handle's methods fail with ErrClosed.
+// Close is idempotent: second and later calls return nil.
+func (h *Handle) Close() error {
+	if !h.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if h.jnl == nil {
+		return nil
+	}
+	return h.jnl.Close()
+}
+
+// HandleStats is a point-in-time snapshot of a handle's state,
+// including its journal when one is attached.
+type HandleStats struct {
+	// Scheme is the labeling scheme's registry name.
+	Scheme string
+	// Nodes is the live node count (elements and text).
+	Nodes int
+	// Relabeled is the cumulative count of existing nodes whose labels
+	// updates have rewritten — zero forever under the dynamic schemes.
+	Relabeled int64
+	// Journaled reports whether the handle writes a journal; Journal
+	// is only meaningful when it is set.
+	Journaled bool
+	// Journal carries the journal's counters: batches appended and
+	// durable, current segment generation, checkpoints taken, mode.
+	Journal journal.Stats
+}
+
+// Stats returns a snapshot of the handle's state. It stays callable
+// on a closed handle.
+func (h *Handle) Stats() HandleStats {
+	s := HandleStats{Scheme: h.schemeName}
+	if h.shared != nil {
+		s.Nodes = h.shared.Len()
+		s.Relabeled = h.shared.Relabeled()
+	} else {
+		s.Nodes = h.live.Len()
+		s.Relabeled = h.live.Relabeled()
+	}
+	if h.jnl != nil {
+		s.Journaled = true
+		s.Journal = h.jnl.Stats()
+	}
+	return s
 }
 
 // ---------------------------------------------------------------------------

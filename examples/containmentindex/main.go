@@ -45,10 +45,11 @@ func main() {
 	fmt.Fprintln(w)
 
 	for _, sn := range schemes {
-		lab, err := dynxml.Label(doc, sn)
+		h, err := dynxml.Open(doc, dynxml.WithScheme(sn))
 		if err != nil {
 			log.Fatal(err)
 		}
+		lab := h.Labeling()
 		engine, err := dynxml.NewEngine(doc, lab)
 		if err != nil {
 			log.Fatal(err)
@@ -76,10 +77,11 @@ func main() {
 	// forces a re-label, so the index stays valid incrementally.
 	fmt.Println("\n1000 insertions at one fixed place (worst case):")
 	for _, sn := range schemes {
-		lab, err := dynxml.Label(doc, sn)
+		h, err := dynxml.Open(doc, dynxml.WithScheme(sn))
 		if err != nil {
 			log.Fatal(err)
 		}
+		lab := h.Labeling()
 		acts := lab.Tree().Children[0]
 		relabeled := 0
 		start := time.Now()

@@ -24,10 +24,11 @@ const seed = `<wiki>
 </wiki>`
 
 func main() {
-	doc, err := dynxml.ParseLive(seed, "V-CDBS-Containment")
+	h, err := dynxml.Open(seed, dynxml.WithScheme("V-CDBS-Containment"))
 	if err != nil {
 		log.Fatal(err)
 	}
+	doc := h.Live()
 
 	// An editing session: every edit lands between existing nodes.
 	gen := rand.New(rand.NewSource(1))
@@ -72,10 +73,11 @@ func main() {
 	}
 
 	fmt.Println("\nThe same session under compact integer labels:")
-	intDoc, err := dynxml.ParseLive(seed, "V-Binary-Containment")
+	ih, err := dynxml.Open(seed, dynxml.WithScheme("V-Binary-Containment"))
 	if err != nil {
 		log.Fatal(err)
 	}
+	intDoc := ih.Live()
 	pages, _ = intDoc.QueryString("/wiki/page")
 	for i := 0; i < 200; i++ {
 		if _, _, err := intDoc.InsertElement(pages[0], 1, "revision"); err != nil {

@@ -23,14 +23,11 @@ const catalog = `<catalog>
 
 func main() {
 	for _, schemeName := range []string{"V-CDBS-Containment", "V-Binary-Containment"} {
-		doc, err := dynxml.ParseXMLString(catalog)
+		h, err := dynxml.Open(catalog, dynxml.WithScheme(schemeName))
 		if err != nil {
 			log.Fatal(err)
 		}
-		lab, err := dynxml.Label(doc, schemeName)
-		if err != nil {
-			log.Fatal(err)
-		}
+		lab := h.Labeling()
 		fmt.Printf("== %s ==\n", schemeName)
 		fmt.Printf("labeled %d nodes, %d label bits total\n", lab.Len(), lab.TotalLabelBits())
 
@@ -59,11 +56,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	lab, err := dynxml.Label(doc, "V-CDBS-Containment")
+	h, err := dynxml.Open(doc, dynxml.WithScheme("V-CDBS-Containment"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	engine, err := dynxml.NewEngine(doc, lab)
+	engine, err := dynxml.NewEngine(doc, h.Labeling())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -79,6 +79,7 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 		newLockCopy(),
 		newLockHeld(),
 		newErrCheck(),
+		newDeprecated(),
 		newPanicAudit(cfg.Allowlist),
 	}
 	if len(cfg.Names) == 0 {

@@ -129,6 +129,7 @@ func TestCodeLiteralFixture(t *testing.T) { runFixture(t, "codeliteral", "codeli
 func TestLockCopyFixture(t *testing.T)    { runFixture(t, "lockcopy", "lockcopy", nil) }
 func TestLockHeldFixture(t *testing.T)    { runFixture(t, "lockheld", "lockheld", nil) }
 func TestErrCheckFixture(t *testing.T)    { runFixture(t, "errcheck", "errcheck", nil) }
+func TestDeprecatedFixture(t *testing.T)  { runFixture(t, "deprecated", "deprecated", nil) }
 
 func TestPanicAuditFixture(t *testing.T) {
 	const fixturePkg = "repro/internal/analysis/testdata/src/panicaudit"

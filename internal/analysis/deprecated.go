@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newDeprecated builds the deprecated analyzer. Functions carrying a
+// "Deprecated:" doc paragraph — the dynxml constructors Open
+// subsumed, and anything retired the same way later — must not gain
+// new callers inside the module: production code goes through the
+// replacement API, and the shims only survive for external users and
+// for the tests that pin their behavior. The analyzer flags every
+// call in non-test module code whose static callee is an in-module
+// function documented as deprecated.
+func newDeprecated() *Analyzer {
+	a := &Analyzer{
+		Name: "deprecated",
+		Doc:  "flags non-test calls to in-module functions documented as Deprecated",
+	}
+	a.Run = func(p *Pass) error {
+		mod := p.Loader.ModulePath
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.InTestFile(call.Pos()) {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil || !inModule(fn.Pkg(), mod) {
+					return true
+				}
+				if note, ok := p.Loader.deprecationNote(fn); ok {
+					p.Reportf(call.Pos(), "call to deprecated %s: %s", funcFullName(fn), note)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// deprecationNote finds the declaration of an in-module function and
+// returns its deprecation message, if its doc comment carries a
+// "Deprecated:" paragraph. The defining package is necessarily in the
+// loader cache: the caller type-checked against it.
+func (ld *Loader) deprecationNote(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := ld.pkgs[fn.Pkg().Path()]
+	if pkg == nil {
+		return "", false
+	}
+	pos := fn.Pos()
+	for _, f := range pkg.Files {
+		if pos < f.FileStart || pos >= f.FileEnd {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Pos() == pos {
+				return deprecationFrom(fd.Doc)
+			}
+		}
+	}
+	return "", false
+}
+
+// deprecationFrom extracts the message of a doc comment's
+// "Deprecated:" paragraph, per the godoc convention: the paragraph
+// runs from the marker to the next blank line.
+func deprecationFrom(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	lines := strings.Split(doc.Text(), "\n")
+	for i, line := range lines {
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:")
+		if !ok {
+			continue
+		}
+		msg := []string{strings.TrimSpace(rest)}
+		for _, cont := range lines[i+1:] {
+			cont = strings.TrimSpace(cont)
+			if cont == "" {
+				break
+			}
+			msg = append(msg, cont)
+		}
+		return strings.TrimSpace(strings.Join(msg, " ")), true
+	}
+	return "", false
+}

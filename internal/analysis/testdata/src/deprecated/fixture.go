@@ -1,0 +1,46 @@
+// Package deprecated is a labelvet fixture: every call below to a
+// function carrying a "Deprecated:" doc paragraph must be flagged by
+// the deprecated analyzer, and the ok functions must stay silent.
+package deprecated
+
+import (
+	dynxml "repro"
+)
+
+// oldAPI exercises the dynxml constructors Open subsumed.
+func oldAPI(doc *dynxml.Document) error {
+	if _, err := dynxml.Label(doc, "QED-Prefix"); err != nil { // want `call to deprecated repro.Label: use Open`
+		return err
+	}
+	if _, err := dynxml.Live(doc, "QED-Prefix"); err != nil { // want `call to deprecated repro.Live: use Open`
+		return err
+	}
+	if _, err := dynxml.ParseLive("<a></a>", "QED-Prefix"); err != nil { // want `call to deprecated repro.ParseLive: use Open`
+		return err
+	}
+	_, err := dynxml.ParseShared("<a></a>", "QED-Prefix") // want `call to deprecated repro.ParseShared: use Open`
+	return err
+}
+
+// localOld is a module-local deprecated function, so the marker is
+// honoured beyond the dynxml shims.
+//
+// Deprecated: use localNew instead.
+func localOld() int { return localNew() }
+
+func localNew() int { return 1 }
+
+func callsLocal() int {
+	return localOld() // want `call to deprecated repro/internal/analysis/testdata/src/deprecated.localOld: use localNew instead.`
+}
+
+// ok uses only the replacement API and undocumented locals: silent.
+func ok(doc *dynxml.Document) error {
+	h, err := dynxml.Open(doc, dynxml.WithScheme("QED-Prefix"))
+	if err != nil {
+		return err
+	}
+	_ = h.Labeling()
+	_ = localNew()
+	return nil
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/dyndoc"
+	"repro/internal/journal"
+	"repro/internal/registry"
+)
+
+// Durable-update workloads: 8 concurrent writers against one
+// journaled document at Always durability. The word/ref pair
+// quantifies group commit — the "word" variant lets concurrent
+// writers share one fsync per commit wave, the "ref" variant fsyncs
+// every edit on its own before acknowledging it, which is what a
+// journal without group commit has to do at the same durability.
+
+// journalWriters is the writer count of the group-commit pair; the
+// BENCH report's speedup is the paper-style headline for PR 5.
+const journalWriters = 8
+
+// journalChunk is how many insert+delete rounds run against one
+// document+journal before the benchmark swaps in fresh state (off
+// the clock). Document ids are never reused, so the id-indexed
+// arrays — and with them the per-edit snapshot clone — grow with the
+// cumulative edit count; bounding rounds per document keeps that
+// cost flat so the pair isolates the commit path itself.
+const journalChunk = 128
+
+// journalBenchmarks returns the journal benchmark set;
+// KernelBenchmarks folds them into the registry.
+func journalBenchmarks() []NamedBench {
+	var out []NamedBench
+	add := func(name string, noGroupCommit bool) {
+		out = append(out, NamedBench{Name: name, F: func(b *testing.B) {
+			benchJournalWriters(b, noGroupCommit)
+		}})
+	}
+	add("journal/append-always/word/8w", false)
+	add("journal/append-always/ref/8w", true)
+	return out
+}
+
+// journalBenchState is one chunk's document + journal.
+type journalBenchState struct {
+	c *dyndoc.Concurrent
+	j *journal.Journal
+}
+
+// newJournalBenchState builds a fresh journaled document in a new
+// directory under dir.
+func newJournalBenchState(b *testing.B, dir string, chunk int, noGroupCommit bool) *journalBenchState {
+	b.Helper()
+	entry, err := registry.Lookup("V-CDBS-Containment")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := dyndoc.Parse("<root><a></a><b></b></root>", entry.Build)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := journal.Create(journal.Config{
+		Dir:           filepath.Join(dir, "journal-"+strconv.Itoa(chunk)),
+		Scheme:        entry.Name,
+		Mode:          journal.SyncAlways,
+		NoGroupCommit: noGroupCommit,
+	}, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.SetCommitHook(j.Append)
+	return &journalBenchState{c: c, j: j}
+}
+
+// benchJournalWriters measures b.N insert+delete rounds spread over
+// journalWriters goroutines, every round acknowledged durable before
+// the next. Each writer deletes what it inserted, so the document
+// stays a fixed size, and state is rebuilt off the clock every
+// journalChunk rounds so id-array growth never leaks into the
+// timing.
+func benchJournalWriters(b *testing.B, noGroupCommit bool) {
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done, chunk := 0, 0; done < b.N; chunk++ {
+		rounds := b.N - done
+		if rounds > journalChunk {
+			rounds = journalChunk
+		}
+		done += rounds
+		b.StopTimer()
+		st := newJournalBenchState(b, dir, chunk, noGroupCommit)
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < journalWriters; w++ {
+			n := rounds / journalWriters
+			if w < rounds%journalWriters {
+				n++
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					id, _, err := st.c.InsertElement(0, 0, "w")
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := st.c.DeleteSubtree(id); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		b.StopTimer()
+		if err := st.j.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

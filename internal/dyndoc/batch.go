@@ -114,6 +114,9 @@ func (d *Document) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) (
 	if parent < 0 || parent >= len(d.nodes) || !d.lab.Tree().Alive(parent) {
 		return nil, 0, fmt.Errorf("%w: parent %d", ErrBadNode, parent)
 	}
+	if d.nodes[parent].Kind != xmltree.Element {
+		return nil, 0, fmt.Errorf("%w: parent %d is not an element", ErrBadNode, parent)
+	}
 	for _, f := range fragments {
 		if f == nil || f.Kind != xmltree.Element {
 			return nil, 0, errors.New("dyndoc: fragment must be an element tree")
@@ -146,9 +149,13 @@ func (d *Document) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) (
 				d.names = append(d.names, "")
 			}
 			d.nodes[id] = n
-			d.names[id] = n.Name
-			d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
-			d.elems = d.insertOrdered(d.elems, id)
+			if n.Kind == xmltree.Element {
+				// Only elements enter the name and element indexes,
+				// matching the bulk construction path.
+				d.names[id] = n.Name
+				d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
+				d.elems = d.insertOrdered(d.elems, id)
+			}
 			for _, c := range n.Children {
 				walk(c)
 			}

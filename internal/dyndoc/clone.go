@@ -17,13 +17,20 @@ func (d *Document) Clone() (*Document, error) {
 	if !ok {
 		return nil, fmt.Errorf("dyndoc: labeling %s does not implement scheme.Cloner", d.lab.Name())
 	}
-	nodeMap := make(map[*xmltree.Node]*xmltree.Node, len(d.nodes))
+	// Presize by the live element count, not len(d.nodes): ids are
+	// never reused, so d.nodes counts every node that ever existed and
+	// a map sized to it dwarfs a small document that has seen many
+	// edits — and Clone runs once per published snapshot.
+	nodeMap := make(map[*xmltree.Node]*xmltree.Node, len(d.elems))
 	var copyTree func(n *xmltree.Node) *xmltree.Node
 	copyTree = func(n *xmltree.Node) *xmltree.Node {
 		out := &xmltree.Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
 		nodeMap[n] = out
-		for _, c := range n.Children {
-			out.AppendChild(copyTree(c))
+		if len(n.Children) > 0 {
+			out.Children = make([]*xmltree.Node, 0, len(n.Children))
+			for _, c := range n.Children {
+				out.AppendChild(copyTree(c))
+			}
 		}
 		return out
 	}
@@ -36,9 +43,14 @@ func (d *Document) Clone() (*Document, error) {
 			nodes[i] = nodeMap[n]
 		}
 	}
+	// One backing array for every per-name id list; the three-index
+	// subslices keep later insertOrdered appends from sharing it.
 	byName := make(map[string][]int, len(d.byName))
+	backing := make([]int, 0, len(d.elems))
 	for name, list := range d.byName {
-		byName[name] = append([]int(nil), list...)
+		off := len(backing)
+		backing = append(backing, list...)
+		byName[name] = backing[off:len(backing):len(backing)]
 	}
 	return &Document{
 		doc:       &xmltree.Document{Root: root},

@@ -1,6 +1,7 @@
 package dyndoc
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,7 +48,35 @@ type snapshot struct {
 type Concurrent struct {
 	mu   sync.Mutex // serializes writers; never taken on the query path
 	snap atomic.Pointer[snapshot]
+	hook CommitHook // journaling hook; nil when the document is not journaled
 }
+
+// CommitHook intercepts every structured edit batch on its way to
+// publication — the seam a write-ahead journal attaches through. It
+// runs under the writer mutex, after the batch has been applied to
+// the private clone and before the snapshot is published, so the
+// journal's append order is exactly the publication order. Returning
+// an error vetoes the batch: nothing is published and the caller gets
+// the error. The returned wait function, if non-nil, is called after
+// publication with the writer mutex released; the edit call does not
+// return success until it does — this is where a group-commit
+// pipeline parks the caller until its batch is durable, without
+// serializing fsyncs behind the writer mutex.
+type CommitHook func(edits []Edit, results []EditResult) (wait func() error, err error)
+
+// SetCommitHook installs the commit hook. Install it once, right
+// after construction and before the document is shared; a nil hook
+// restores plain un-journaled operation.
+func (c *Concurrent) SetCommitHook(h CommitHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
+}
+
+// ErrRawUpdate reports an Update(fn) call on a journaled document:
+// an opaque function cannot be written to the edit journal, so it
+// could never be replayed. Use ApplyBatch or the typed edit methods.
+var ErrRawUpdate = errors.New("dyndoc: raw Update cannot be journaled; use ApplyBatch or the typed edit methods")
 
 // NewConcurrent wraps doc under the given builder.
 func NewConcurrent(doc *xmltree.Document, build scheme.Builder) (*Concurrent, error) {
@@ -66,6 +95,12 @@ func ParseConcurrent(text string, build scheme.Builder) (*Concurrent, error) {
 	}
 	return newConcurrent(d)
 }
+
+// NewConcurrentFrom wraps an already-built live document — the
+// constructor journal recovery uses after Replay has rebuilt the
+// document. The caller must not touch d afterwards; the Concurrent
+// owns it.
+func NewConcurrentFrom(d *Document) (*Concurrent, error) { return newConcurrent(d) }
 
 // newConcurrent publishes the initial snapshot, failing fast when the
 // labeling cannot support copy-on-write updates.
@@ -143,41 +178,91 @@ func (c *Concurrent) update(fn func(d *Document) error) error {
 	return nil
 }
 
+// applyEdits is the structured writer path every typed edit method
+// routes through: clone, apply the batch to the clone, offer the
+// batch to the commit hook (which may veto it), publish one snapshot,
+// then — with the writer mutex released — wait for the hook's
+// durability acknowledgment. A batch is therefore visible to readers
+// the moment it is published but only reported successful once the
+// journal (if any) acknowledges it; an error from the wait still
+// returns the results, because the edit is applied in memory.
+func (c *Concurrent) applyEdits(edits []Edit) ([]EditResult, error) {
+	c.mu.Lock()
+	cur := c.load()
+	next, err := cur.d.Clone()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	out, err := next.ApplyBatch(edits)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	var wait func() error
+	if c.hook != nil {
+		wait, err = c.hook(edits, out)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	c.snap.Store(&snapshot{d: next, eng: next.engine(), gen: cur.gen + 1})
+	mSnapshotSwaps.Inc()
+	c.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // InsertElement inserts a fresh element and publishes a new snapshot.
 func (c *Concurrent) InsertElement(parent, pos int, name string) (int, int, error) {
-	var id, relabeled int
-	err := c.update(func(d *Document) error {
-		var err error
-		id, relabeled, err = d.InsertElement(parent, pos, name)
-		return err
-	})
+	res, err := c.applyEdits([]Edit{{Op: OpInsertElement, Parent: parent, Pos: pos, Name: name}})
 	if err != nil {
 		return 0, 0, err
 	}
-	return id, relabeled, nil
+	return res[0].IDs[0], res[0].Relabeled, nil
 }
 
 // InsertTree inserts a fragment copy and publishes a new snapshot.
 func (c *Concurrent) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, int, error) {
-	var ids []int
-	var relabeled int
-	err := c.update(func(d *Document) error {
-		var err error
-		ids, relabeled, err = d.InsertTree(parent, pos, fragment)
-		return err
-	})
+	res, err := c.applyEdits([]Edit{{Op: OpInsertTree, Parent: parent, Pos: pos, Fragment: fragment}})
 	if err != nil {
 		return nil, 0, err
 	}
-	return ids, relabeled, nil
+	return res[0].IDs, res[0].Relabeled, nil
 }
 
 // InsertTreeBatch inserts the fragments as consecutive children of
 // parent in one batch, paying the snapshot clone once for the whole
 // run (see Document.InsertTreeBatch for the label-side batching).
+// The label write path still runs once per run: the batch is one
+// OpInsertTree per fragment, which Document.ApplyBatch applies
+// individually, so a journaled bulk insert uses InsertSubtrees only
+// through the scheme.BatchInserter path of the underlying document —
+// here the fragments are replayable edits first.
 func (c *Concurrent) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) ([][]int, int, error) {
 	var ids [][]int
 	var relabeled int
+	if c.hookInstalled() {
+		// Journaled path: express the bulk insert as replayable edits.
+		edits := make([]Edit, len(fragments))
+		for k, f := range fragments {
+			edits[k] = Edit{Op: OpInsertTree, Parent: parent, Pos: pos + k, Fragment: f}
+		}
+		res, err := c.applyEdits(edits)
+		if res != nil {
+			ids = make([][]int, len(res))
+			for k, r := range res {
+				ids[k] = r.IDs
+				relabeled += r.Relabeled
+			}
+		}
+		return ids, relabeled, err
+	}
 	err := c.update(func(d *Document) error {
 		var err error
 		ids, relabeled, err = d.InsertTreeBatch(parent, pos, fragments)
@@ -189,34 +274,30 @@ func (c *Concurrent) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node)
 	return ids, relabeled, nil
 }
 
+// hookInstalled reports whether a commit hook is set.
+func (c *Concurrent) hookInstalled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hook != nil
+}
+
 // DeleteSubtree removes a subtree and publishes a new snapshot.
 func (c *Concurrent) DeleteSubtree(id int) (int, error) {
-	var removed int
-	err := c.update(func(d *Document) error {
-		var err error
-		removed, err = d.DeleteSubtree(id)
-		return err
-	})
+	res, err := c.applyEdits([]Edit{{Op: OpDeleteSubtree, Node: id}})
 	if err != nil {
 		return 0, err
 	}
-	return removed, nil
+	return res[0].Removed, nil
 }
 
 // ApplyBatch applies the edits against one clone and publishes a
 // single snapshot: readers observe none or all of the batch, and the
 // clone cost is paid once per batch instead of once per edit.
 func (c *Concurrent) ApplyBatch(edits []Edit) ([]EditResult, error) {
-	var out []EditResult
-	err := c.update(func(d *Document) error {
-		var err error
-		out, err = d.ApplyBatch(edits)
-		return err
-	})
-	if err != nil {
-		return nil, err
+	if len(edits) == 0 {
+		return nil, nil
 	}
-	return out, nil
+	return c.applyEdits(edits)
 }
 
 // Snapshot runs fn against the latest published snapshot without any
@@ -231,6 +312,21 @@ func (c *Concurrent) Snapshot(fn func(d *Document) error) error {
 // publishes the clone as one new snapshot when fn succeeds, making
 // composite edits atomic with respect to readers. When fn returns an
 // error nothing is published and the shared document is unchanged.
+// On a journaled document Update fails with ErrRawUpdate: an opaque
+// mutation cannot be recorded for replay.
 func (c *Concurrent) Update(fn func(d *Document) error) error {
+	if c.hookInstalled() {
+		return ErrRawUpdate
+	}
 	return c.update(fn)
+}
+
+// Locked runs fn against the currently published document while
+// holding the writer mutex, so no edit can apply or publish while fn
+// runs. fn must only read the document — this is how a checkpoint
+// captures a state that is exactly "everything journaled so far".
+func (c *Concurrent) Locked(fn func(d *Document) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.load().d)
 }

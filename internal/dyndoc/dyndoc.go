@@ -108,6 +108,9 @@ func (d *Document) InsertElement(parent, pos int, name string) (int, int, error)
 	if parent < 0 || parent >= len(d.nodes) || !d.lab.Tree().Alive(parent) {
 		return 0, 0, fmt.Errorf("%w: parent %d", ErrBadNode, parent)
 	}
+	if d.nodes[parent].Kind != xmltree.Element {
+		return 0, 0, fmt.Errorf("%w: parent %d is not an element", ErrBadNode, parent)
+	}
 	if name == "" {
 		return 0, 0, errors.New("dyndoc: empty element name")
 	}
@@ -253,6 +256,9 @@ func (d *Document) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, i
 	if parent < 0 || parent >= len(d.nodes) || !d.lab.Tree().Alive(parent) {
 		return nil, 0, fmt.Errorf("%w: parent %d", ErrBadNode, parent)
 	}
+	if d.nodes[parent].Kind != xmltree.Element {
+		return nil, 0, fmt.Errorf("%w: parent %d is not an element", ErrBadNode, parent)
+	}
 	if fragment == nil || fragment.Kind != xmltree.Element {
 		return nil, 0, errors.New("dyndoc: fragment must be an element tree")
 	}
@@ -289,9 +295,14 @@ func (d *Document) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, i
 			d.names = append(d.names, "")
 		}
 		d.nodes[id] = n
-		d.names[id] = n.Name
-		d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
-		d.elems = d.insertOrdered(d.elems, id)
+		if n.Kind == xmltree.Element {
+			// Only elements enter the name and element indexes — text
+			// nodes are labeled but not queryable, matching the bulk
+			// construction path.
+			d.names[id] = n.Name
+			d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
+			d.elems = d.insertOrdered(d.elems, id)
+		}
 		for _, c := range n.Children {
 			walk(c)
 		}

@@ -1,0 +1,410 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dyndoc"
+	"repro/internal/registry"
+)
+
+const testScheme = "V-CDBS-Containment"
+
+func mustDoc(t *testing.T, xml string) *dyndoc.Document {
+	t.Helper()
+	entry, err := registry.Lookup(testScheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dyndoc.Parse(xml, entry.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func rootID(t *testing.T, d *dyndoc.Document) int {
+	t.Helper()
+	pre := d.Labeling().Tree().PreOrder()
+	if len(pre) == 0 {
+		t.Fatal("empty document")
+	}
+	return pre[0]
+}
+
+// applyAndAppend runs one batch against d and journals it, returning
+// the wait function.
+func applyAndAppend(t *testing.T, j *Journal, d *dyndoc.Document, edits []dyndoc.Edit) func() error {
+	t.Helper()
+	results, err := d.ApplyBatch(edits)
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	wait, err := j.Append(edits, results)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if wait == nil {
+		wait = func() error { return nil }
+	}
+	return wait
+}
+
+func insertEdit(parent int, name string) []dyndoc.Edit {
+	return []dyndoc.Edit{{Op: dyndoc.OpInsertElement, Parent: parent, Pos: 0, Name: name}}
+}
+
+func TestCreateAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root><a/><b/></root>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rootID(t, d)
+	for i := 0; i < 5; i++ {
+		wait := applyAndAppend(t, j, d, insertEdit(root, fmt.Sprintf("n%d", i)))
+		if err := wait(); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	st := j.Stats()
+	if st.Seq != 5 || st.Durable != 5 || st.Appended != 5 {
+		t.Fatalf("stats = %+v, want seq=durable=appended=5", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	j2, d2, info, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if info.Repaired {
+		t.Fatalf("clean journal reported repair: %+v", info)
+	}
+	if info.Batches != 5 || info.Edits != 5 {
+		t.Fatalf("replayed %d batches / %d edits, want 5/5", info.Batches, info.Edits)
+	}
+	if got, want := d2.XML(), d.XML(); got != want {
+		t.Fatalf("replayed XML = %s, want %s", got, want)
+	}
+	if st := j2.Stats(); st.Seq != 5 || st.Appended != 0 {
+		t.Fatalf("reopened stats = %+v, want seq=5 appended=0", st)
+	}
+}
+
+func TestReplayContinuesAppending(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rootID(t, d)
+	if err := applyAndAppend(t, j, d, insertEdit(root, "first"))(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, d2, _, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := applyAndAppend(t, j2, d2, insertEdit(rootID(t, d2), "second"))(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, d3, info, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Batches != 2 {
+		t.Fatalf("replayed %d batches, want 2", info.Batches)
+	}
+	want := "<root><second></second><first></first></root>"
+	if got := d3.XML(); got != want {
+		t.Fatalf("XML after two sessions = %s, want %s", got, want)
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := Create(Config{Dir: dir, Scheme: testScheme}, d); !errors.Is(err, ErrExists) {
+		t.Fatalf("second Create = %v, want ErrExists", err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := j.Append(insertEdit(0, "x"), []dyndoc.EditResult{{IDs: []int{1}}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := j.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCheckpointCompacts(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rootID(t, d)
+	for i := 0; i < 8; i++ {
+		if err := applyAndAppend(t, j, d, insertEdit(root, fmt.Sprintf("pre%d", i)))(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Checkpoint(d); err != nil {
+		t.Fatal(err)
+	}
+	// Old generation removed, new pair present.
+	for _, p := range []string{ckptPath(dir, 0), logPath(dir, 0)} {
+		if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("%s still exists after checkpoint", filepath.Base(p))
+		}
+	}
+	for _, p := range []string{ckptPath(dir, 1), logPath(dir, 1)} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("%s missing after checkpoint: %v", filepath.Base(p), err)
+		}
+	}
+	if st := j.Stats(); st.Generation != 1 || st.Checkpoints != 1 {
+		t.Fatalf("stats after checkpoint = %+v", st)
+	}
+	// Edits after the checkpoint land in the new log and replay on
+	// top of it.
+	if err := applyAndAppend(t, j, d, insertEdit(root, "post"))(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, d2, info, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Checkpoint != 1 || info.Batches != 1 {
+		t.Fatalf("replay info = %+v, want checkpoint=1 batches=1", info)
+	}
+	if got, want := d2.XML(), d.XML(); got != want {
+		t.Fatalf("replayed XML = %s, want %s", got, want)
+	}
+}
+
+func TestReplayMissingJournal(t *testing.T) {
+	if _, _, _, err := Replay(Config{Dir: t.TempDir(), Scheme: testScheme}); err == nil {
+		t.Fatal("Replay of empty dir succeeded")
+	}
+}
+
+func TestReplayRejectsStrayFile(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Replay(Config{Dir: dir, Scheme: testScheme}); err == nil {
+		t.Fatal("Replay accepted a foreign file in the journal directory")
+	}
+}
+
+// TestGroupCommitConcurrent drives the full integration: concurrent
+// writers on a dyndoc.Concurrent whose commit hook is the journal,
+// every edit acknowledged durable, then replay must reproduce the
+// exact published document.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	root := rootID(t, d)
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCommitHook(j.Append)
+
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, _, err := c.InsertElement(root, 0, fmt.Sprintf("w%dn%d", w, i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Seq != writers*perWriter {
+		t.Fatalf("journaled %d batches, want %d", st.Seq, writers*perWriter)
+	}
+	if st.Durable != st.Seq {
+		t.Fatalf("durable %d < seq %d after all acks", st.Durable, st.Seq)
+	}
+	want := c.XML()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, d2, info, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Batches != writers*perWriter {
+		t.Fatalf("replayed %d batches, want %d", info.Batches, writers*perWriter)
+	}
+	if got := d2.XML(); got != want {
+		t.Fatalf("replayed XML differs from published document:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestUpdateRejectedWhenJournaled pins the ErrRawUpdate guard: opaque
+// mutations cannot be journaled, so they must be refused rather than
+// silently lost on replay.
+func TestUpdateRejectedWhenJournaled(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	c, err := dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCommitHook(j.Append)
+	err = c.Update(func(d *dyndoc.Document) error { return nil })
+	if !errors.Is(err, dyndoc.ErrRawUpdate) {
+		t.Fatalf("Update on journaled document = %v, want ErrRawUpdate", err)
+	}
+}
+
+func TestSyncIntervalEventuallyDurable(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme, Mode: SyncInterval, Interval: 5 * time.Millisecond}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rootID(t, d)
+	wait := applyAndAppend(t, j, d, insertEdit(root, "x"))
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st := j.Stats(); st.Durable == st.Seq && st.Seq == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("interval flusher never caught up: %+v", j.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncNoneCloseStillDurable(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme, Mode: SyncNone}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rootID(t, d)
+	if err := applyAndAppend(t, j, d, insertEdit(root, "x"))(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean Close syncs even in SyncNone mode, so the reopen needs
+	// no repair.
+	_, d2, info, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Repaired || info.Batches != 1 {
+		t.Fatalf("replay info = %+v, want clean 1-batch replay", info)
+	}
+	if got, want := d2.XML(), d.XML(); got != want {
+		t.Fatalf("XML = %s, want %s", got, want)
+	}
+}
+
+func TestNoGroupCommitBaseline(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme, NoGroupCommit: true}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rootID(t, d)
+	for i := 0; i < 3; i++ {
+		if err := applyAndAppend(t, j, d, insertEdit(root, fmt.Sprintf("n%d", i)))(); err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Stats(); st.Durable != st.Seq {
+			t.Fatalf("baseline append not immediately durable: %+v", st)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, d2, _, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d2.XML(), d.XML(); got != want {
+		t.Fatalf("XML = %s, want %s", got, want)
+	}
+}

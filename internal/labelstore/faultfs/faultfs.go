@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // ErrInjected is the error injected faults return (wrapped with the
@@ -63,9 +64,12 @@ type Backing interface {
 	Close() error
 }
 
-// File is a fault-injecting file wrapper. Not safe for concurrent
-// use, matching the stores it backs.
+// File is a fault-injecting file wrapper. Operations serialize on an
+// internal mutex, so a File can back the journal's group-commit
+// pipeline, where one fsync may overlap appends; operation indexes
+// stay deterministic per operation kind regardless of interleaving.
 type File struct {
+	mu     sync.Mutex
 	b      Backing
 	faults []Fault
 	ops    [3]int // operations seen, by Op
@@ -79,11 +83,19 @@ func Wrap(b Backing, faults ...Fault) *File {
 }
 
 // Fired returns the faults that have fired, in firing order.
-func (f *File) Fired() []Fault { return append([]Fault(nil), f.fired...) }
+func (f *File) Fired() []Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Fault(nil), f.fired...)
+}
 
 // Ops returns how many operations of the given kind have been
 // attempted (including the faulted one).
-func (f *File) Ops(op Op) int { return f.ops[op] }
+func (f *File) Ops(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops[op]
+}
 
 // match arms-checks the next operation of kind op and returns the
 // fault to fire, if any.
@@ -111,6 +123,8 @@ func faultErr(ft Fault, n int) error {
 // any write or sync fault the file is wedged: every later write or
 // sync fails too, modeling a process that died at that point.
 func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if ft, ok := f.match(OpWrite); ok {
 		n := 0
 		if ft.Short > 0 {
@@ -135,6 +149,8 @@ func (f *File) Write(p []byte) (int, error) {
 
 // Sync forwards unless a sync fault fires.
 func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if ft, ok := f.match(OpSync); ok {
 		f.dead = true
 		return faultErr(ft, f.ops[OpSync])
@@ -148,6 +164,8 @@ func (f *File) Sync() error {
 // Close always closes the backing file (so tests can reopen the
 // path), then reports a close fault if one fires.
 func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	cerr := f.b.Close()
 	if ft, ok := f.match(OpClose); ok {
 		return faultErr(ft, f.ops[OpClose])

@@ -88,6 +88,17 @@ func NewStore(f File) (*Store, error) {
 	return &Store{f: f, w: bufio.NewWriter(f)}, nil
 }
 
+// AppendStore wraps an already-open store file for appending without
+// writing a header. The caller is responsible for the file being a
+// valid store positioned at its end — typically after running Recover
+// on the path and seeking to io.SeekEnd. It exists so crash-recovery
+// callers (the edit journal) can resume appending through a wrapped
+// File (fault injection) after doing their own recovery pass; plain
+// callers should use Open, which does all of that itself.
+func AppendStore(f File) *Store {
+	return &Store{f: f, w: bufio.NewWriter(f)}
+}
+
 // Open appends to an existing store. It first runs crash recovery on
 // the file — validating the header and every record checksum and
 // truncating a torn tail in place (see Recover) — so an Open after a
@@ -132,15 +143,42 @@ func (s *Store) Write(id uint64, payload []byte) error {
 // Sync flushes buffered records and fsyncs the file — the per-
 // transaction I/O cost of an update. Records written before a
 // successful Sync are the store's durability unit: Recover never
-// loses them.
+// loses them. Sync is Flush followed by SyncFile; callers that need
+// to fsync outside their append lock (group commit) use the two
+// halves directly.
 func (s *Store) Sync() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.SyncFile()
+}
+
+// Flush moves buffered records from the Store's write buffer to the
+// operating system without forcing them to stable storage. Flushed
+// records survive a process crash but not a power cut; SyncFile makes
+// them durable. Flush shares the Store's single-threaded contract
+// with Write.
+func (s *Store) Flush() error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("labelstore: %w", err)
+	}
+	return nil
+}
+
+// SyncFile fsyncs the underlying file without touching the write
+// buffer — the durability half of Sync. Unlike Write and Flush, one
+// SyncFile may run concurrently with Writes on the same Store (the
+// group-commit pipeline fsyncs outside its append lock): it only
+// reads the file handle, and a record racing the fsync simply isn't
+// covered by it. Two SyncFile calls must not run concurrently.
+func (s *Store) SyncFile() error {
 	if s.closed {
 		return ErrClosed
 	}
 	start := time.Now()
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("labelstore: %w", err)
-	}
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("labelstore: %w", err)
 	}

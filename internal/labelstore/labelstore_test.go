@@ -320,14 +320,50 @@ func TestUseAfterClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Write(7, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Write(1, nil); err != ErrClosed {
+	checkClosed(t, s)
+
+	// The same contract holds for a Store reopened with Open: every
+	// post-Close operation deterministically reports ErrClosed and
+	// never mutates the file.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkClosed(t, s2)
+	recs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != 7 {
+		t.Fatalf("post-close writes reached the file: %v", recs)
+	}
+}
+
+// checkClosed asserts every Store operation on a closed store returns
+// the ErrClosed sentinel (matched via errors.Is, the way callers are
+// expected to test it) and that Close stays idempotent.
+func checkClosed(t *testing.T, s *Store) {
+	t.Helper()
+	if err := s.Write(1, []byte("x")); !errors.Is(err, ErrClosed) {
 		t.Errorf("Write after close: %v", err)
 	}
-	if err := s.Sync(); err != ErrClosed {
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
 		t.Errorf("Sync after close: %v", err)
+	}
+	if err := s.Flush(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Flush after close: %v", err)
+	}
+	if err := s.SyncFile(); !errors.Is(err, ErrClosed) {
+		t.Errorf("SyncFile after close: %v", err)
 	}
 	if err := s.Close(); err != nil {
 		t.Errorf("double close: %v", err)

@@ -6,11 +6,13 @@
 #   2. go vet        — the stock vet checks
 #   3. go build      — both tag states (the invariants tag swaps files in)
 #   4. go test       — the whole module, plus invariants-tagged label packages
-#   5. go test -race — the concurrent document layer and the labelstore,
-#                      plus the snapshot storm test by name
-#   6. crash safety  — the recovery/fault-injection suite by name, then the
-#                      FuzzReadAll and FuzzEncodeBetween seed corpora as
-#                      short fuzz runs
+#   5. go test -race — the concurrent document layer, the labelstore and
+#                      the journal's group-commit pipeline, plus the
+#                      snapshot storm test by name
+#   6. crash safety  — the recovery/fault-injection suite by name, the
+#                      journal kill matrix, then the FuzzReadAll,
+#                      FuzzEncodeBetween and FuzzEditCodec seed corpora
+#                      as short fuzz runs
 #   7. labelvet      — the repo's own static-analysis suite (label invariants,
 #                      lock hygiene, dropped errors, panic allowlist)
 #   8. bench smoke   — every benchmark once (-benchtime 1x) plus a throwaway
@@ -44,17 +46,26 @@ go test ./...
 echo "==> go test -tags invariants ./internal/bitstr/... ./internal/cdbs/..."
 go test -tags invariants ./internal/bitstr/... ./internal/cdbs/...
 
-echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/..."
-go test -race ./internal/dyndoc/... ./internal/labelstore/...
+echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/..."
+go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/...
 
 echo "==> snapshot storm under the race detector"
 go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter' ./internal/dyndoc
 
+echo "==> group-commit pipeline under the race detector"
+go test -race -count=1 -run 'TestGroup|TestConcurrent|TestDurable' ./internal/journal .
+
 echo "==> crash-safety suite (recovery + fault injection)"
 go test -count=1 -run 'TestRecover|TestFault|TestSynced|TestReadAllTorn' ./internal/labelstore ./internal/labelstore/faultfs
 
+echo "==> journal kill matrix (every write/sync fault point at durability=always)"
+go test -count=1 -run 'TestKillMatrix|TestReplay|TestCheckpoint' ./internal/journal
+
 echo "==> FuzzReadAll seed corpus (5s)"
 go test -run '^$' -fuzz 'FuzzReadAll' -fuzztime 5s ./internal/labelstore
+
+echo "==> FuzzEditCodec seed corpus (5s)"
+go test -run '^$' -fuzz 'FuzzEditCodec' -fuzztime 5s ./internal/journal
 
 echo "==> FuzzEncodeBetween seed corpus (5s each, cdbs + qed)"
 go test -run '^$' -fuzz 'FuzzEncodeBetween' -fuzztime 5s ./internal/cdbs
@@ -72,8 +83,8 @@ BENCH_TIME=1x BENCH_OUT="${BENCH_SMOKE_OUT:-/tmp/bench_smoke.json}" sh scripts/b
 
 echo "==> metrics snapshot smoke (-metrics-json)"
 metrics_out="${METRICS_SMOKE_OUT:-/tmp/metrics_smoke.json}"
-go run ./cmd/experiments -run live,overflow -edits 60 -metrics-json "$metrics_out" >/dev/null
-for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_codes qed_code_len_digits dyndoc_inserts_total dyndoc_snapshot_swaps_total dyndoc_reader_staleness_gens dyndoc_batch_size cdbs_batch_insert_codes; do
+go run ./cmd/experiments -run live,overflow,durable -edits 60 -metrics-json "$metrics_out" >/dev/null
+for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_codes qed_code_len_digits dyndoc_inserts_total dyndoc_snapshot_swaps_total dyndoc_reader_staleness_gens dyndoc_batch_size cdbs_batch_insert_codes journal_append_seconds journal_appends_total journal_group_commits_total journal_group_commit_batches journal_checkpoints_total journal_checkpoint_reclaimed_bytes_total journal_replayed_edits_total; do
 	if ! grep -q "\"$key\"" "$metrics_out"; then
 		echo "metrics smoke: $key missing from $metrics_out" >&2
 		exit 1
