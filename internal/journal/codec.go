@@ -209,12 +209,33 @@ func (r *reader) result() dyndoc.EditResult {
 	return res
 }
 
+// wholeFragment reports whether a fragment tree is encodable: no nil
+// node anywhere. ApplyBatch rejects such edits before they can reach
+// the journal, but EncodeBatch is exported and must not panic on one.
+func wholeFragment(n *xmltree.Node) bool {
+	if n == nil {
+		return false
+	}
+	for _, c := range n.Children {
+		if !wholeFragment(c) {
+			return false
+		}
+	}
+	return true
+}
+
 // EncodeBatch serializes one committed batch — the edits as issued
 // and the results the issuing session observed. Results travel with
 // the edits because replay re-executes the batch against a freshly
 // numbered document and needs the original ids to extend its id
-// translation map.
-func EncodeBatch(edits []dyndoc.Edit, results []dyndoc.EditResult) []byte {
+// translation map. An insert-tree edit whose fragment is nil (or
+// contains a nil node) is unencodable and reported as ErrCodec.
+func EncodeBatch(edits []dyndoc.Edit, results []dyndoc.EditResult) ([]byte, error) {
+	for i, e := range edits {
+		if e.Op == dyndoc.OpInsertTree && !wholeFragment(e.Fragment) {
+			return nil, fmt.Errorf("%w: edit %d: insert-tree with nil fragment node", ErrCodec, i)
+		}
+	}
 	b := appendUvarint(nil, uint64(len(edits)))
 	for _, e := range edits {
 		b = appendEdit(b, e)
@@ -223,7 +244,7 @@ func EncodeBatch(edits []dyndoc.Edit, results []dyndoc.EditResult) []byte {
 	for _, res := range results {
 		b = appendResult(b, res)
 	}
-	return b
+	return b, nil
 }
 
 // DecodeBatch parses a record payload written by EncodeBatch. Any

@@ -41,11 +41,21 @@ func sampleBatches() [][2]interface{} {
 	}
 }
 
+// mustEncode is EncodeBatch for batches the test knows are encodable.
+func mustEncode(t testing.TB, edits []dyndoc.Edit, results []dyndoc.EditResult) []byte {
+	t.Helper()
+	payload, err := EncodeBatch(edits, results)
+	if err != nil {
+		t.Fatalf("EncodeBatch: %v", err)
+	}
+	return payload
+}
+
 func TestEditCodecRoundTrip(t *testing.T) {
 	for i, s := range sampleBatches() {
 		edits := s[0].([]dyndoc.Edit)
 		results := s[1].([]dyndoc.EditResult)
-		payload := EncodeBatch(edits, results)
+		payload := mustEncode(t, edits, results)
 		de, dr, err := DecodeBatch(payload)
 		if err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
@@ -63,7 +73,7 @@ func TestEditCodecRoundTrip(t *testing.T) {
 		}
 		// Determinism: encoding the decoded batch reproduces the bytes
 		// (our encoder emits minimal varints).
-		if again := EncodeBatch(de, dr); string(again) != string(payload) {
+		if again := mustEncode(t, de, dr); string(again) != string(payload) {
 			t.Fatalf("case %d: re-encode differs", i)
 		}
 	}
@@ -97,8 +107,21 @@ func nodeEqual(a, b *xmltree.Node) bool {
 	return true
 }
 
+func TestEncodeRejectsNilFragment(t *testing.T) {
+	for _, edits := range [][]dyndoc.Edit{
+		{{Op: dyndoc.OpInsertTree, Parent: 0, Pos: 0}},
+		{{Op: dyndoc.OpInsertTree, Parent: 0, Pos: 0, Fragment: &xmltree.Node{
+			Kind: xmltree.Element, Name: "a", Children: []*xmltree.Node{nil},
+		}}},
+	} {
+		if _, err := EncodeBatch(edits, []dyndoc.EditResult{{}}); !errors.Is(err, ErrCodec) {
+			t.Fatalf("EncodeBatch(%+v) = %v, want ErrCodec", edits[0], err)
+		}
+	}
+}
+
 func TestDecodeRejectsTrailingBytes(t *testing.T) {
-	payload := EncodeBatch(nil, nil)
+	payload := mustEncode(t, nil, nil)
 	if _, _, err := DecodeBatch(append(payload, 0)); !errors.Is(err, ErrCodec) {
 		t.Fatalf("trailing byte accepted: %v", err)
 	}
@@ -106,7 +129,7 @@ func TestDecodeRejectsTrailingBytes(t *testing.T) {
 
 func TestDecodeRejectsTruncation(t *testing.T) {
 	s := sampleBatches()[2]
-	payload := EncodeBatch(s[0].([]dyndoc.Edit), s[1].([]dyndoc.EditResult))
+	payload := mustEncode(t, s[0].([]dyndoc.Edit), s[1].([]dyndoc.EditResult))
 	for n := 0; n < len(payload); n++ {
 		if _, _, err := DecodeBatch(payload[:n]); !errors.Is(err, ErrCodec) {
 			t.Fatalf("prefix of %d bytes accepted: %v", n, err)
@@ -138,7 +161,7 @@ func TestMetaRoundTrip(t *testing.T) {
 // to a payload that decodes to the same batch.
 func FuzzEditCodec(f *testing.F) {
 	for _, s := range sampleBatches() {
-		f.Add(EncodeBatch(s[0].([]dyndoc.Edit), s[1].([]dyndoc.EditResult)))
+		f.Add(mustEncode(f, s[0].([]dyndoc.Edit), s[1].([]dyndoc.EditResult)))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
@@ -150,7 +173,7 @@ func FuzzEditCodec(f *testing.F) {
 			}
 			return
 		}
-		again := EncodeBatch(edits, results)
+		again := mustEncode(t, edits, results)
 		e2, r2, err := DecodeBatch(again)
 		if err != nil {
 			t.Fatalf("re-encoded batch failed to decode: %v", err)

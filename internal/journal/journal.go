@@ -278,7 +278,12 @@ func writeCheckpoint(cfg Config, gen uint64, d *dyndoc.Document, baseSeq uint64)
 // what lets concurrent writers share one fsync.
 func (j *Journal) Append(edits []dyndoc.Edit, results []dyndoc.EditResult) (wait func() error, err error) {
 	start := time.Now()
-	payload := EncodeBatch(edits, results)
+	payload, err := EncodeBatch(edits, results)
+	if err != nil {
+		// Nothing was written: an unencodable batch (nil fragment)
+		// fails this append without poisoning the journal.
+		return nil, err
+	}
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
@@ -403,13 +408,17 @@ func (j *Journal) waitDurable(seq uint64) error {
 
 		// Flush buffered records under the append lock, then fsync
 		// with no locks held: appenders keep writing into the buffer
-		// while the disk works.
+		// while the disk works. The store pointer is captured under mu
+		// — Checkpoint swaps it, but never while a leader is in flight
+		// (it quiesces the pipeline first), so the captured store stays
+		// open for the whole fsync.
 		j.mu.Lock()
 		target := j.seq
-		err := j.store.Flush()
+		store := j.store
+		err := store.Flush()
 		j.mu.Unlock()
 		if err == nil {
-			err = j.store.SyncFile()
+			err = store.SyncFile()
 		}
 
 		j.cmu.Lock()
@@ -480,6 +489,30 @@ func (j *Journal) flushLoop() {
 // log and the old pair has been removed; a crash anywhere inside
 // leaves either the old pair or the new pair recoverable.
 func (j *Journal) Checkpoint(d *dyndoc.Document) error {
+	// Quiesce the commit pipeline before touching stores: claim
+	// leadership (or wait out the in-flight leader) so no group-commit
+	// fsync is running against the store this checkpoint retires.
+	// Leaders call SyncFile with no locks held, so swapping and
+	// closing the old store under mu alone would race that fsync and
+	// could wedge the journal with a spurious close-induced error for
+	// batches that are in fact durable.
+	j.cmu.Lock()
+	for j.syncing && j.wedged == nil {
+		j.cond.Wait()
+	}
+	if err := j.wedged; err != nil {
+		j.cmu.Unlock()
+		return err
+	}
+	j.syncing = true
+	j.cmu.Unlock()
+	defer func() {
+		j.cmu.Lock()
+		j.syncing = false
+		j.cond.Broadcast()
+		j.cmu.Unlock()
+	}()
+
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -503,6 +536,19 @@ func (j *Journal) Checkpoint(d *dyndoc.Document) error {
 	}
 	store, err := openStore(j.cfg, logPath(j.cfg.Dir, next))
 	if err != nil {
+		// ckpt-(next) is complete on disk. Left in place it would win
+		// the next Replay, which would delete log-(gen) as a stale
+		// generation — silently dropping every batch acknowledged into
+		// it after this failed checkpoint. Remove it durably so the old
+		// pair stays authoritative; if even the removal fails, wedge:
+		// the journal must not keep acknowledging batches a future
+		// Replay would drop.
+		if rmErr := os.Remove(ckptPath(j.cfg.Dir, next)); rmErr != nil {
+			err = fmt.Errorf("journal: checkpoint %d unusable (new log: %v) and not removable: %w", next, err, rmErr)
+			j.wedge(err)
+			return err
+		}
+		syncDir(j.cfg.Dir)
 		return err
 	}
 	syncDir(j.cfg.Dir)

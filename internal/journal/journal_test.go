@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dyndoc"
+	"repro/internal/labelstore/faultfs"
 	"repro/internal/registry"
 )
 
@@ -218,6 +219,180 @@ func TestCheckpointCompacts(t *testing.T) {
 	}
 	if got, want := d2.XML(), d.XML(); got != want {
 		t.Fatalf("replayed XML = %s, want %s", got, want)
+	}
+}
+
+// TestCheckpointNewLogFailureKeepsOldGeneration pins the Checkpoint
+// failure path where ckpt-(next) is written completely but the new
+// log cannot be opened: the complete-but-unusable checkpoint must not
+// survive, or the next Replay would prefer it and delete the old log
+// — the one acknowledged batches keep landing in — as a stale
+// generation.
+func TestCheckpointNewLogFailureKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	// Files open in order: 0 = ckpt-0, 1 = log-0, 2 = ckpt-1, 3 = log-1.
+	wrap := wrapNth(3, faultfs.Fault{Op: faultfs.OpWrite, N: 1})
+	j, err := Create(Config{Dir: dir, Scheme: testScheme, WrapFile: wrap}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := rootID(t, d)
+	for i := 0; i < 2; i++ {
+		if err := applyAndAppend(t, j, d, insertEdit(root, fmt.Sprintf("pre%d", i)))(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Checkpoint(d); err == nil {
+		t.Fatal("Checkpoint succeeded despite its new log failing")
+	}
+	if _, err := os.Stat(ckptPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed checkpoint left ckpt-1 behind (stat: %v)", err)
+	}
+	// The journal keeps acknowledging batches into the old log...
+	if err := applyAndAppend(t, j, d, insertEdit(root, "post"))(); err != nil {
+		t.Fatalf("append after failed checkpoint: %v", err)
+	}
+	want := d.XML()
+	// ...and a crash-style replay (no clean Close) retains all of them.
+	j2, d2, info, err := Replay(Config{Dir: dir, Scheme: testScheme, Recover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if info.Checkpoint != 0 || info.Batches != 3 {
+		t.Fatalf("replay info = %+v, want checkpoint=0 batches=3", info)
+	}
+	if got := d2.XML(); got != want {
+		t.Fatalf("replayed XML = %s, want %s", got, want)
+	}
+}
+
+// TestReplayPreservesRecordedScheme pins the "recorded scheme wins"
+// contract across checkpoint cycles: replaying under a different
+// configured scheme must not let a later Checkpoint re-record the
+// journal onto the caller's scheme.
+func TestReplayPreservesRecordedScheme(t *testing.T) {
+	const recorded = "QED-Prefix"
+	dir := t.TempDir()
+	entry, err := registry.Lookup(recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dyndoc.Parse("<root><a/></root>", entry.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Create(Config{Dir: dir, Scheme: recorded}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := applyAndAppend(t, j, d, insertEdit(rootID(t, d), "x"))(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen under the caller-default scheme and checkpoint.
+	j2, d2, info, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Scheme != recorded {
+		t.Fatalf("replay scheme = %q, want %q", info.Scheme, recorded)
+	}
+	if err := j2.Checkpoint(d2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j3, _, info, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if info.Scheme != recorded {
+		t.Fatalf("scheme after checkpoint cycle = %q, want %q", info.Scheme, recorded)
+	}
+}
+
+// TestCheckpointConcurrentWithGroupCommit races checkpoints against
+// group-committing writers: Checkpoint must wait out the in-flight
+// commit leader before retiring the old store, or it closes the store
+// under the leader's lock-free fsync and wedges the journal with a
+// spurious error for batches that are in fact durable. Run under
+// -race: the close also raced the store's unsynchronized closed flag.
+func TestCheckpointConcurrentWithGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	root := rootID(t, d)
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCommitHook(j.Append)
+
+	const writers, perWriter = 4, 30
+	stop := make(chan struct{})
+	ckptErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				ckptErr <- nil
+				return
+			default:
+			}
+			if err := c.Locked(func(d *dyndoc.Document) error { return j.Checkpoint(d) }); err != nil {
+				ckptErr <- err
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, _, err := c.InsertElement(root, 0, fmt.Sprintf("w%dn%d", w, i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := <-ckptErr; err != nil {
+		t.Fatalf("Checkpoint racing writers: %v", err)
+	}
+	st := j.Stats()
+	if st.Seq != writers*perWriter || st.Durable != st.Seq {
+		t.Fatalf("stats after race = %+v, want durable=seq=%d", st, writers*perWriter)
+	}
+	want := c.XML()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, d2, _, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.XML(); got != want {
+		t.Fatalf("replayed XML differs from published document:\n got %s\nwant %s", got, want)
 	}
 }
 

@@ -166,6 +166,13 @@ func Replay(cfg Config) (*Journal, *dyndoc.Document, ReplayInfo, error) {
 	g := gens[chosen]
 	info.Checkpoint = g.gen
 	info.Scheme = meta.Scheme
+	// The journal's recorded scheme wins over whatever the caller
+	// passed (dynxml supplies its default when the user names none):
+	// carry it into the reopened journal so a later Checkpoint
+	// re-records it instead of silently migrating the journal onto the
+	// caller's scheme while this session's document stays labeled
+	// under the recorded one.
+	cfg.Scheme = meta.Scheme
 
 	// Read the log tail. A missing log (crash between checkpoint
 	// completion and log creation) holds no batches; a torn one is
