@@ -16,8 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# `make vet` is the single local entry point for all static analysis:
+# stock go vet plus the full labelvet suite (including the guardedby/
+# atomicmix/ackorder/lockorder concurrency tier) in both tag states.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/labelvet ./...
+	$(GO) run ./cmd/labelvet -tags invariants ./...
 
 fmt:
 	gofmt -l .

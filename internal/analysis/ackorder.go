@@ -1,0 +1,426 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// newAckOrder checks the durability acknowledgment protocol of
+// functions annotated `// vet:ack`: every path that acknowledges
+// durability — returning nil, assigning the vet:durable horizon
+// field, or calling a function that does — must be dominated by a
+// durability event (a Sync/SyncFile method call, a call to a function
+// marked vet:durable or vet:ack, or a guard that read the horizon),
+// and every path that returns a store I/O error (from Write, Flush,
+// Sync or SyncFile on a store reached through the receiver) must
+// wedge first, so a failed fsync can never be retried as if it
+// succeeded. Error/durability correlation is tracked through local
+// error variables: after `if err != nil { ... }`, the fall-through of
+// a durability call's error is durable.
+func newAckOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "ackorder",
+		Doc:  "vet:ack paths must sync before acknowledging and wedge I/O errors",
+	}
+	a.Run = func(p *Pass) error {
+		vi := collectVet(p)
+		if len(vi.ack) == 0 {
+			return nil
+		}
+		ap := &ackPass{p: p, vi: vi, broadcasters: findBroadcasters(p, vi)}
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil || !vi.ack[fn] {
+					continue
+				}
+				ap.checkFunc(fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// trackFlags classifies a tracked error variable by where it came
+// from.
+type trackFlags struct {
+	durableSrc    bool // nil means a durability event succeeded
+	wedgeRequired bool // non-nil is a store I/O error: must wedge
+}
+
+// ackState is the per-path analysis state.
+type ackState struct {
+	durable bool // a durability event dominates this point
+	wedged  bool // the journal has been wedged on this path
+	tracked map[types.Object]trackFlags
+	stores  map[types.Object]bool // locals aliasing receiver-reachable stores
+}
+
+func (st *ackState) clone() *ackState {
+	out := &ackState{
+		durable: st.durable,
+		wedged:  st.wedged,
+		tracked: make(map[types.Object]trackFlags, len(st.tracked)),
+		stores:  make(map[types.Object]bool, len(st.stores)),
+	}
+	for k, v := range st.tracked {
+		out.tracked[k] = v
+	}
+	for k := range st.stores {
+		out.stores[k] = true
+	}
+	return out
+}
+
+func (st *ackState) merge(other *ackState) *ackState {
+	out := st.clone()
+	out.durable = st.durable && other.durable
+	out.wedged = st.wedged && other.wedged
+	for k, v := range other.tracked {
+		f := out.tracked[k]
+		f.durableSrc = f.durableSrc || v.durableSrc
+		f.wedgeRequired = f.wedgeRequired || v.wedgeRequired
+		out.tracked[k] = f
+	}
+	for k := range other.stores {
+		out.stores[k] = true
+	}
+	return out
+}
+
+type ackPass struct {
+	p            *Pass
+	vi           *vetInfo
+	broadcasters map[*types.Func]bool // funcs that assign a horizon field
+	sig          map[types.Object]bool
+}
+
+// findBroadcasters returns the package functions that assign a
+// horizon field (marked vet:durable): calling one from a vet:ack
+// function is itself an acknowledgment.
+func findBroadcasters(p *Pass, vi *vetInfo) map[*types.Func]bool {
+	if len(vi.horizon) == 0 {
+		return nil
+	}
+	out := map[*types.Func]bool{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+						if fv := fieldVarOf(p.Info, sel); fv != nil && vi.horizon[fv] {
+							out[fn] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func (ap *ackPass) checkFunc(fd *ast.FuncDecl) {
+	ap.sig = sigObjects(ap.p.Info, fd)
+	entry := &ackState{tracked: map[types.Object]trackFlags{}, stores: map[types.Object]bool{}}
+	ops := flowOps{
+		clone:   func(st any) any { return st.(*ackState).clone() },
+		merge:   func(a, b any) any { return a.(*ackState).merge(b.(*ackState)) },
+		stmt:    func(st any, s ast.Stmt) { ap.leafStmt(st.(*ackState), s) },
+		touch:   func(st any, e ast.Expr) {},
+		cond:    func(st any, e ast.Expr) (any, any) { return ap.cond(st.(*ackState), e) },
+		ret:     func(st any, r *ast.ReturnStmt) { ap.ret(st.(*ackState), r) },
+		end:     func(st any, pos token.Pos) {},
+		funcLit: func(lit *ast.FuncLit) {},
+	}
+	runFlow(fd.Body, entry, ops)
+}
+
+func (ap *ackPass) leafStmt(st *ackState, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, ok := unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		switch {
+		case ap.isWedgeCall(call):
+			st.wedged = true
+		case ap.isDurabilityCall(st, call):
+			st.durable = true
+		case ap.isBroadcastCall(call):
+			if !st.durable {
+				ap.p.Reportf(call.Pos(), "acknowledges durability (via %s) before any Sync/flush on this path (vet:ack)", callName(ap.p.Info, call))
+			}
+		}
+	case *ast.AssignStmt:
+		ap.assign(st, s)
+	case *ast.DeferStmt:
+		// Deferred work runs after every return; it cannot establish
+		// path-ordered durability, so it is ignored.
+	}
+}
+
+func (ap *ackPass) assign(st *ackState, as *ast.AssignStmt) {
+	// Horizon assignment: the acknowledgment itself.
+	for _, lhs := range as.Lhs {
+		if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+			if fv := fieldVarOf(ap.p.Info, sel); fv != nil && ap.vi.horizon[fv] {
+				if !st.durable {
+					ap.p.Reportf(sel.Sel.Pos(), "assigns the durable horizon %s before any Sync/flush on this path (vet:ack)", fv.Name())
+				}
+			}
+			// Wedge via direct field store (j.wedged = err).
+			if fv := fieldVarOf(ap.p.Info, sel); fv != nil && strings.HasPrefix(fv.Name(), "wedged") {
+				st.wedged = true
+			}
+		}
+	}
+	// Error/alias tracking through simple single-value assignments.
+	if len(as.Rhs) != 1 {
+		return
+	}
+	lhs := as.Lhs[len(as.Lhs)-1]
+	id, ok := unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := ap.p.Info.Defs[id]
+	if obj == nil {
+		obj = ap.p.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	switch rhs := unparen(as.Rhs[0]).(type) {
+	case *ast.CallExpr:
+		if flags, ok := ap.classifyErrSource(st, rhs); ok {
+			st.tracked[obj] = flags
+		} else {
+			delete(st.tracked, obj)
+		}
+	case *ast.SelectorExpr:
+		// A local alias of a store reached through the receiver
+		// (store := j.store): method calls on it stay tracked.
+		if root := rootObj(ap.p.Info, rhs); root != nil && ap.sig[root] {
+			st.stores[obj] = true
+		} else {
+			delete(st.stores, obj)
+		}
+		delete(st.tracked, obj)
+	case *ast.Ident:
+		if st.tracked[toObj(ap.p.Info, rhs)] != (trackFlags{}) {
+			st.tracked[obj] = st.tracked[toObj(ap.p.Info, rhs)]
+		} else {
+			delete(st.tracked, obj)
+		}
+	default:
+		delete(st.tracked, obj)
+		delete(st.stores, obj)
+	}
+}
+
+// classifyErrSource decides what a call's error result means for the
+// acknowledgment protocol.
+func (ap *ackPass) classifyErrSource(st *ackState, call *ast.CallExpr) (trackFlags, bool) {
+	if fn := calleeFunc(ap.p.Info, call); fn != nil {
+		if ap.vi.durable[fn] || ap.vi.ack[fn] {
+			return trackFlags{durableSrc: true}, true
+		}
+	}
+	if ap.isStoreIOCall(st, call) {
+		name := calledMethodName(call)
+		return trackFlags{
+			durableSrc:    name == "Sync" || name == "SyncFile",
+			wedgeRequired: true,
+		}, true
+	}
+	return trackFlags{}, false
+}
+
+// isDurabilityCall reports whether call is a durability event when it
+// appears as a bare statement: a Sync/SyncFile method call or a call
+// to a vet:durable / vet:ack function.
+func (ap *ackPass) isDurabilityCall(st *ackState, call *ast.CallExpr) bool {
+	if fn := calleeFunc(ap.p.Info, call); fn != nil {
+		if ap.vi.durable[fn] || ap.vi.ack[fn] {
+			return true
+		}
+	}
+	name := calledMethodName(call)
+	return (name == "Sync" || name == "SyncFile") && ap.isStoreIOCall(st, call)
+}
+
+// isStoreIOCall reports whether call is Write/Flush/Sync/SyncFile on
+// a store reached through the function's receiver or parameters
+// (directly or via a tracked local alias).
+func (ap *ackPass) isStoreIOCall(st *ackState, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "Flush", "Sync", "SyncFile":
+	default:
+		return false
+	}
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		if obj := toObj(ap.p.Info, id); obj != nil && st.stores[obj] {
+			return true
+		}
+	}
+	root := rootObj(ap.p.Info, sel)
+	return root != nil && ap.sig[root] && sel.X != nil && exprPath(sel.X) != ""
+}
+
+// isWedgeCall reports a call to a wedge method or function: by
+// convention anything named wedge*.
+func (ap *ackPass) isWedgeCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(ap.p.Info, call)
+	return fn != nil && strings.HasPrefix(fn.Name(), "wedge") && fn.Type().(*types.Signature).Results().Len() == 0
+}
+
+// isBroadcastCall reports a call to a function that assigns the
+// durable horizon.
+func (ap *ackPass) isBroadcastCall(call *ast.CallExpr) bool {
+	fn := calleeFunc(ap.p.Info, call)
+	return fn != nil && ap.broadcasters[fn] && !ap.vi.ack[fn] && !ap.vi.durable[fn]
+}
+
+// cond refines the branch states for error and horizon guards.
+func (ap *ackPass) cond(st *ackState, e ast.Expr) (any, any) {
+	thenSt, elseSt := st.clone(), st.clone()
+	if be, ok := unparen(e).(*ast.BinaryExpr); ok {
+		switch be.Op {
+		case token.NEQ, token.EQL:
+			// err != nil / err == nil for a durability-call error:
+			// the nil side has proven durability.
+			if obj := nilComparedObj(ap.p.Info, be); obj != nil && st.tracked[obj].durableSrc {
+				if be.Op == token.NEQ {
+					elseSt.durable = true
+				} else {
+					thenSt.durable = true
+				}
+			}
+		case token.GEQ, token.GTR:
+			// horizon >= target: the then branch observed durability.
+			if ap.isHorizonExpr(be.X) {
+				thenSt.durable = true
+			}
+		case token.LEQ, token.LSS:
+			// target <= horizon: same, horizon on the right.
+			if ap.isHorizonExpr(be.Y) {
+				thenSt.durable = true
+			}
+		}
+	}
+	return thenSt, elseSt
+}
+
+func (ap *ackPass) isHorizonExpr(e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fv := fieldVarOf(ap.p.Info, sel)
+	return fv != nil && ap.vi.horizon[fv]
+}
+
+// ret checks the final results of a return against the protocol.
+func (ap *ackPass) ret(st *ackState, r *ast.ReturnStmt) {
+	if len(r.Results) == 0 {
+		return // naked return: named results are not tracked
+	}
+	last := unparen(r.Results[len(r.Results)-1])
+	switch last := last.(type) {
+	case *ast.Ident:
+		if last.Name == "nil" {
+			if _, isNil := ap.p.Info.Uses[last].(*types.Nil); isNil && !st.durable {
+				ap.p.Reportf(r.Pos(), "returns nil (acknowledging durability) without a dominating Sync/flush on this path (vet:ack)")
+			}
+			return
+		}
+		if obj := toObj(ap.p.Info, last); obj != nil {
+			if f := st.tracked[obj]; f.wedgeRequired && !st.wedged {
+				ap.p.Reportf(r.Pos(), "returns a store I/O error without wedging on this path (vet:ack)")
+			}
+		}
+	case *ast.CallExpr:
+		// Delegation: return j.waitDurable(seq), return store.Sync().
+		if fn := calleeFunc(ap.p.Info, last); fn != nil && (ap.vi.ack[fn] || ap.vi.durable[fn]) {
+			return
+		}
+		if name := calledMethodName(last); (name == "Sync" || name == "SyncFile") && ap.isStoreIOCall(st, last) {
+			return
+		}
+	}
+}
+
+// nilComparedObj returns the object of the identifier compared
+// against nil in a binary expression, or nil.
+func nilComparedObj(info *types.Info, be *ast.BinaryExpr) types.Object {
+	x, y := unparen(be.X), unparen(be.Y)
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, ok = info.Uses[id].(*types.Nil)
+		return ok
+	}
+	if isNil(y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return toObj(info, id)
+		}
+	}
+	if isNil(x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return toObj(info, id)
+		}
+	}
+	return nil
+}
+
+// calledMethodName returns the selector name of a method-style call,
+// or "".
+func calledMethodName(call *ast.CallExpr) string {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// callName renders a call target for messages.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "call"
+}
+
+// toObj resolves an identifier to its object (use or def).
+func toObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

@@ -81,6 +81,10 @@ func NewSuite(cfg SuiteConfig) (*Suite, error) {
 		newErrCheck(),
 		newDeprecated(),
 		newPanicAudit(cfg.Allowlist),
+		newGuardedBy(),
+		newAtomicMix(),
+		newAckOrder(),
+		newLockOrder(),
 	}
 	if len(cfg.Names) == 0 {
 		return &Suite{Analyzers: all}, nil

@@ -130,6 +130,38 @@ func TestLockCopyFixture(t *testing.T)    { runFixture(t, "lockcopy", "lockcopy"
 func TestLockHeldFixture(t *testing.T)    { runFixture(t, "lockheld", "lockheld", nil) }
 func TestErrCheckFixture(t *testing.T)    { runFixture(t, "errcheck", "errcheck", nil) }
 func TestDeprecatedFixture(t *testing.T)  { runFixture(t, "deprecated", "deprecated", nil) }
+func TestGuardedByFixture(t *testing.T)   { runFixture(t, "guardedby", "guardedby", nil) }
+func TestAtomicMixFixture(t *testing.T)   { runFixture(t, "atomicmix", "atomicmix", nil) }
+func TestAckOrderFixture(t *testing.T)    { runFixture(t, "ackorder", "ackorder", nil) }
+func TestLockOrderFixture(t *testing.T)   { runFixture(t, "lockorder", "lockorder", nil) }
+
+// TestFixtureCoverage keeps the suite honest: every registered
+// analyzer must have a fixture package under testdata/src/ so it
+// cannot silently regress to reporting nothing.
+func TestFixtureCoverage(t *testing.T) {
+	suite, err := NewSuite(SuiteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := moduleRoot(t)
+	for _, a := range suite.Analyzers {
+		dir := filepath.Join(root, "internal", "analysis", "testdata", "src", a.Name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("analyzer %s has no fixture dir %s: %v", a.Name, dir, err)
+			continue
+		}
+		hasGo := false
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				hasGo = true
+			}
+		}
+		if !hasGo {
+			t.Errorf("analyzer %s: fixture dir %s holds no .go files", a.Name, dir)
+		}
+	}
+}
 
 func TestPanicAuditFixture(t *testing.T) {
 	const fixturePkg = "repro/internal/analysis/testdata/src/panicaudit"

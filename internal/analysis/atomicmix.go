@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newAtomicMix enforces single-discipline access to atomics: a struct
+// field of a sync/atomic type (atomic.Uint64, atomic.Pointer[T], …)
+// may only be used as a method receiver or have its address taken —
+// copying or assigning it races and defeats the type; a field whose
+// address is passed to a sync/atomic function anywhere in the package
+// (legacy atomic.AddInt64 style) must never be read or written
+// plainly elsewhere; and a value loaded from an atomic.Pointer field
+// (a published copy-on-write snapshot) must not be written through —
+// readers share it, so mutations must go to a clone that is published
+// with Store/CompareAndSwap.
+func newAtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc:  "atomic fields must not mix atomic and plain access; published snapshots are read-only",
+	}
+	a.Run = func(p *Pass) error {
+		am := &atomicMixPass{
+			p:          p,
+			legacy:     map[*types.Var]bool{},
+			sanctioned: map[*ast.SelectorExpr]bool{},
+		}
+		for _, f := range p.Pkg.Files {
+			am.collectLegacy(f)
+		}
+		for _, f := range p.Pkg.Files {
+			am.checkFile(f)
+		}
+		return nil
+	}
+	return a
+}
+
+type atomicMixPass struct {
+	p *Pass
+	// legacy holds fields whose address is passed to sync/atomic
+	// functions; sanctioned holds the selector nodes inside those
+	// calls (the legal uses).
+	legacy     map[*types.Var]bool
+	sanctioned map[*ast.SelectorExpr]bool
+}
+
+// collectLegacy finds &x.f arguments to sync/atomic functions.
+func (am *atomicMixPass) collectLegacy(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(am.p.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ue, ok := unparen(arg).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			sel, ok := unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if fv := fieldVarOf(am.p.Info, sel); fv != nil {
+				am.legacy[fv] = true
+				am.sanctioned[sel] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkFile walks one file with a parent stack, applying the
+// atomic-typed-field and legacy-field rules, and runs the published-
+// snapshot check per top-level function.
+func (am *atomicMixPass) checkFile(f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			am.checkSelector(sel, stack)
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+			am.checkPublished(fd.Body)
+		}
+		return true
+	})
+}
+
+func (am *atomicMixPass) checkSelector(sel *ast.SelectorExpr, stack []ast.Node) {
+	fv := fieldVarOf(am.p.Info, sel)
+	if fv == nil {
+		return
+	}
+	var parent ast.Node
+	if len(stack) >= 2 {
+		parent = stack[len(stack)-2]
+	}
+	if isAtomicType(fv.Type()) {
+		if pSel, ok := parent.(*ast.SelectorExpr); ok && pSel.X == sel {
+			return // x.f.Load(): method access
+		}
+		if ue, ok := parent.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			return // &x.f: e.g. handing the atomic to sync.OnceValue
+		}
+		am.p.Reportf(sel.Sel.Pos(), "atomic field %s must be used only through its methods (copying or assigning it races)", fv.Name())
+		return
+	}
+	if am.legacy[fv] && !am.sanctioned[sel] {
+		am.p.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races with it", fv.Name())
+	}
+}
+
+// checkPublished flags writes through values loaded from an
+// atomic.Pointer field inside one function body.
+func (am *atomicMixPass) checkPublished(body *ast.BlockStmt) {
+	published := map[types.Object]bool{}
+	// Two propagation rounds: Load() results, then one alias hop.
+	for round := 0; round < 2; round++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := unparen(as.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := toObj(am.p.Info, id)
+				if obj == nil {
+					continue
+				}
+				switch rhs := unparen(rhs).(type) {
+				case *ast.CallExpr:
+					if am.isPointerLoad(rhs) {
+						published[obj] = true
+					}
+				case *ast.Ident:
+					if published[toObj(am.p.Info, rhs)] {
+						published[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	flag := func(target ast.Expr) {
+		root, depth := writeRoot(target)
+		if depth == 0 {
+			return // plain variable reassignment, not a write-through
+		}
+		switch root := root.(type) {
+		case *ast.Ident:
+			if obj := toObj(am.p.Info, root); obj != nil && published[obj] {
+				am.p.Reportf(target.Pos(), "writes through a published snapshot (%s holds an atomic.Pointer Load result); mutate a clone instead", root.Name)
+			}
+		case *ast.CallExpr:
+			if am.isPointerLoad(root) {
+				am.p.Reportf(target.Pos(), "writes through a published snapshot (atomic.Pointer Load result); mutate a clone instead")
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(n.X)
+		}
+		return true
+	})
+}
+
+// isPointerLoad reports whether call is <atomic.Pointer field>.Load().
+func (am *atomicMixPass) isPointerLoad(call *ast.CallExpr) bool {
+	fun, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "Load" {
+		return false
+	}
+	inner, ok := unparen(fun.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fv := fieldVarOf(am.p.Info, inner)
+	if fv == nil {
+		return false
+	}
+	n := namedType(fv.Type())
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic" && n.Obj().Name() == "Pointer"
+}
+
+// writeRoot strips selectors, indexes, stars and parens off an
+// assignment target, returning the root expression and how many
+// levels were stripped.
+func writeRoot(e ast.Expr) (ast.Expr, int) {
+	depth := 0
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+			depth++
+		case *ast.IndexExpr:
+			e = t.X
+			depth++
+		case *ast.StarExpr:
+			e = t.X
+			depth++
+		default:
+			return e, depth
+		}
+	}
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	n := namedType(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync/atomic"
+}

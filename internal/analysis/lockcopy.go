@@ -151,123 +151,3 @@ func containsLock(t types.Type, seen map[types.Type]bool) string {
 	}
 	return ""
 }
-
-// newLockHeld builds the lockheld analyzer: inside methods of a
-// lock-guarded struct (one with a sync.Mutex/RWMutex field), a return
-// statement must not hand out references to guarded internals —
-// returning a pointer-, slice-, map- or chan-typed field lets the
-// caller touch shared state after the deferred Unlock has run.
-func newLockHeld() *Analyzer {
-	a := &Analyzer{
-		Name: "lockheld",
-		Doc:  "flags returns that leak references to lock-guarded struct internals",
-	}
-	a.Run = func(p *Pass) error {
-		for _, f := range p.Pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
-					continue
-				}
-				recvField := fd.Recv.List[0]
-				if len(recvField.Names) == 0 {
-					continue
-				}
-				recvObj := p.Info.Defs[recvField.Names[0]]
-				if recvObj == nil {
-					continue
-				}
-				recvStruct := guardedStruct(recvObj.Type())
-				if recvStruct == nil {
-					continue
-				}
-				checkLeakyReturns(p, fd, recvObj)
-			}
-		}
-		return nil
-	}
-	return a
-}
-
-// guardedStruct returns the struct type behind t (through one
-// pointer) when it directly holds a mutex field, else nil.
-func guardedStruct(t types.Type) *types.Struct {
-	t = types.Unalias(t)
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = types.Unalias(ptr.Elem())
-	}
-	n, ok := t.(*types.Named)
-	if !ok {
-		return nil
-	}
-	st, ok := n.Underlying().(*types.Struct)
-	if !ok {
-		return nil
-	}
-	for i := 0; i < st.NumFields(); i++ {
-		if fn := namedType(st.Field(i).Type()); fn != nil && lockTypes[typeQualifiedName(fn)] {
-			return st
-		}
-	}
-	return nil
-}
-
-// checkLeakyReturns flags `return recv.field[...]` results whose type
-// is a reference type.
-func checkLeakyReturns(p *Pass, fd *ast.FuncDecl, recvObj types.Object) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // a closure runs under its own locking discipline
-		}
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok {
-			return true
-		}
-		for _, res := range ret.Results {
-			field, ok := receiverFieldChain(p, res, recvObj)
-			if !ok {
-				continue
-			}
-			t := p.Info.TypeOf(res)
-			if t == nil || !isReferenceType(t) {
-				continue
-			}
-			p.Reportf(res.Pos(), "returns lock-guarded internals: field %s escapes the critical section; copy it or return a value", field)
-		}
-		return true
-	})
-}
-
-// receiverFieldChain reports whether e is a selector chain rooted at
-// the receiver object (c.d, c.a.b); it returns the printed chain.
-func receiverFieldChain(p *Pass, e ast.Expr, recvObj types.Object) (string, bool) {
-	sel, ok := unparen(e).(*ast.SelectorExpr)
-	if !ok {
-		return "", false
-	}
-	name := sel.Sel.Name
-	for {
-		switch x := unparen(sel.X).(type) {
-		case *ast.Ident:
-			if p.Info.Uses[x] == recvObj {
-				return x.Name + "." + name, true
-			}
-			return "", false
-		case *ast.SelectorExpr:
-			name = x.Sel.Name + "." + name
-			sel = x
-		default:
-			return "", false
-		}
-	}
-}
-
-// isReferenceType reports whether handing out a value of t aliases
-// shared state.
-func isReferenceType(t types.Type) bool {
-	switch types.Unalias(t).Underlying().(type) {
-	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
-		return true
-	}
-	return false
-}

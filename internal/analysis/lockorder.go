@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// newLockOrder builds the module-wide mutex acquisition graph from
+// Lock/Unlock pairs and reports, per function: acquiring a mutex
+// already held (self-deadlock, Go mutexes are not reentrant), calling
+// a function that acquires a held mutex, returning with a lock still
+// held on some path, and panicking across a held lock with no
+// deferred unlock. At Finish it reports every cycle in the
+// accumulated acquired-while-holding graph — the classic AB/BA
+// deadlock shape. Edges come from static calls and direct lock
+// statements; locks taken behind dynamic calls (hooks, interface
+// methods) are invisible to it.
+func newLockOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "mutex acquisition graph: cycles, self-deadlocks and leaked locks",
+	}
+	type edge struct {
+		pos   token.Position
+		label string // "f: A while holding B" for the report
+	}
+	edges := map[string]map[string]edge{} // from (held) -> to (acquired)
+	addEdge := func(from, to string, pos token.Position, label string) {
+		if from == to {
+			return
+		}
+		m, ok := edges[from]
+		if !ok {
+			m = map[string]edge{}
+			edges[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = edge{pos: pos, label: label}
+		}
+	}
+	a.Run = func(p *Pass) error {
+		lo := &lockOrderPass{p: p, vi: collectVet(p), addEdge: addEdge}
+		lo.acquires = lo.computeAcquires()
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				entry := lockSet{}
+				if fn != nil {
+					entry = entryLocks(lo.vi, fn)
+				}
+				lo.walk(fd.Body, entry, sigObjects(p.Info, fd))
+			}
+		}
+		return nil
+	}
+	a.Finish = func(report func(pos token.Position, format string, args ...any)) error {
+		for _, cyc := range findLockCycles(edgeKeys(edges)) {
+			first := edges[cyc[0]][cyc[1]]
+			report(first.pos, "lock order cycle: %s", cycleString(cyc, edges))
+		}
+		return nil
+	}
+	return a
+}
+
+type lockOrderPass struct {
+	p        *Pass
+	vi       *vetInfo
+	addEdge  func(from, to string, pos token.Position, label string)
+	acquires map[*types.Func]map[string]bool
+}
+
+// computeAcquires maps every package-local function to the set of
+// global lock keys it (transitively) acquires, by a simple fixpoint
+// over direct lock statements and static package-local calls.
+func (lo *lockOrderPass) computeAcquires() map[*types.Func]map[string]bool {
+	direct := map[*types.Func]map[string]bool{}
+	calls := map[*types.Func]map[*types.Func]bool{}
+	lc := &lockClient{p: lo.p}
+	for _, f := range lo.p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := lo.p.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			direct[fn] = map[string]bool{}
+			calls[fn] = map[*types.Func]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+					name := sel.Sel.Name
+					if name == "Lock" || name == "RLock" {
+						if t := lo.p.Info.TypeOf(sel.X); t != nil && isMutexType(t) {
+							if g := lc.globalLockKey(sel.X); g != "" {
+								direct[fn][g] = true
+							}
+							return true
+						}
+					}
+				}
+				if callee := calleeFunc(lo.p.Info, call); callee != nil && callee.Pkg() == lo.p.Pkg.Types {
+					calls[fn][callee] = true
+				}
+				return true
+			})
+		}
+	}
+	acquires := direct
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			for callee := range callees {
+				for g := range acquires[callee] {
+					if !acquires[fn][g] {
+						acquires[fn][g] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acquires
+}
+
+// walk runs the lock flow over one body and its nested literals.
+func (lo *lockOrderPass) walk(body *ast.BlockStmt, entry lockSet, sig map[types.Object]bool) {
+	lc := &lockClient{p: lo.p}
+	lc.onLock = func(key string, l heldLock, held lockSet) {
+		if _, ok := held[key]; ok {
+			lo.p.Reportf(l.pos, "%s is acquired while already held (Go mutexes are not reentrant)", key)
+			return
+		}
+		if l.global == "" {
+			return
+		}
+		for _, h := range held {
+			if h.global != "" && h.global != l.global {
+				lo.addEdge(h.global, l.global, lo.p.Fset.Position(l.pos),
+					fmt.Sprintf("%s while holding %s", l.global, h.global))
+			}
+		}
+	}
+	lc.call = func(call *ast.CallExpr, held lockSet) {
+		callee := calleeFunc(lo.p.Info, call)
+		if callee == nil {
+			return
+		}
+		locks := lo.acquires[callee]
+		if len(locks) == 0 {
+			return
+		}
+		for g := range locks {
+			for key, h := range held {
+				if h.global == "" {
+					continue
+				}
+				if h.global == g {
+					lo.p.Reportf(call.Pos(), "call to %s acquires %s which is already held here", callee.Name(), key)
+					continue
+				}
+				lo.addEdge(h.global, g, lo.p.Fset.Position(call.Pos()),
+					fmt.Sprintf("%s via %s while holding %s", g, callee.Name(), h.global))
+			}
+		}
+	}
+	lc.onExit = func(pos token.Pos, held lockSet, kind string) {
+		for key, h := range held {
+			if h.deferred || h.entry {
+				continue
+			}
+			switch kind {
+			case "return", "end":
+				lo.p.Reportf(pos, "%s is still locked on this return path (acquired at line %d)", key, lo.p.Fset.Position(h.pos).Line)
+			case "panic":
+				lo.p.Reportf(pos, "panic while holding %s with no deferred unlock", key)
+			}
+		}
+	}
+	lc.lockFlow(body, entry, sig)
+	for len(lc.lits) > 0 {
+		q := lc.lits[0]
+		lc.lits = lc.lits[1:]
+		lo.walk(q.lit.Body, lockSet{}, litSigObjects(lo.p.Info, q.lit, q.outer))
+	}
+}
+
+// edgeKeys flattens the edge map into a sorted adjacency list.
+func edgeKeys[E any](edges map[string]map[string]E) map[string][]string {
+	adj := map[string][]string{}
+	for from, tos := range edges {
+		for to := range tos {
+			adj[from] = append(adj[from], to)
+		}
+		sort.Strings(adj[from])
+	}
+	return adj
+}
+
+// findLockCycles returns every elementary cycle reachable in adj,
+// deduplicated by rotation so each cycle is reported once, as a node
+// list with the start repeated implicitly (c[0] follows c[len-1]).
+func findLockCycles(adj map[string][]string) [][]string {
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	seen := map[string]bool{}
+	var cycles [][]string
+	var stack []string
+	onStack := map[string]int{}
+	var dfs func(n string)
+	dfs = func(n string) {
+		if i, ok := onStack[n]; ok {
+			cyc := append([]string(nil), stack[i:]...)
+			cyc = rotateMin(cyc)
+			key := strings.Join(cyc, "->")
+			if !seen[key] {
+				seen[key] = true
+				cycles = append(cycles, cyc)
+			}
+			return
+		}
+		onStack[n] = len(stack)
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			dfs(m)
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, n)
+	}
+	for _, n := range nodes {
+		dfs(n)
+	}
+	return cycles
+}
+
+// rotateMin rotates a cycle so its smallest node comes first.
+func rotateMin(cyc []string) []string {
+	min := 0
+	for i := range cyc {
+		if cyc[i] < cyc[min] {
+			min = i
+		}
+	}
+	return append(append([]string(nil), cyc[min:]...), cyc[:min]...)
+}
+
+// cycleString renders "A -> B (file:line) -> A (file:line)".
+func cycleString[E any](cyc []string, edges map[string]map[string]E) string {
+	var b strings.Builder
+	b.WriteString(cyc[0])
+	for i := 1; i <= len(cyc); i++ {
+		b.WriteString(" -> ")
+		b.WriteString(cyc[i%len(cyc)])
+	}
+	return b.String()
+}

@@ -61,9 +61,14 @@ func newPanicAudit(al *Allowlist) *Analyzer {
 	analyzed := map[string]bool{}       // package paths covered this run
 	a := &Analyzer{
 		Name: "panicaudit",
-		Doc:  "enforces the panic allowlist for library packages",
+		Doc:  "enforces the panic allowlist and vet: annotation syntax",
 	}
 	a.Run = func(p *Pass) error {
+		// Malformed vet: annotations are reported here so a typo can
+		// never silently disable a guardedby/ackorder check.
+		for _, issue := range collectVet(p).issues {
+			p.Reportf(issue.Pos, "%s", issue.Msg)
+		}
 		if p.Pkg.Types == nil || p.Pkg.Types.Name() == "main" {
 			return nil
 		}

@@ -1,0 +1,124 @@
+// Fixture for the ackorder analyzer: vet:ack functions must sync
+// before acknowledging durability and wedge store I/O errors.
+package ackorder
+
+type fakeStore struct{ n int }
+
+func (s *fakeStore) Write(p []byte) error { return nil }
+func (s *fakeStore) Flush() error         { return nil }
+func (s *fakeStore) Sync() error          { return nil }
+func (s *fakeStore) SyncFile() error      { return nil }
+
+type journal struct {
+	store   *fakeStore
+	durable uint64 // vet:durable
+	wedged  error
+	seq     uint64
+}
+
+// wedge latches the first fatal error.
+func (j *journal) wedge(err error) {
+	if j.wedged == nil {
+		j.wedged = err
+	}
+}
+
+// setDurable publishes the durable horizon (a broadcaster).
+func (j *journal) setDurable(seq uint64) {
+	j.durable = seq
+}
+
+// GoodSync fsyncs, wedges on failure, and only then acknowledges.
+//
+// vet:ack
+func (j *journal) GoodSync() error {
+	if err := j.store.Sync(); err != nil {
+		j.wedge(err)
+		return err
+	}
+	j.setDurable(j.seq)
+	return nil
+}
+
+// BadAckFirst acknowledges before anything reached disk.
+//
+// vet:ack
+func (j *journal) BadAckFirst() error {
+	j.setDurable(j.seq) // want `acknowledges durability \(via setDurable\) before any Sync/flush on this path \(vet:ack\)`
+	return j.store.Sync()
+}
+
+// BadUnwedged hands a store I/O error back without wedging, so the
+// caller could retry against a corrupt store.
+//
+// vet:ack
+func (j *journal) BadUnwedged() error {
+	err := j.store.Sync()
+	if err != nil {
+		return err // want `returns a store I/O error without wedging on this path \(vet:ack\)`
+	}
+	return nil
+}
+
+// BadEarlyNil returns nil on the fast path with nothing synced.
+//
+// vet:ack
+func (j *journal) BadEarlyNil(fast bool) error {
+	if fast {
+		return nil // want `returns nil \(acknowledging durability\) without a dominating Sync/flush on this path \(vet:ack\)`
+	}
+	return j.store.Sync()
+}
+
+// BadHorizon moves the horizon after a buffered write but before any
+// fsync.
+//
+// vet:ack
+func (j *journal) BadHorizon(seq uint64) error {
+	if err := j.store.Write(nil); err != nil {
+		j.wedge(err)
+		return err
+	}
+	j.durable = seq // want `assigns the durable horizon durable before any Sync/flush on this path \(vet:ack\)`
+	return j.store.Sync()
+}
+
+// GoodHorizonGuard may acknowledge early because the guard observed
+// the horizon at or past the target.
+//
+// vet:ack
+func (j *journal) GoodHorizonGuard(seq uint64) error {
+	if j.durable >= seq {
+		return nil
+	}
+	if err := j.store.SyncFile(); err != nil {
+		j.wedge(err)
+		return err
+	}
+	j.durable = seq
+	return nil
+}
+
+// GoodAlias flushes through a local store alias; the alias keeps the
+// error correlated.
+//
+// vet:ack
+func (j *journal) GoodAlias() error {
+	store := j.store
+	if err := store.Flush(); err != nil {
+		j.wedge(err)
+		return err
+	}
+	if err := store.Sync(); err != nil {
+		j.wedge(err)
+		return err
+	}
+	return nil
+}
+
+// GoodDelegate defers the whole protocol to another vet:ack function.
+//
+// vet:ack
+func (j *journal) GoodDelegate() error {
+	return j.GoodSync()
+}

@@ -1,0 +1,73 @@
+// Fixture for the atomicmix analyzer: atomic-typed fields are
+// method-only, legacy sync/atomic fields must not be touched plainly,
+// and values loaded from an atomic.Pointer are read-only snapshots.
+package atomicmix
+
+import "sync/atomic"
+
+type payload struct {
+	vals []int
+	n    int
+}
+
+type stats struct {
+	hits   atomic.Int64
+	legacy int64
+	plain  int64
+	snap   atomic.Pointer[payload]
+}
+
+func (s *stats) Good() int64 {
+	s.hits.Add(1)
+	return s.hits.Load()
+}
+
+func (s *stats) BadCopy() atomic.Int64 {
+	return s.hits // want `atomic field hits must be used only through its methods \(copying or assigning it races\)`
+}
+
+func (s *stats) BadAssign(v *atomic.Int64) {
+	s.hits = *v // want `atomic field hits must be used only through its methods \(copying or assigning it races\)`
+}
+
+func (s *stats) LegacyAdd() {
+	atomic.AddInt64(&s.legacy, 1)
+}
+
+func (s *stats) BadMixed() int64 {
+	return s.legacy // want `field legacy is accessed with sync/atomic elsewhere; this plain access races with it`
+}
+
+// PlainOnly never meets sync/atomic, so plain access is fine.
+func (s *stats) PlainOnly() int64 {
+	s.plain++
+	return s.plain
+}
+
+func (s *stats) Publish(p *payload) {
+	s.snap.Store(p)
+}
+
+func (s *stats) BadMutate() {
+	p := s.snap.Load()
+	p.n = 1       // want `writes through a published snapshot \(p holds an atomic\.Pointer Load result\); mutate a clone instead`
+	p.vals[0] = 2 // want `writes through a published snapshot \(p holds an atomic\.Pointer Load result\); mutate a clone instead`
+}
+
+func (s *stats) BadAlias() {
+	p := s.snap.Load()
+	q := p
+	q.n++ // want `writes through a published snapshot \(q holds an atomic\.Pointer Load result\); mutate a clone instead`
+}
+
+func (s *stats) BadDirect() {
+	s.snap.Load().n = 3 // want `writes through a published snapshot \(atomic\.Pointer Load result\); mutate a clone instead`
+}
+
+// GoodClone mutates a fresh copy and republishes it.
+func (s *stats) GoodClone() {
+	cur := s.snap.Load()
+	next := &payload{n: cur.n, vals: append([]int(nil), cur.vals...)}
+	next.n++
+	s.snap.Store(next)
+}

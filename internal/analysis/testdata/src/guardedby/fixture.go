@@ -1,0 +1,105 @@
+// Fixture for the guardedby analyzer: vet:guardedby fields must be
+// accessed with the named mutex held, and vet:holds callees must be
+// entered with the declared lock.
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int            // vet:guardedby mu
+	m  map[string]int // vet:guardedby mu
+}
+
+// newCounter builds under construction: local-rooted accesses are
+// exempt because no other goroutine can reach the value yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.m = map[string]int{}
+	return c
+}
+
+func (c *counter) Good() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) GoodWrite() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) BadRead() int {
+	return c.n // want `c\.n is guarded by c\.mu but accessed without holding it`
+}
+
+func (c *counter) BadWrite() {
+	c.n = 7 // want `c\.n is guarded by c\.mu but accessed without holding it`
+}
+
+func (c *counter) BadRLockWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want `c\.n is guarded by c\.mu but written while holding only the read lock`
+}
+
+func (c *counter) BadRLockMapWrite() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.m["x"] = 1 // want `c\.m is guarded by c\.mu but written while holding only the read lock`
+}
+
+// BadBranch releases the lock on one arm only; after the join the
+// lock is no longer known to be held.
+func (c *counter) BadBranch(early bool) int {
+	c.mu.Lock()
+	if early {
+		c.mu.Unlock()
+	}
+	return c.n // want `c\.n is guarded by c\.mu but accessed without holding it`
+}
+
+// BadClosure captures the receiver: the closure runs under unknown
+// lock state, so the access inside it is unguarded.
+func (c *counter) BadClosure() func() int {
+	return func() int {
+		return c.n // want `c\.n is guarded by c\.mu but accessed without holding it`
+	}
+}
+
+// bumpLocked must be entered with c.mu held.
+//
+// vet:holds c.mu
+func (c *counter) bumpLocked(delta int) {
+	c.n += delta
+}
+
+func (c *counter) GoodHolds() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked(1)
+}
+
+func (c *counter) BadHolds() {
+	c.bumpLocked(1) // want `call to bumpLocked requires holding c\.mu \(vet:holds\)`
+}
+
+// lockedAdd declares its precondition through a parameter root.
+//
+// vet:holds c.mu
+func lockedAdd(c *counter, delta int) {
+	c.n += delta
+}
+
+func GoodParamHolds(c *counter) {
+	c.mu.Lock()
+	lockedAdd(c, 1)
+	c.mu.Unlock()
+}
+
+func BadParamHolds(c *counter) {
+	lockedAdd(c, 1) // want `call to lockedAdd requires holding c\.mu \(vet:holds\)`
+}

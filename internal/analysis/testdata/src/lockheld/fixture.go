@@ -54,3 +54,23 @@ type Plain struct {
 func (p *Plain) Data() []int {
 	return p.data
 }
+
+// AnnBox opts into vet:guardedby annotations: when present they are
+// the source of truth, so only annotated fields are leak-checked.
+type AnnBox struct {
+	mu    sync.Mutex
+	data  []int // vet:guardedby mu
+	cache []int
+}
+
+func (b *AnnBox) LeakGuarded() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.data // want `returns lock-guarded internals: field b\.data escapes the critical section; copy it or return a value`
+}
+
+// LeakUnguarded is fine: the annotations deliberately leave cache
+// unguarded (per-call scratch), so the heuristic defers to them.
+func (b *AnnBox) LeakUnguarded() []int {
+	return b.cache
+}

@@ -1,0 +1,81 @@
+// Fixture for the lockorder analyzer: acquisition-order cycles,
+// re-entrant acquires, leaked locks and panics across held locks.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// LockAB establishes the edge pair.a -> pair.b.
+func (p *pair) LockAB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `lock order cycle: lockorder\.pair\.a -> lockorder\.pair\.b -> lockorder\.pair\.a`
+	p.n++
+	p.b.Unlock()
+}
+
+// LockBA establishes pair.b -> pair.a, closing the AB/BA cycle. The
+// cycle is reported once, at the first edge recorded.
+func (p *pair) LockBA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}
+
+func (p *pair) Relock() {
+	p.a.Lock()
+	p.a.Lock() // want `p\.a is acquired while already held \(Go mutexes are not reentrant\)`
+	p.a.Unlock()
+}
+
+func (p *pair) Leak(early bool) {
+	p.a.Lock()
+	if early {
+		return // want `p\.a is still locked on this return path \(acquired at line \d+\)`
+	}
+	p.a.Unlock()
+}
+
+func (p *pair) PanicHold() {
+	p.b.Lock()
+	panic("boom") // want `panic while holding p\.b with no deferred unlock`
+}
+
+// GoodPanic is fine: the deferred unlock runs during the panic.
+func (p *pair) GoodPanic() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	panic("covered")
+}
+
+// lockA is a helper whose acquisition is visible to callers.
+func (p *pair) lockA() {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}
+
+func (p *pair) BadNested() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.lockA() // want `call to lockA acquires p\.a which is already held here`
+}
+
+// GoodOrder takes both locks in the canonical order used by LockAB;
+// no new edge direction, no cycle of its own.
+func (p *pair) GoodBalanced(early bool) {
+	p.a.Lock()
+	if early {
+		p.a.Unlock()
+		return
+	}
+	p.n++
+	p.a.Unlock()
+}

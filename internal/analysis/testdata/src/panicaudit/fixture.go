@@ -2,7 +2,10 @@
 // in the test's allowlist), one unvetted panic, and one method panic.
 package panicaudit
 
-import "errors"
+import (
+	"errors"
+	"sync"
+)
 
 // MustVetted is covered by the fixture allowlist.
 func MustVetted(ok bool) {
@@ -27,4 +30,30 @@ func (t *T) Explode() {
 // ReturnsError is how the analyzer wants failures surfaced.
 func ReturnsError() error {
 	return errors.New("no panic here")
+}
+
+// badAnnotations exercises the vet: annotation syntax diagnostics
+// that panicaudit reports for the whole suite.
+type badAnnotations struct {
+	mu sync.Mutex
+	a  int // vet:guardedby nosuch // want `vet:guardedby names unknown sibling field "nosuch"`
+	b  int // vet:guardedby a // want `vet:guardedby a: field a is not a sync\.Mutex or sync\.RWMutex`
+	c  int // vet:bogus // want `unknown vet: verb "bogus"`
+}
+
+// NoError cannot acknowledge durability: there is no error result.
+//
+// vet:ack // want `vet:ack function NoError must return an error as its last result`
+func NoError() {}
+
+// BadHolds names a root that is neither receiver nor parameter.
+//
+// vet:holds q.mu // want `vet:holds path "q\.mu": "q" is not the receiver or a parameter of BadHolds`
+func BadHolds() {}
+
+// Misplaced hangs an annotation where the language gives it no
+// meaning.
+func Misplaced() int {
+	// vet:durable // want `misplaced vet:durable annotation: only struct fields and function declarations take vet: comments`
+	return 0
 }

@@ -48,7 +48,7 @@ type snapshot struct {
 type Concurrent struct {
 	mu   sync.Mutex // serializes writers; never taken on the query path
 	snap atomic.Pointer[snapshot]
-	hook CommitHook // journaling hook; nil when the document is not journaled
+	hook CommitHook // vet:guardedby mu // journaling hook; nil when the document is not journaled
 }
 
 // CommitHook intercepts every structured edit batch on its way to
@@ -173,9 +173,17 @@ func (c *Concurrent) update(fn func(d *Document) error) error {
 	if err := fn(next); err != nil {
 		return err
 	}
+	c.publishLocked(cur, next)
+	return nil
+}
+
+// publishLocked publishes next as the successor of snapshot cur. It
+// must run under the writer mutex so publication order is edit order.
+//
+// vet:holds c.mu
+func (c *Concurrent) publishLocked(cur *snapshot, next *Document) {
 	c.snap.Store(&snapshot{d: next, eng: next.engine(), gen: cur.gen + 1})
 	mSnapshotSwaps.Inc()
-	return nil
 }
 
 // applyEdits is the structured writer path every typed edit method
@@ -207,8 +215,7 @@ func (c *Concurrent) applyEdits(edits []Edit) ([]EditResult, error) {
 			return nil, err
 		}
 	}
-	c.snap.Store(&snapshot{d: next, eng: next.engine(), gen: cur.gen + 1})
-	mSnapshotSwaps.Inc()
+	c.publishLocked(cur, next)
 	c.mu.Unlock()
 	if wait != nil {
 		if err := wait(); err != nil {

@@ -135,11 +135,11 @@ type Journal struct {
 	// mu is the append lock: sequence assignment and buffered record
 	// writes, in publication order.
 	mu      sync.Mutex
-	store   *labelstore.Store
-	gen     uint64 // current segment generation
-	seq     uint64 // last appended batch sequence
-	baseSeq uint64 // seq when this session opened (replayed history)
-	closed  bool
+	store   *labelstore.Store // vet:guardedby mu
+	gen     uint64            // vet:guardedby mu // current segment generation
+	seq     uint64            // vet:guardedby mu // last appended batch sequence
+	baseSeq uint64            // vet:guardedby mu // seq when this session opened (replayed history)
+	closed  bool              // vet:guardedby mu
 
 	// appended mirrors seq for lock-free reads by the group-commit
 	// window spin (an approximate progress signal, not a fence).
@@ -148,14 +148,19 @@ type Journal struct {
 	// cmu guards the commit pipeline: which sequences are durable,
 	// whether a leader is mid-fsync, and the wedge error that poisons
 	// the journal after an I/O failure.
-	cmu     sync.Mutex
-	cond    *sync.Cond
-	durable uint64
-	syncing bool
-	wedged  error
+	cmu  sync.Mutex
+	cond *sync.Cond // vet:guardedby cmu
 
-	// checkpoints counts completed checkpoints (under mu).
-	checkpoints uint64
+	// durable is the acknowledged-durable horizon: the highest batch
+	// sequence known to be on stable storage.
+	//
+	// vet:guardedby cmu
+	// vet:durable
+	durable uint64
+	syncing bool  // vet:guardedby cmu
+	wedged  error // vet:guardedby cmu
+
+	checkpoints uint64 // vet:guardedby mu // completed checkpoints
 
 	// interval-mode flusher lifecycle.
 	stop chan struct{}
@@ -238,6 +243,8 @@ func Create(cfg Config, d *dyndoc.Document) (*Journal, error) {
 // label via labelstore.SaveLabeling, and an END trailer. The segment
 // is fully synced and closed before writeCheckpoint returns, so its
 // existence with a decodable END record proves it is complete.
+//
+// vet:durable
 func writeCheckpoint(cfg Config, gen uint64, d *dyndoc.Document, baseSeq uint64) error {
 	store, err := openStore(cfg, ckptPath(cfg.Dir, gen))
 	if err != nil {
@@ -330,11 +337,19 @@ func (j *Journal) Append(edits []dyndoc.Edit, results []dyndoc.EditResult) (wait
 // lost a write cannot keep acknowledging batches.
 func (j *Journal) wedge(err error) {
 	j.cmu.Lock()
+	j.wedgeLocked(err)
+	j.cmu.Unlock()
+}
+
+// wedgeLocked records the first poisoning error and wakes every
+// durability waiter so it is observed.
+//
+// vet:holds j.cmu
+func (j *Journal) wedgeLocked(err error) {
 	if j.wedged == nil {
 		j.wedged = err
 	}
 	j.cond.Broadcast()
-	j.cmu.Unlock()
 }
 
 func (j *Journal) wedgeErr() error {
@@ -359,6 +374,8 @@ func (j *Journal) setDurable(seq uint64) {
 // the condition variable; batches appended while the leader's fsync
 // is in flight are covered by the next leader. This is the group
 // commit pipeline.
+//
+// vet:ack
 func (j *Journal) waitDurable(seq uint64) error {
 	j.cmu.Lock()
 	for {
@@ -424,10 +441,7 @@ func (j *Journal) waitDurable(seq uint64) error {
 		j.cmu.Lock()
 		j.syncing = false
 		if err != nil {
-			if j.wedged == nil {
-				j.wedged = err
-			}
-			j.cond.Broadcast()
+			j.wedgeLocked(err)
 			j.cmu.Unlock()
 			return err
 		}
@@ -445,6 +459,8 @@ func (j *Journal) waitDurable(seq uint64) error {
 
 // Sync forces everything appended so far to stable storage,
 // regardless of mode.
+//
+// vet:ack
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	if j.closed {
@@ -488,6 +504,8 @@ func (j *Journal) flushLoop() {
 // and retires the old one. On return the journal appends to the new
 // log and the old pair has been removed; a crash anywhere inside
 // leaves either the old pair or the new pair recoverable.
+//
+// vet:ack
 func (j *Journal) Checkpoint(d *dyndoc.Document) error {
 	// Quiesce the commit pipeline before touching stores: claim
 	// leadership (or wait out the in-flight leader) so no group-commit
@@ -584,6 +602,10 @@ func (j *Journal) Close() error {
 		return nil
 	}
 	seq := j.seq
+	// Capture the store while mu still pins it: j.store must not be
+	// read after the unlock, even though closed=true means no
+	// Checkpoint can swap it anymore.
+	store := j.store
 	j.closed = true
 	j.mu.Unlock()
 	if j.stop != nil {
@@ -594,7 +616,7 @@ func (j *Journal) Close() error {
 	if j.wedgeErr() == nil {
 		syncErr = j.waitDurable(seq)
 	}
-	closeErr := j.store.Close()
+	closeErr := store.Close()
 	if syncErr != nil {
 		return syncErr
 	}

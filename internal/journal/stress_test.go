@@ -1,0 +1,159 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dyndoc"
+)
+
+// TestSyncIntervalStress races the SyncInterval ticker flusher against
+// concurrent appends, checkpoints and the final Close. The flusher's
+// group-commit leadership (flush under the append lock, fsync with no
+// locks held) must coexist with Checkpoint's store swap and with
+// writers publishing batches the whole time. Run under -race.
+func TestSyncIntervalStress(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	root := rootID(t, d)
+	j, err := Create(Config{Dir: dir, Scheme: testScheme, Mode: SyncInterval, Interval: time.Millisecond}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCommitHook(j.Append)
+
+	const writers, perWriter = 4, 40
+	stop := make(chan struct{})
+	ckptErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				ckptErr <- nil
+				return
+			default:
+			}
+			if err := c.Locked(func(d *dyndoc.Document) error { return j.Checkpoint(d) }); err != nil {
+				ckptErr <- err
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, _, err := c.InsertElement(root, 0, fmt.Sprintf("w%dn%d", w, i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := <-ckptErr; err != nil {
+		t.Fatalf("Checkpoint racing interval flusher: %v", err)
+	}
+	if st := j.Stats(); st.Seq != writers*perWriter {
+		t.Fatalf("stats = %+v, want seq=%d", st, writers*perWriter)
+	}
+	want := c.XML()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, d2, _, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.XML(); got != want {
+		t.Fatalf("replayed XML differs from published document:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCloseVsAppend closes the journal while writers and a
+// checkpointer are mid-flight. Close must capture the store under the
+// append lock before closing it — reading j.store after releasing mu
+// raced Checkpoint's store swap — and everything acknowledged before
+// the close must replay. Writers simply stop at ErrClosed. Run under
+// -race.
+func TestCloseVsAppend(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	root := rootID(t, d)
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetCommitHook(j.Append)
+
+	const writers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				_, _, err := c.InsertElement(root, 0, fmt.Sprintf("w%dn%d", w, i))
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			err := c.Locked(func(d *dyndoc.Document) error { return j.Checkpoint(d) })
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close racing writers: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := c.XML()
+	_, d2, _, err := Replay(Config{Dir: dir, Scheme: testScheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.XML(); got != want {
+		t.Fatalf("replayed XML differs from published document:\n got %s\nwant %s", got, want)
+	}
+}

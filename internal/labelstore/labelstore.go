@@ -146,6 +146,8 @@ func (s *Store) Write(id uint64, payload []byte) error {
 // loses them. Sync is Flush followed by SyncFile; callers that need
 // to fsync outside their append lock (group commit) use the two
 // halves directly.
+//
+// vet:durable
 func (s *Store) Sync() error {
 	if err := s.Flush(); err != nil {
 		return err
@@ -174,6 +176,8 @@ func (s *Store) Flush() error {
 // group-commit pipeline fsyncs outside its append lock): it only
 // reads the file handle, and a record racing the fsync simply isn't
 // covered by it. Two SyncFile calls must not run concurrently.
+//
+// vet:durable
 func (s *Store) SyncFile() error {
 	if s.closed {
 		return ErrClosed

@@ -8,13 +8,16 @@
 #   4. go test       — the whole module, plus invariants-tagged label packages
 #   5. go test -race — the concurrent document layer, the labelstore and
 #                      the journal's group-commit pipeline, plus the
-#                      snapshot storm test by name
+#                      snapshot storm and journal stress tests by name
 #   6. crash safety  — the recovery/fault-injection suite by name, the
 #                      journal kill matrix, then the FuzzReadAll,
 #                      FuzzEncodeBetween and FuzzEditCodec seed corpora
 #                      as short fuzz runs
 #   7. labelvet      — the repo's own static-analysis suite (label invariants,
-#                      lock hygiene, dropped errors, panic allowlist)
+#                      lock hygiene, dropped errors, panic allowlist), then
+#                      the concurrency/durability tier (guardedby, atomicmix,
+#                      ackorder, lockorder) explicitly in both tag states and
+#                      a fixture-coverage check over `labelvet -list`
 #   8. bench smoke   — every benchmark once (-benchtime 1x) plus a throwaway
 #                      BENCH JSON report, so the bench machinery cannot rot
 #   9. metrics smoke — experiments binary dumps a -metrics-json snapshot and
@@ -53,7 +56,7 @@ echo "==> snapshot storm under the race detector"
 go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter' ./internal/dyndoc
 
 echo "==> group-commit pipeline under the race detector"
-go test -race -count=1 -run 'TestGroup|TestConcurrent|TestDurable' ./internal/journal .
+go test -race -count=1 -run 'TestGroup|TestConcurrent|TestDurable|TestSyncIntervalStress|TestCloseVsAppend' ./internal/journal .
 
 echo "==> crash-safety suite (recovery + fault injection)"
 go test -count=1 -run 'TestRecover|TestFault|TestSynced|TestReadAllTorn' ./internal/labelstore ./internal/labelstore/faultfs
@@ -76,6 +79,19 @@ go run ./cmd/labelvet ./...
 
 echo "==> labelvet -tags invariants ./..."
 go run ./cmd/labelvet -tags invariants ./...
+
+echo "==> labelvet concurrency/durability tier (both tag states)"
+go run ./cmd/labelvet -only guardedby,atomicmix,ackorder,lockorder ./...
+go run ./cmd/labelvet -only guardedby,atomicmix,ackorder,lockorder -tags invariants ./...
+
+echo "==> labelvet fixture coverage (every analyzer has a fixture dir)"
+go run ./cmd/labelvet -list | while read -r name _; do
+	dir="internal/analysis/testdata/src/$name"
+	if ! ls "$dir"/*.go >/dev/null 2>&1; then
+		echo "labelvet: analyzer $name has no fixture under $dir" >&2
+		exit 1
+	fi
+done
 
 echo "==> bench smoke (-benchtime 1x)"
 go test -run '^$' -bench . -benchtime 1x ./internal/bitstr ./internal/cdbs ./internal/qed
