@@ -23,6 +23,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
+	"repro/internal/xpath/plan"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	scale := flag.Int("scale", 1, "replication factor for -dataset D5")
 	schemeName := flag.String("scheme", "V-CDBS-Containment", "labeling scheme")
 	suite := flag.Bool("q6", false, "run the paper's Q1-Q6 suite instead of argument queries")
+	explain := flag.Bool("explain", false, "print the planner's EXPLAIN tree per query (per file) instead of the timing table")
 	flag.Parse()
 
 	queries := flag.Args()
@@ -76,6 +78,29 @@ func main() {
 		corpus = append(corpus, e)
 	}
 	fmt.Printf("indexed %d file(s) with %s in %v\n\n", len(docs), entry.Name, time.Since(start).Round(time.Millisecond))
+
+	if *explain {
+		for _, qs := range queries {
+			q, err := xpath.Parse(qs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xquery:", err)
+				os.Exit(1)
+			}
+			for i, e := range corpus {
+				if len(corpus) > 1 {
+					fmt.Printf("-- file %d --\n", i+1)
+				}
+				rep, err := plan.Explain(e, q)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "xquery:", err)
+					os.Exit(1)
+				}
+				fmt.Print(rep.String())
+			}
+			fmt.Println()
+		}
+		return
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Query\tmatches\ttime")

@@ -40,6 +40,7 @@ import (
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
+	"repro/internal/xpath/plan"
 )
 
 // ---------------------------------------------------------------------------
@@ -541,6 +542,32 @@ func (h *Handle) Count(path string) (int, error) {
 		return h.shared.Count(path)
 	}
 	return h.live.Count(path)
+}
+
+// Explain plans and evaluates a path expression with instrumentation
+// and returns the rendered EXPLAIN tree: the chosen strategy and
+// anchor step, estimated vs. measured cardinality per step, the
+// partition fan-out of the parallel joins, and — on a concurrent
+// handle — the snapshot generation with the result-cache state at it.
+// The query is evaluated for real, so the report's numbers are
+// measurements, not guesses.
+func (h *Handle) Explain(path string) (string, error) {
+	if err := h.check(); err != nil {
+		return "", err
+	}
+	var (
+		rep *plan.Report
+		err error
+	)
+	if h.shared != nil {
+		rep, err = h.shared.Explain(path)
+	} else {
+		rep, err = h.live.Explain(path)
+	}
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
 }
 
 // InsertElement inserts a fresh element as the pos-th child of parent

@@ -87,6 +87,21 @@ func (c *counter) BadHolds() {
 	c.bumpLocked(1) // want `call to bumpLocked requires holding c\.mu \(vet:holds\)`
 }
 
+// KnownMissAliasedMap documents a deliberate false negative, the
+// cache-shaped aliasing hole: copying a guarded map under RLock and
+// writing through the alias after RUnlock races with other readers,
+// but the write is rooted at a local, not a selector of the guarded
+// field, so the intraprocedural checker cannot see it. No `want`
+// here — this case pins the analyzer staying silent; if guardedby
+// ever learns alias tracking, this comment and the test expectations
+// move together.
+func (c *counter) KnownMissAliasedMap() {
+	c.mu.RLock()
+	m := c.m
+	c.mu.RUnlock()
+	m["x"] = 1 // race at runtime, invisible to guardedby (aliased root)
+}
+
 // lockedAdd declares its precondition through a parameter root.
 //
 // vet:holds c.mu

@@ -10,6 +10,7 @@ import (
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
+	"repro/internal/xpath/plan"
 )
 
 // Snapshot-concurrency metrics: how often a writer published a new
@@ -49,6 +50,13 @@ type Concurrent struct {
 	mu   sync.Mutex // serializes writers; never taken on the query path
 	snap atomic.Pointer[snapshot]
 	hook CommitHook // vet:guardedby mu // journaling hook; nil when the document is not journaled
+
+	// plans caches compiled query plans and generation-keyed results
+	// across snapshots. Set once at construction and internally
+	// synchronized; queries hand it the (engine, generation) pair of
+	// one atomic snapshot load, so a cached result can never cross
+	// generations (see plan.Cache).
+	plans *plan.Cache
 }
 
 // CommitHook intercepts every structured edit batch on its way to
@@ -108,7 +116,7 @@ func newConcurrent(d *Document) (*Concurrent, error) {
 	if _, ok := d.lab.(scheme.Cloner); !ok {
 		return nil, fmt.Errorf("dyndoc: labeling %s does not support snapshots (missing scheme.Cloner)", d.lab.Name())
 	}
-	c := &Concurrent{}
+	c := &Concurrent{plans: plan.NewCache()}
 	c.snap.Store(&snapshot{d: d, eng: d.engine()})
 	return c, nil
 }
@@ -134,13 +142,31 @@ func (c *Concurrent) Name(id int) (string, error) { return c.load().d.Name(id) }
 func (c *Concurrent) XML() string { return c.load().d.XML() }
 
 // Query evaluates a parsed path expression against the latest
-// published snapshot, lock-free.
+// published snapshot, lock-free. Evaluation goes through the plan
+// cache: the cost-based plan for the query text is compiled once, and
+// a result materialized at this exact generation is served from the
+// cache without touching the document — repeated queries under an
+// idle writer are a map hit.
 func (c *Concurrent) Query(q *xpath.Query) ([]int, error) {
 	s := c.load()
 	mQueries.Inc()
-	ids, err := s.eng.Eval(q)
+	ids, err := c.plans.Eval(s.eng, s.gen, q)
 	mStaleness.Observe(float64(c.load().gen - s.gen))
 	return ids, err
+}
+
+// Explain plans and evaluates a path expression against the latest
+// published snapshot and returns the instrumented EXPLAIN report:
+// chosen strategy and anchor, estimated vs. measured per-step
+// cardinalities, partition fan-out, and whether the result cache held
+// the answer at the current generation.
+func (c *Concurrent) Explain(path string) (*plan.Report, error) {
+	q, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	s := c.load()
+	return c.plans.Explain(s.eng, s.gen, q)
 }
 
 // QueryString parses and evaluates a path expression.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/scheme"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
+	"repro/internal/xpath/plan"
 )
 
 // Edit and query volume metrics for the live-document tier.
@@ -232,6 +233,18 @@ func (d *Document) Query(q *xpath.Query) ([]int, error) {
 // is not edited, which is what the snapshot layer relies on.
 func (d *Document) engine() *xpath.Engine {
 	return xpath.NewEngineIndexed(d.lab, d.names, d.byName, d.elems)
+}
+
+// Explain plans and evaluates a path expression with instrumentation
+// and returns the EXPLAIN report. An unshared document has no
+// generation counter and therefore no result cache; the report says
+// cache "off". Concurrent.Explain is the cached variant.
+func (d *Document) Explain(path string) (*plan.Report, error) {
+	q, err := xpath.Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Explain(d.engine(), q)
 }
 
 // QueryString parses and evaluates a path expression.

@@ -1,0 +1,140 @@
+package dyndoc
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/containment"
+	"repro/internal/keys"
+)
+
+// TestPlannedQueryStorm is the planned-query counterpart of
+// TestSnapshotStorm: readers evaluate through the plan/result cache
+// (Concurrent.Query) and render EXPLAIN reports while writers churn
+// snapshots, with GOMAXPROCS raised so the partitioned join path can
+// actually fan out under the race detector. Writers insert and delete
+// "pair" elements strictly in pairs, so any odd count — from Query or
+// from an Explain's match counter — means a reader saw a torn
+// snapshot or the cache served a result across generations. The test
+// also checks the published generation never moves backwards from any
+// goroutine's point of view.
+func TestPlannedQueryStorm(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	c, err := ParseConcurrent(seedDoc, containment.Build(keys.VCDBS()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 3
+	const readers = 6
+	const batchesEach = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < batchesEach; i++ {
+				res, err := c.ApplyBatch([]Edit{
+					{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "pair"},
+					{Op: OpInsertElement, Parent: 0, Pos: 0, Name: "pair"},
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if i%2 == 1 {
+					if _, err := c.ApplyBatch([]Edit{
+						{Op: OpDeleteSubtree, Node: res[0].IDs[0]},
+						{Op: OpDeleteSubtree, Node: res[1].IDs[0]},
+					}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	// The reader queries cover all three planner strategies plus the
+	// axis fallback, all hammering one shared plan/result cache.
+	queries := []string{"//pair", "/library//pair", "/library/*/book", "//shelf/parent::library"}
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastGen := uint64(0)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if g := c.Generation(); g < lastGen {
+					errCh <- fmt.Errorf("generation moved backwards: %d after %d", g, lastGen)
+					return
+				} else {
+					lastGen = g
+				}
+				ids, err := c.QueryString(queries[(r+i)%len(queries)])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				_ = ids
+				n, err := c.Count("//pair")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if n%2 != 0 {
+					errCh <- errors.New("reader observed an odd pair count: torn batch or cross-generation cache hit")
+					return
+				}
+				rep, err := c.Explain("//pair")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if rep.Matches%2 != 0 {
+					errCh <- fmt.Errorf("explain measured an odd pair count %d at generation %d", rep.Matches, rep.Generation)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case err := <-errCh:
+			close(stop)
+			t.Fatal(err)
+		case <-done:
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+			return
+		case <-time.After(time.Millisecond):
+			if c.Generation() >= writers*batchesEach {
+				close(stop)
+				<-done
+				select {
+				case err := <-errCh:
+					t.Fatal(err)
+				default:
+				}
+				return
+			}
+		}
+	}
+}

@@ -59,20 +59,39 @@ func NewEngineIndexed(lab scheme.Labeling, names []string, byName map[string][]i
 }
 
 // Eval runs an absolute query and returns matching node ids in
-// document order.
+// document order. The returned slice is always the caller's to keep:
+// when evaluation ends on a borrowed index list (see eval) a copy is
+// made here, so callers may mutate the result freely.
 func (e *Engine) Eval(q *Query) ([]int, error) {
 	if q.Relative {
 		return nil, fmt.Errorf("xpath: Eval needs an absolute query, got %q", q)
 	}
-	return e.eval(q, nil, true)
+	out, borrowed, err := e.eval(q, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if borrowed {
+		out = append([]int(nil), out...)
+	}
+	return out, nil
 }
 
 // eval runs the steps from the given context; fromRoot selects the
 // virtual document node as initial context.
-func (e *Engine) eval(q *Query, ctx []int, fromRoot bool) ([]int, error) {
+//
+// Copy-on-write guard: a first-step descendant axis borrows the
+// per-name index slice directly instead of copying it — no predicate
+// or later step ever mutates a step's input in place (joins and
+// predicate filters always build fresh output slices), so sharing is
+// safe inside evaluation. The returned borrowed flag reports that the
+// final result still aliases the index; Eval copies exactly then, and
+// internal consumers (exists) only read, so they skip the copy.
+func (e *Engine) eval(q *Query, ctx []int, fromRoot bool) ([]int, bool, error) {
+	borrowed := false
 	for si, step := range q.Steps {
 		var out []int
 		first := fromRoot && si == 0
+		borrowed = false
 		switch step.Axis {
 		case Child:
 			if first {
@@ -85,28 +104,31 @@ func (e *Engine) eval(q *Query, ctx []int, fromRoot bool) ([]int, error) {
 			}
 		case Descendant:
 			if first {
-				out = append(out, e.candidates(step.Name)...)
+				// Borrowed, not copied: the candidate list is exactly
+				// the step result. See the guard note above.
+				out = e.candidates(step.Name)
+				borrowed = true
 			} else {
 				out = e.joinDown(ctx, e.candidates(step.Name), true)
 			}
 		case PrecedingSibling, FollowingSibling:
 			if first {
-				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+				return nil, false, fmt.Errorf("xpath: %s from document root", step.Axis)
 			}
 			out = e.siblings(ctx, step.Name, step.Axis == PrecedingSibling)
 		case Following:
 			if first {
-				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+				return nil, false, fmt.Errorf("xpath: %s from document root", step.Axis)
 			}
 			out = e.following(ctx, step.Name)
 		case Parent:
 			if first {
-				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+				return nil, false, fmt.Errorf("xpath: %s from document root", step.Axis)
 			}
 			out = e.parents(ctx, step.Name)
 		case Ancestor:
 			if first {
-				return nil, fmt.Errorf("xpath: %s from document root", step.Axis)
+				return nil, false, fmt.Errorf("xpath: %s from document root", step.Axis)
 			}
 			out = e.ancestors(ctx, step.Name)
 		}
@@ -114,12 +136,15 @@ func (e *Engine) eval(q *Query, ctx []int, fromRoot bool) ([]int, error) {
 			var err error
 			out, err = e.applyPred(out, step, pred)
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
+			// Predicate filters build fresh slices, so the borrow (if
+			// any) ends here.
+			borrowed = false
 		}
 		ctx = out
 	}
-	return ctx, nil
+	return ctx, borrowed, nil
 }
 
 // rootElement returns the id of the document element.
@@ -312,9 +337,10 @@ func (e *Engine) filterPosition(in []int, step Step, n int) []int {
 	return out
 }
 
-// exists evaluates a relative path predicate under node v.
+// exists evaluates a relative path predicate under node v. It only
+// inspects the result length, so a borrowed final slice needs no copy.
 func (e *Engine) exists(v int, q *Query) (bool, error) {
-	res, err := e.eval(q, []int{v}, false)
+	res, _, err := e.eval(q, []int{v}, false)
 	if err != nil {
 		return false, err
 	}
@@ -322,10 +348,141 @@ func (e *Engine) exists(v int, q *Query) (bool, error) {
 }
 
 // Count evaluates a query and returns the number of matches — the
-// "nodes retrieved" column of Table 3.
+// "nodes retrieved" column of Table 3. It reads only the result
+// length, so a borrowed final slice is counted without the defensive
+// copy Eval would make.
 func (e *Engine) Count(q *Query) (int, error) {
-	res, err := e.Eval(q)
+	if q.Relative {
+		return 0, fmt.Errorf("xpath: Count needs an absolute query, got %q", q)
+	}
+	res, _, err := e.eval(q, nil, true)
 	return len(res), err
+}
+
+// ---------------------------------------------------------------------------
+// Planner primitives.
+//
+// The exported methods below are the raw building blocks the
+// xpath/plan package composes plans from: borrowed candidate lists,
+// structural joins in both directions over arbitrary (contiguous)
+// list slices, and predicate filtering. They are plain reads of the
+// engine's immutable views, so — like Eval — they are safe to call
+// from any number of goroutines concurrently.
+
+// Candidates returns the document-ordered element ids matching a name
+// test. The slice is BORROWED from the engine's index: callers must
+// treat it as read-only and may sub-slice it (for partitioned joins)
+// but never mutate or append to it in place.
+func (e *Engine) Candidates(name string) []int { return e.candidates(name) }
+
+// CandidateCount returns len(Candidates(name)) without touching the
+// slice — the per-name selectivity statistic the planner orders
+// evaluation around.
+func (e *Engine) CandidateCount(name string) int { return len(e.candidates(name)) }
+
+// Root returns the id of the document element, or -1 on an empty
+// document.
+func (e *Engine) Root() int { return e.rootElement() }
+
+// NameOf returns the element name recorded for id ("" for text
+// nodes).
+func (e *Engine) NameOf(id int) string { return e.names[id] }
+
+// ParentOf returns the parent id of a node (-1 for the root), read
+// from the labeling's structural mirror. The planner's pathcheck
+// strategy walks these pointers to verify an anchor candidate's
+// ancestor chain without materializing intermediate join results.
+func (e *Engine) ParentOf(id int) int { return e.lab.Tree().Parents[id] }
+
+// NameMatches reports whether node id satisfies a name test.
+func (e *Engine) NameMatches(test string, id int) bool { return e.nameMatches(test, id) }
+
+// JoinDown is the exported structural join: it returns the candidates
+// that are children (or, with desc, descendants) of some context
+// node. Both inputs must be in document order; cand may be any
+// contiguous slice of a document-ordered list, which is what makes
+// the join partitionable — JoinDown(ctx, cand[a:b]) depends only on
+// ctx and cand[a:b], so disjoint partitions evaluated concurrently
+// concatenate into exactly JoinDown(ctx, cand).
+func (e *Engine) JoinDown(ctx, cand []int, desc bool) []int {
+	return e.joinDown(ctx, cand, desc)
+}
+
+// JoinUp is the reverse structural semi-join: it returns, in document
+// order, the context nodes with at least one candidate child (or,
+// with desc, descendant). It is the upward direction of the planner's
+// anchored evaluation — pruning the lists of earlier steps by the
+// survivors of a more selective later step.
+func (e *Engine) JoinUp(ctx, cand []int, desc bool) []int {
+	marked := make([]bool, len(ctx))
+	e.JoinUpMarks(ctx, cand, desc, marked)
+	var out []int
+	for i, m := range marked {
+		if m {
+			out = append(out, ctx[i])
+		}
+	}
+	return out
+}
+
+// JoinUpMarks is JoinUp writing into a caller-owned mark vector
+// (marked[i] is set when ctx[i] has a qualifying candidate below it;
+// existing marks are preserved). Partitioned parallel joins give each
+// worker a disjoint candidate slice and a private mark vector, then
+// OR the vectors — document order makes that union exact.
+func (e *Engine) JoinUpMarks(ctx, cand []int, desc bool, marked []bool) {
+	var stack []int // indices into ctx, innermost open context last
+	i := 0
+	for _, d := range cand {
+		// Open every context node that starts before d, keeping the
+		// stack a nested ancestor chain (same invariant as joinDown).
+		for i < len(ctx) && e.lab.Before(ctx[i], d) {
+			for len(stack) > 0 && !e.lab.IsAncestor(ctx[stack[len(stack)-1]], ctx[i]) {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, i)
+			i++
+		}
+		// Close context nodes whose subtree ended before d.
+		for len(stack) > 0 && !e.lab.IsAncestor(ctx[stack[len(stack)-1]], d) {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			continue
+		}
+		if desc {
+			// Every open context node is an ancestor of d. An entry
+			// already marked had everything beneath it marked when it
+			// was, so the walk can stop there — total marking work is
+			// amortized O(len(ctx)).
+			for j := len(stack) - 1; j >= 0 && !marked[stack[j]]; j-- {
+				marked[stack[j]] = true
+			}
+		} else if e.lab.IsParent(ctx[stack[len(stack)-1]], d) {
+			// Only the innermost open context node can be the parent.
+			marked[stack[len(stack)-1]] = true
+		}
+	}
+}
+
+// FilterPreds applies every predicate of step to the given node list.
+// With no predicates the input slice is returned as-is (so a borrowed
+// list stays borrowed); otherwise each predicate builds a fresh
+// slice. Predicates are node-local (a positional
+// predicate counts same-name siblings, a path predicate evaluates a
+// relative query under the node), so filtering commutes with the
+// structural joins — the algebraic fact the planner's reordering
+// relies on.
+func (e *Engine) FilterPreds(in []int, step Step) ([]int, error) {
+	out := in
+	for _, pred := range step.Preds {
+		var err error
+		out, err = e.applyPred(out, step, pred)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Corpus evaluates queries over a set of files, the way the paper runs

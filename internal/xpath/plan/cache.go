@@ -1,0 +1,205 @@
+package plan
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/xpath"
+)
+
+// Cache metrics: compiled-plan reuse, materialized-result reuse keyed
+// by snapshot generation, and evictions when the result cache
+// overflows its bounds.
+var (
+	mPlanHits     = metrics.Default.Counter("xpath_plan_cache_hits_total")
+	mPlanMisses   = metrics.Default.Counter("xpath_plan_cache_misses_total")
+	mResultHits   = metrics.Default.Counter("xpath_result_cache_hits_total")
+	mResultMisses = metrics.Default.Counter("xpath_result_cache_misses_total")
+	mResultEvict  = metrics.Default.Counter("xpath_result_cache_evictions_total")
+)
+
+// Cache bound defaults: entries and total cached ids across all
+// entries (the ids bound is what actually limits memory).
+const (
+	defaultMaxResults   = 256
+	defaultMaxCachedIDs = 1 << 22
+)
+
+// resultEntry is one materialized query result, valid only at the
+// generation it was computed against.
+type resultEntry struct {
+	gen uint64
+	ids []int
+}
+
+// Cache holds compiled plans keyed by query text and materialized
+// results keyed by (query text, snapshot generation). Plans stay
+// valid across snapshots — strategy drift is a performance question,
+// never a correctness one — so they are cached unconditionally.
+// Results are only valid at the exact generation they were computed
+// against: a lookup compares the caller's generation (one atomic load
+// at the call site, dyndoc.Concurrent.Generation) with the entry's,
+// and anything else is a miss. There is no other invalidation
+// protocol; writers never touch the cache.
+type Cache struct {
+	maxResults int
+	maxIDs     int
+
+	mu      sync.RWMutex
+	plans   map[string]*Plan        // vet:guardedby mu
+	results map[string]*resultEntry // vet:guardedby mu
+	nIDs    int                     // vet:guardedby mu // total ids across results
+}
+
+// NewCache returns a cache with the default bounds.
+func NewCache() *Cache { return NewCacheBounds(defaultMaxResults, defaultMaxCachedIDs) }
+
+// NewCacheBounds returns a cache bounded to maxResults entries and
+// maxIDs total cached node ids.
+func NewCacheBounds(maxResults, maxIDs int) *Cache {
+	return &Cache{
+		maxResults: maxResults,
+		maxIDs:     maxIDs,
+		plans:      make(map[string]*Plan),
+		results:    make(map[string]*resultEntry),
+	}
+}
+
+// planFor returns the cached plan for text, compiling against e on a
+// miss. Concurrent compilations of the same query may race; both
+// produce correct plans and the last store wins.
+func (c *Cache) planFor(e *xpath.Engine, q *xpath.Query, text string) *Plan {
+	c.mu.RLock()
+	p := c.plans[text]
+	c.mu.RUnlock()
+	if p != nil {
+		mPlanHits.Inc()
+		return p
+	}
+	mPlanMisses.Inc()
+	p = For(e, q)
+	c.mu.Lock()
+	c.plans[text] = p
+	c.mu.Unlock()
+	return p
+}
+
+// lookupResult returns the cached ids for (text, gen), or nil.
+func (c *Cache) lookupResult(text string, gen uint64) ([]int, bool) {
+	c.mu.RLock()
+	ent := c.results[text]
+	c.mu.RUnlock()
+	if ent == nil || ent.gen != gen {
+		return nil, false
+	}
+	return ent.ids, true
+}
+
+// storeResult caches ids for (text, gen) and evicts — stale
+// generations first, then arbitrary entries — until the bounds hold.
+func (c *Cache) storeResult(text string, gen uint64, ids []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.results[text]; old != nil {
+		c.nIDs -= len(old.ids)
+	}
+	c.results[text] = &resultEntry{gen: gen, ids: ids}
+	c.nIDs += len(ids)
+	if len(c.results) <= c.maxResults && c.nIDs <= c.maxIDs {
+		return
+	}
+	for key, ent := range c.results {
+		if key == text || ent.gen == gen {
+			continue
+		}
+		c.evictLocked(key, ent)
+		if len(c.results) <= c.maxResults && c.nIDs <= c.maxIDs {
+			return
+		}
+	}
+	for key, ent := range c.results {
+		if key == text {
+			continue
+		}
+		c.evictLocked(key, ent)
+		if len(c.results) <= c.maxResults && c.nIDs <= c.maxIDs {
+			return
+		}
+	}
+}
+
+// evictLocked removes one result entry.
+//
+// vet:holds c.mu
+func (c *Cache) evictLocked(key string, ent *resultEntry) {
+	delete(c.results, key)
+	c.nIDs -= len(ent.ids)
+	mResultEvict.Inc()
+}
+
+// Eval evaluates q against e, serving from the result cache when an
+// entry exists at exactly the caller's generation. The returned slice
+// is a fresh copy the caller owns. gen must identify the snapshot e
+// belongs to; passing a generation that does not match the engine
+// yields stale reads, which is why dyndoc reads both from one atomic
+// snapshot load.
+func (c *Cache) Eval(e *xpath.Engine, gen uint64, q *xpath.Query) ([]int, error) {
+	text := q.String()
+	if ids, ok := c.lookupResult(text, gen); ok {
+		mResultHits.Inc()
+		return cloneIDs(ids), nil
+	}
+	mResultMisses.Inc()
+	ids, err := c.planFor(e, q, text).Eval(e)
+	if err != nil {
+		return nil, err
+	}
+	c.storeResult(text, gen, ids)
+	return cloneIDs(ids), nil
+}
+
+// Explain evaluates q with instrumentation and returns the EXPLAIN
+// report. The result cache state is reported as it stood before the
+// call (hit at this generation or not); the execution itself always
+// runs fully so every per-step actual is measured, and its result
+// refreshes the cache. Explain does not bump the hit/miss counters —
+// diagnostics should not skew the production cache metrics.
+func (c *Cache) Explain(e *xpath.Engine, gen uint64, q *xpath.Query) (*Report, error) {
+	text := q.String()
+	_, hit := c.lookupResult(text, gen)
+	p := c.planFor(e, q, text)
+	rec := newReport(p, e)
+	rec.Generation = gen
+	if hit {
+		rec.Cache = "hit"
+	} else {
+		rec.Cache = "miss"
+	}
+	ids, err := p.run(e, rec)
+	if err != nil {
+		return nil, err
+	}
+	c.storeResult(text, gen, ids)
+	return rec, nil
+}
+
+// cloneIDs defensively copies a cached result (nil stays nil, so an
+// empty result keeps the engine's nil convention).
+func cloneIDs(ids []int) []int {
+	if ids == nil {
+		return nil
+	}
+	return append([]int(nil), ids...)
+}
+
+// Explain compiles a throwaway plan for q against e and executes it
+// instrumented — the cache-less path Document.Explain uses.
+func Explain(e *xpath.Engine, q *xpath.Query) (*Report, error) {
+	p := For(e, q)
+	rec := newReport(p, e)
+	rec.Cache = "off"
+	if _, err := p.run(e, rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

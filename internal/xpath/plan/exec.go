@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/xpath"
+)
+
+// Eval executes the plan against an engine and returns the matches in
+// document order — always the same set the naive engine's Eval would
+// return for the plan's query. The result is a fresh slice the caller
+// owns.
+func (p *Plan) Eval(e *xpath.Engine) ([]int, error) { return p.run(e, nil) }
+
+// run executes the plan, optionally filling an EXPLAIN report's
+// measured cardinalities. rec is nil on the hot path.
+func (p *Plan) run(e *xpath.Engine, rec *Report) ([]int, error) {
+	if p.Query.Relative {
+		return nil, fmt.Errorf("xpath: Eval needs an absolute query, got %q", p.Query)
+	}
+	var (
+		out []int
+		err error
+	)
+	switch p.Strategy {
+	case FallbackAxes:
+		out, err = e.Eval(p.Query)
+	case Anchored:
+		out, err = p.runAnchored(e, rec)
+	case PathCheck:
+		out, err = p.runPathCheck(e, rec)
+	default:
+		out, err = p.runLeftRight(e, rec)
+	}
+	if rec != nil && err == nil {
+		rec.Matches = len(out)
+		if n := len(rec.Steps); n > 0 {
+			rec.Steps[n-1].Actual = len(out)
+		}
+	}
+	return out, err
+}
+
+// runLeftRight is the engine's own join order, with every structural
+// join partitioned when its candidate list is large.
+func (p *Plan) runLeftRight(e *xpath.Engine, rec *Report) ([]int, error) {
+	var out []int
+	borrowed := false
+	for i, step := range p.Query.Steps {
+		switch {
+		case i == 0 && step.Axis == xpath.Child:
+			out = nil
+			if r := e.Root(); r >= 0 && e.NameMatches(step.Name, r) {
+				out = []int{r}
+			}
+			borrowed = false
+		case i == 0:
+			// Borrow the index's document-ordered list (see
+			// Engine.Candidates); copied below only if it survives to
+			// the return untouched.
+			out = e.Candidates(step.Name)
+			borrowed = true
+		default:
+			out = joinDownPar(e, out, e.Candidates(step.Name), step.Axis == xpath.Descendant, rec)
+			borrowed = false
+		}
+		var err error
+		out, err = e.FilterPreds(out, step)
+		if err != nil {
+			return nil, err
+		}
+		if len(step.Preds) > 0 {
+			borrowed = false
+		}
+		if rec != nil {
+			rec.Steps[i].Actual = len(out)
+		}
+	}
+	if borrowed {
+		out = append([]int(nil), out...)
+	}
+	return out, nil
+}
+
+// runAnchored evaluates outward from the anchor step. Upward pass:
+// pruned[i] is the subset of step i's (predicate-filtered) candidates
+// with a qualifying chain down to the anchor, computed by reverse
+// semi-joins from pruned[i+1]. Downward pass: ordinary joins over the
+// pruned lists re-establish the root-to-anchor connection, yielding
+// after step i exactly {naive result for step i} ∩ {nodes on a chain
+// to the anchor} — equal to the naive result at the anchor itself,
+// since every anchor survivor trivially chains to itself. Predicates
+// commute with both joins because they are node-local
+// (Engine.FilterPreds), which is what licenses filtering the pruned
+// lists instead of the naive intermediate results.
+func (p *Plan) runAnchored(e *xpath.Engine, rec *Report) ([]int, error) {
+	steps := p.Query.Steps
+	a := p.Anchor
+	pruned := make([][]int, a+1)
+	anchorCand, err := e.FilterPreds(e.Candidates(steps[a].Name), steps[a])
+	if err != nil {
+		return nil, err
+	}
+	pruned[a] = anchorCand
+	for i := a - 1; i >= 0; i-- {
+		sel := joinUpPar(e, e.Candidates(steps[i].Name), pruned[i+1], steps[i+1].Axis == xpath.Descendant, rec)
+		if i == 0 && steps[0].Axis == xpath.Child {
+			// A child-axis first step matches only the document root.
+			r := e.Root()
+			var keep []int
+			for _, v := range sel {
+				if v == r {
+					keep = append(keep, v)
+				}
+			}
+			sel = keep
+		}
+		sel, err = e.FilterPreds(sel, steps[i])
+		if err != nil {
+			return nil, err
+		}
+		pruned[i] = sel
+		if rec != nil {
+			rec.Steps[i].Actual = len(sel)
+		}
+	}
+	out := pruned[0]
+	for i := 1; i <= a; i++ {
+		out = joinDownPar(e, out, pruned[i], steps[i].Axis == xpath.Descendant, rec)
+	}
+	if rec != nil {
+		rec.Steps[a].Actual = len(out)
+	}
+	return p.runForward(e, out, rec)
+}
+
+// runPathCheck verifies each anchor candidate's ancestor chain
+// against the predicate-free step prefix directly — no intermediate
+// candidate list is ever materialized, so a huge early step (the `*`
+// in Q6) costs nothing.
+func (p *Plan) runPathCheck(e *xpath.Engine, rec *Report) ([]int, error) {
+	steps := p.Query.Steps
+	a := p.Anchor
+	out := pathFilterPar(e, steps, a, e.Candidates(steps[a].Name), rec)
+	out, err := e.FilterPreds(out, steps[a])
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		rec.Steps[a].Actual = len(out)
+	}
+	return p.runForward(e, out, rec)
+}
+
+// runForward evaluates the steps after the anchor exactly as
+// leftright would, starting from the anchor's survivors.
+func (p *Plan) runForward(e *xpath.Engine, out []int, rec *Report) ([]int, error) {
+	steps := p.Query.Steps
+	for i := p.Anchor + 1; i < len(steps); i++ {
+		out = joinDownPar(e, out, e.Candidates(steps[i].Name), steps[i].Axis == xpath.Descendant, rec)
+		var err error
+		out, err = e.FilterPreds(out, steps[i])
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil {
+			rec.Steps[i].Actual = len(out)
+		}
+	}
+	return out, nil
+}
+
+// pathScratch is one worker's reusable state for the ancestor-walk
+// verifier: the candidate's ancestor chain and the two rows of the
+// reachability DP.
+type pathScratch struct {
+	path []int  // ancestors of the candidate, parent first
+	cur  []bool // positions (depth from root) the step prefix can reach
+	nxt  []bool
+}
+
+// pathFilterRange keeps the candidates whose ancestor chain admits
+// the step prefix. Survivors cannot outnumber the candidates, so one
+// full-size allocation replaces the append growth cycle.
+func pathFilterRange(e *xpath.Engine, steps []xpath.Step, anchor int, cand []int, s *pathScratch) []int {
+	if len(cand) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(cand))
+	for _, d := range cand {
+		if admitPath(e, steps, anchor, d, s) {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// admitPath reports whether candidate d has proper ancestors
+// u_0, …, u_{anchor-1} matching steps[0..anchor-1] such that each
+// u_{j+1} is a child (resp. descendant) of u_j per steps[j+1].Axis,
+// u_0 is the document root when steps[0] is child-axis, and d itself
+// relates to u_{anchor-1} per steps[anchor].Axis. In a spine query
+// every chain node is a proper ancestor of d, so a boolean DP over
+// d's ancestor chain (root at position 0) decides this in
+// O(anchor × depth):
+//
+//	reach_j = { positions the chain can occupy after matching step j }
+//	child transition:      i ∈ reach_{j+1} iff i-1 ∈ reach_j
+//	descendant transition: i ∈ reach_{j+1} iff i > min(reach_j)
+//
+// intersected with the name test at each position; the candidate is
+// admitted when reach_{anchor-1} contains the parent position (child
+// anchor axis) or is non-empty (descendant).
+func admitPath(e *xpath.Engine, steps []xpath.Step, anchor int, d int, s *pathScratch) bool {
+	s.path = s.path[:0]
+	for v := e.ParentOf(d); v >= 0; v = e.ParentOf(v) {
+		s.path = append(s.path, v)
+	}
+	m := len(s.path)
+	if m == 0 {
+		return false // the root has no proper ancestor to match steps[0]
+	}
+	pos := func(i int) int { return s.path[m-1-i] } // ancestor at depth i
+	cur, nxt := resetBools(s.cur, m), resetBools(s.nxt, m)
+	s.cur, s.nxt = cur, nxt
+	any := false
+	if steps[0].Axis == xpath.Child {
+		cur[0] = e.NameMatches(steps[0].Name, pos(0))
+		any = cur[0]
+	} else {
+		for i := 0; i < m; i++ {
+			cur[i] = e.NameMatches(steps[0].Name, pos(i))
+			any = any || cur[i]
+		}
+	}
+	for j := 1; j < anchor && any; j++ {
+		for i := range nxt {
+			nxt[i] = false
+		}
+		any = false
+		if steps[j].Axis == xpath.Child {
+			for i := 1; i < m; i++ {
+				if cur[i-1] && e.NameMatches(steps[j].Name, pos(i)) {
+					nxt[i] = true
+					any = true
+				}
+			}
+		} else {
+			lo := -1
+			for i := 0; i < m; i++ {
+				if cur[i] {
+					lo = i
+					break
+				}
+			}
+			for i := lo + 1; lo >= 0 && i < m; i++ {
+				if e.NameMatches(steps[j].Name, pos(i)) {
+					nxt[i] = true
+					any = true
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	if !any {
+		return false
+	}
+	if steps[anchor].Axis == xpath.Child {
+		return cur[m-1] // the chain must end at d's parent
+	}
+	return true
+}
+
+// resetBools returns b resized to n with every entry false.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}

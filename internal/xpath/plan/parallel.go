@@ -1,0 +1,164 @@
+package plan
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/xpath"
+)
+
+// mJoinParts records, per partitioned operator execution (structural
+// joins and pathcheck scans), how many contiguous parts it split
+// into. 1 = sequential fallback.
+var mJoinParts = metrics.Default.Histogram("xpath_join_parallel_parts", metrics.LinearBuckets(1, 1, 16))
+
+const (
+	// parallelThreshold is the candidate-list size below which a
+	// partitioned operator always runs sequentially: goroutine
+	// handoff costs more than a small merge saves.
+	parallelThreshold = 8192
+	// minPartSize keeps each worker's range large enough to amortize
+	// its spawn, bounding the pool below GOMAXPROCS on mid-size
+	// inputs.
+	minPartSize = 4096
+)
+
+// partitions returns how many contiguous ranges an input of n
+// candidates splits into: 1 below the threshold, otherwise bounded by
+// both GOMAXPROCS and n/minPartSize.
+func partitions(n int) int {
+	if n < parallelThreshold {
+		return 1
+	}
+	p := runtime.GOMAXPROCS(0)
+	if byData := n / minPartSize; p > byData {
+		p = byData
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// bounds returns the half-open range of part k of n split parts ways.
+func bounds(n, parts, k int) (int, int) {
+	return k * n / parts, (k + 1) * n / parts
+}
+
+// notePartitions records the split in the metric and the report.
+func notePartitions(parts int, rec *Report) {
+	mJoinParts.Observe(float64(parts))
+	if rec != nil && parts > rec.Parallelism {
+		rec.Parallelism = parts
+	}
+}
+
+// joinDownPar is Engine.JoinDown with the candidate list partitioned
+// into contiguous ranges evaluated concurrently. JoinDown(ctx,
+// cand[a:b]) depends only on ctx and cand[a:b], and both inputs and
+// outputs are in document order, so the merge is a pure concat — no
+// sort, no dedup.
+func joinDownPar(e *xpath.Engine, ctx, cand []int, desc bool, rec *Report) []int {
+	parts := partitions(len(cand))
+	notePartitions(parts, rec)
+	if parts == 1 {
+		return e.JoinDown(ctx, cand, desc)
+	}
+	outs := make([][]int, parts)
+	var wg sync.WaitGroup
+	for k := 0; k < parts; k++ {
+		lo, hi := bounds(len(cand), parts, k)
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			outs[k] = e.JoinDown(ctx, cand[lo:hi], desc)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	return concat(outs)
+}
+
+// joinUpPar is Engine.JoinUp with the candidate list partitioned.
+// Each worker marks the context nodes its candidate range proves into
+// a private mark vector; the vectors are OR-merged, which is exact
+// because a context node qualifies iff some candidate in some range
+// sits below it.
+func joinUpPar(e *xpath.Engine, ctx, cand []int, desc bool, rec *Report) []int {
+	parts := partitions(len(cand))
+	notePartitions(parts, rec)
+	if parts == 1 {
+		return e.JoinUp(ctx, cand, desc)
+	}
+	marks := make([][]bool, parts)
+	var wg sync.WaitGroup
+	for k := 0; k < parts; k++ {
+		lo, hi := bounds(len(cand), parts, k)
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			m := make([]bool, len(ctx))
+			e.JoinUpMarks(ctx, cand[lo:hi], desc, m)
+			marks[k] = m
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	merged := marks[0]
+	for k := 1; k < parts; k++ {
+		for i, m := range marks[k] {
+			if m {
+				merged[i] = true
+			}
+		}
+	}
+	var out []int
+	for i, m := range merged {
+		if m {
+			out = append(out, ctx[i])
+		}
+	}
+	return out
+}
+
+// pathFilterPar partitions the anchor candidate list and verifies
+// each range's ancestor chains on its own worker with private
+// scratch. Candidates are admitted in place, so per-part outputs
+// concatenate in document order.
+func pathFilterPar(e *xpath.Engine, steps []xpath.Step, anchor int, cand []int, rec *Report) []int {
+	parts := partitions(len(cand))
+	notePartitions(parts, rec)
+	if parts == 1 {
+		var s pathScratch
+		return pathFilterRange(e, steps, anchor, cand, &s)
+	}
+	outs := make([][]int, parts)
+	var wg sync.WaitGroup
+	for k := 0; k < parts; k++ {
+		lo, hi := bounds(len(cand), parts, k)
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			var s pathScratch
+			outs[k] = pathFilterRange(e, steps, anchor, cand[lo:hi], &s)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	return concat(outs)
+}
+
+// concat merges per-part outputs; parts are document-ordered and
+// disjoint by construction.
+func concat(outs [][]int) []int {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]int, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out
+}

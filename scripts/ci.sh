@@ -8,7 +8,8 @@
 #   4. go test       — the whole module, plus invariants-tagged label packages
 #   5. go test -race — the concurrent document layer, the labelstore and
 #                      the journal's group-commit pipeline, plus the
-#                      snapshot storm and journal stress tests by name
+#                      snapshot storm, planned-query storm and journal
+#                      stress tests by name
 #   6. crash safety  — the recovery/fault-injection suite by name, the
 #                      journal kill matrix, then the FuzzReadAll,
 #                      FuzzEncodeBetween and FuzzEditCodec seed corpora
@@ -52,8 +53,9 @@ go test -tags invariants ./internal/bitstr/... ./internal/cdbs/...
 echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/..."
 go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/...
 
-echo "==> snapshot storm under the race detector"
-go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter' ./internal/dyndoc
+echo "==> snapshot + planned-query storms under the race detector"
+go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter|TestPlannedQueryStorm' ./internal/dyndoc
+go test -race -count=1 -run 'TestParallelPartitionedJoins|TestCacheGenerations' ./internal/xpath/plan
 
 echo "==> group-commit pipeline under the race detector"
 go test -race -count=1 -run 'TestGroup|TestConcurrent|TestDurable|TestSyncIntervalStress|TestCloseVsAppend' ./internal/journal .
@@ -95,12 +97,13 @@ done
 
 echo "==> bench smoke (-benchtime 1x)"
 go test -run '^$' -bench . -benchtime 1x ./internal/bitstr ./internal/cdbs ./internal/qed
+go test -run '^$' -bench 'Kernels/xpath/' -benchtime 1x .
 BENCH_TIME=1x BENCH_OUT="${BENCH_SMOKE_OUT:-/tmp/bench_smoke.json}" sh scripts/bench.sh
 
 echo "==> metrics snapshot smoke (-metrics-json)"
 metrics_out="${METRICS_SMOKE_OUT:-/tmp/metrics_smoke.json}"
 go run ./cmd/experiments -run live,overflow,durable -edits 60 -metrics-json "$metrics_out" >/dev/null
-for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_codes qed_code_len_digits dyndoc_inserts_total dyndoc_snapshot_swaps_total dyndoc_reader_staleness_gens dyndoc_batch_size cdbs_batch_insert_codes journal_append_seconds journal_appends_total journal_group_commits_total journal_group_commit_batches journal_checkpoints_total journal_checkpoint_reclaimed_bytes_total journal_replayed_edits_total; do
+for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_codes qed_code_len_digits dyndoc_inserts_total dyndoc_snapshot_swaps_total dyndoc_reader_staleness_gens dyndoc_batch_size cdbs_batch_insert_codes journal_append_seconds journal_appends_total journal_group_commits_total journal_group_commit_batches journal_checkpoints_total journal_checkpoint_reclaimed_bytes_total journal_replayed_edits_total xpath_plan_cache_hits_total xpath_result_cache_hits_total xpath_join_parallel_parts; do
 	if ! grep -q "\"$key\"" "$metrics_out"; then
 		echo "metrics smoke: $key missing from $metrics_out" >&2
 		exit 1
