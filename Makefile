@@ -43,7 +43,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadAll -fuzztime=10s ./internal/labelstore
 	$(GO) test -run=^$$ -fuzz=FuzzEditCodec -fuzztime=10s ./internal/journal
 
-# Regenerate BENCH_PR5.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
+# Regenerate BENCH_PR8.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
 bench:
 	sh scripts/bench.sh
 

@@ -13,7 +13,7 @@
 //
 // cmd/experiments prints the corresponding paper-style tables with
 // absolute numbers; these benchmarks give per-operation costs.
-package dynxml
+package dynxml_test
 
 import (
 	"fmt"
@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	dynxml "repro"
 	"repro/internal/bench"
 	"repro/internal/cdbs"
 	"repro/internal/datagen"
@@ -272,7 +273,7 @@ func BenchmarkLiveDocumentEdit(b *testing.B) {
 	for _, sn := range []string{"V-CDBS-Containment", "QED-Prefix"} {
 		sn := sn
 		b.Run(sn, func(b *testing.B) {
-			doc, err := ParseLive("<r><a/><b/></r>", sn)
+			doc, err := dynxml.ParseLive("<r><a/><b/></r>", sn)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -290,7 +291,7 @@ func BenchmarkLiveDocumentEdit(b *testing.B) {
 // BenchmarkLiveDocumentQuery measures query latency on a live document
 // that has absorbed edits.
 func BenchmarkLiveDocumentQuery(b *testing.B) {
-	doc, err := ParseLive("<r><a/><b/></r>", "V-CDBS-Containment")
+	doc, err := dynxml.ParseLive("<r><a/><b/></r>", "V-CDBS-Containment")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func BenchmarkLiveDocumentQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	q, err := ParseQuery("/r/x[1500]")
+	q, err := dynxml.ParseQuery("/r/x[1500]")
 	if err != nil {
 		b.Fatal(err)
 	}

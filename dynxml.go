@@ -27,7 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"repro/internal/bitstr"
@@ -298,7 +298,24 @@ type Handle struct {
 	live       *dyndoc.Document
 	shared     *dyndoc.Concurrent
 	jnl        *journal.Journal
-	closed     atomic.Bool
+
+	// Lifecycle: every error-returning method runs between acquire and
+	// release, so Close can drain the calls already past their closed
+	// check before it closes the journal underneath them. Without the
+	// refcount a request that passed the old atomic check() raced
+	// Close into a closed journal (catalog eviction hits this under
+	// real HTTP traffic).
+	mu       sync.Mutex
+	drained  *sync.Cond // signalled when inflight reaches 0 while closed
+	inflight int        // vet:guardedby mu // calls between acquire and release
+	closed   bool       // vet:guardedby mu // Close has begun; new calls get ErrClosed
+}
+
+// newHandle returns a Handle with its lifecycle machinery wired.
+func newHandle() *Handle {
+	h := &Handle{}
+	h.drained = sync.NewCond(&h.mu)
+	return h
 }
 
 // Open parses or wraps an XML document and labels it. src may be a
@@ -340,7 +357,8 @@ func Open(src any, opts ...Option) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{schemeName: entry.Name, batchSize: cfg.batchSize}
+	h := newHandle()
+	h.schemeName, h.batchSize = entry.Name, cfg.batchSize
 	if cfg.concurrent {
 		h.shared, err = dyndoc.NewConcurrent(doc, entry.Build)
 	} else {
@@ -372,7 +390,8 @@ func openJournaled(src any, cfg config) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Handle{batchSize: cfg.batchSize}
+	h := newHandle()
+	h.batchSize = cfg.batchSize
 	var d *dyndoc.Document
 	if exists {
 		if src != nil {
@@ -432,12 +451,29 @@ func docFrom(src any) (*Document, error) {
 	}
 }
 
-// check guards the error-returning methods of a closed handle.
-func (h *Handle) check() error {
-	if h.closed.Load() {
+// acquire registers one in-flight call. It fails with ErrClosed once
+// Close has begun, and a successful acquire holds Close's drain open
+// until the matching release — the call can rely on the journal
+// staying open for its whole duration.
+func (h *Handle) acquire() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
 		return ErrClosed
 	}
+	h.inflight++
 	return nil
+}
+
+// release retires one in-flight call and wakes a draining Close when
+// it was the last.
+func (h *Handle) release() {
+	h.mu.Lock()
+	h.inflight--
+	if h.closed && h.inflight == 0 {
+		h.drained.Broadcast()
+	}
+	h.mu.Unlock()
 }
 
 // Scheme returns the registry name of the handle's labeling scheme.
@@ -493,9 +529,10 @@ func (h *Handle) Relabeled() int64 {
 
 // Name returns the element name of a live node id.
 func (h *Handle) Name(id int) (string, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return "", err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.Name(id)
 	}
@@ -513,9 +550,10 @@ func (h *Handle) XML() string {
 // Query evaluates a parsed path expression; on a concurrent handle
 // the evaluation is lock-free against the latest snapshot.
 func (h *Handle) Query(q *Query) ([]int, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return nil, err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.Query(q)
 	}
@@ -524,9 +562,10 @@ func (h *Handle) Query(q *Query) ([]int, error) {
 
 // QueryString parses and evaluates a path expression.
 func (h *Handle) QueryString(path string) ([]int, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return nil, err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.QueryString(path)
 	}
@@ -535,9 +574,10 @@ func (h *Handle) QueryString(path string) ([]int, error) {
 
 // Count returns the number of matches for a path expression.
 func (h *Handle) Count(path string) (int, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return 0, err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.Count(path)
 	}
@@ -552,9 +592,10 @@ func (h *Handle) Count(path string) (int, error) {
 // The query is evaluated for real, so the report's numbers are
 // measurements, not guesses.
 func (h *Handle) Explain(path string) (string, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return "", err
 	}
+	defer h.release()
 	var (
 		rep *plan.Report
 		err error
@@ -573,9 +614,10 @@ func (h *Handle) Explain(path string) (string, error) {
 // InsertElement inserts a fresh element as the pos-th child of parent
 // and returns its id and the re-label count.
 func (h *Handle) InsertElement(parent, pos int, name string) (int, int, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return 0, 0, err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.InsertElement(parent, pos, name)
 	}
@@ -585,9 +627,10 @@ func (h *Handle) InsertElement(parent, pos int, name string) (int, int, error) {
 // InsertTree inserts a deep copy of fragment as the pos-th child of
 // parent and returns the new ids in preorder plus the re-label count.
 func (h *Handle) InsertTree(parent, pos int, fragment *Node) ([]int, int, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return nil, 0, err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.InsertTree(parent, pos, fragment)
 	}
@@ -599,9 +642,10 @@ func (h *Handle) InsertTree(parent, pos int, fragment *Node) ([]int, int, error)
 // the whole run, and on a concurrent handle a single snapshot is
 // published for the batch.
 func (h *Handle) InsertTreeBatch(parent, pos int, fragments []*Node) ([][]int, int, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return nil, 0, err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.InsertTreeBatch(parent, pos, fragments)
 	}
@@ -611,9 +655,10 @@ func (h *Handle) InsertTreeBatch(parent, pos int, fragments []*Node) ([][]int, i
 // DeleteSubtree removes the node and its descendants, returning how
 // many nodes were removed.
 func (h *Handle) DeleteSubtree(id int) (int, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return 0, err
 	}
+	defer h.release()
 	if h.shared != nil {
 		return h.shared.DeleteSubtree(id)
 	}
@@ -628,9 +673,10 @@ func (h *Handle) DeleteSubtree(id int) (int, error) {
 // place and an error leaves the already-applied prefix behind (its
 // results are returned with the error).
 func (h *Handle) ApplyBatch(edits []Edit) ([]EditResult, error) {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return nil, err
 	}
+	defer h.release()
 	if h.shared == nil {
 		return h.live.ApplyBatch(edits)
 	}
@@ -653,9 +699,10 @@ func (h *Handle) ApplyBatch(edits []Edit) ([]EditResult, error) {
 // storage. On an unjournaled handle it is a no-op. Use it to get an
 // Always-grade durability point under Interval or None durability.
 func (h *Handle) Sync() error {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return err
 	}
+	defer h.release()
 	if h.jnl == nil {
 		return nil
 	}
@@ -667,9 +714,10 @@ func (h *Handle) Sync() error {
 // time and disk use. Edits issued concurrently simply land in the new
 // log. On an unjournaled handle it is a no-op.
 func (h *Handle) Checkpoint() error {
-	if err := h.check(); err != nil {
+	if err := h.acquire(); err != nil {
 		return err
 	}
+	defer h.release()
 	if h.jnl == nil {
 		return nil
 	}
@@ -678,14 +726,25 @@ func (h *Handle) Checkpoint() error {
 	})
 }
 
-// Close releases the handle. On a journaled handle it makes every
+// Close releases the handle. It first drains: new calls fail with
+// ErrClosed immediately, and Close blocks until every call already in
+// flight has returned, so no request that passed its closed check can
+// reach a closing journal (the race catalog eviction used to hit
+// under HTTP traffic). On a journaled handle it then makes every
 // acknowledged edit durable (regardless of mode) and closes the
-// journal files; a closed handle's methods fail with ErrClosed.
-// Close is idempotent: second and later calls return nil.
+// journal files. Close is idempotent: second and later calls return
+// nil without waiting for the first's drain.
 func (h *Handle) Close() error {
-	if !h.closed.CompareAndSwap(false, true) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
 		return nil
 	}
+	h.closed = true
+	for h.inflight > 0 {
+		h.drained.Wait()
+	}
+	h.mu.Unlock()
 	if h.jnl == nil {
 		return nil
 	}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	dynxml "repro"
+	"repro/internal/catalog"
+	"repro/internal/web"
+)
+
+// End-to-end HTTP workloads: the full dynxmld stack — middleware,
+// catalog pin, snapshot query, journaled edit — over real TCP
+// loopback connections. The headline pair is query/1000r+1w: one
+// thousand persistent readers issuing queries concurrently while a
+// writer continuously edits (and so continuously invalidates the
+// result cache), with zero failed requests tolerated. That is the
+// serving claim of PR 8 measured, not asserted.
+
+// httpReadersHeadline is the reader count of the headline benchmark.
+const httpReadersHeadline = 1000
+
+// httpBenchmarks returns the HTTP benchmark set; KernelBenchmarks
+// folds them into the registry.
+func httpBenchmarks() []NamedBench {
+	var out []NamedBench
+	add := func(name string, f func(b *testing.B)) {
+		out = append(out, NamedBench{Name: name, F: f})
+	}
+	add(fmt.Sprintf("e2e/http/query/%dr+1w", httpReadersHeadline), func(b *testing.B) {
+		benchHTTPReaders(b, httpReadersHeadline)
+	})
+	add("e2e/http/query/64r+1w", func(b *testing.B) {
+		benchHTTPReaders(b, 64)
+	})
+	add("e2e/http/edit/8w", benchHTTPEdits)
+	return out
+}
+
+// httpBenchState is one live server: catalog over a temp root, the
+// web stack on a real loopback listener, and a client whose transport
+// keeps enough idle connections for every reader goroutine.
+type httpBenchState struct {
+	ts     *httptest.Server
+	cat    *catalog.Catalog
+	client *http.Client
+	root   int // root element id of the bench document
+}
+
+const httpBenchSeed = "<root><a></a><b></b></root>"
+
+func newHTTPBenchState(b *testing.B, conns int) *httpBenchState {
+	b.Helper()
+	cat, err := catalog.Open(catalog.Config{
+		Root:       b.TempDir(),
+		Durability: dynxml.Interval(5 * time.Millisecond),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(web.New(web.Config{Catalog: cat}))
+	tr := &http.Transport{
+		MaxIdleConns:        conns + 16,
+		MaxIdleConnsPerHost: conns + 16,
+	}
+	st := &httpBenchState{
+		ts:     ts,
+		cat:    cat,
+		client: &http.Client{Transport: tr, Timeout: 60 * time.Second},
+	}
+	b.Cleanup(func() {
+		tr.CloseIdleConnections()
+		ts.Close()
+		_ = cat.Close()
+	})
+	if _, err := st.post("/v1/docs/bench/open", fmt.Sprintf(`{"xml":%q}`, httpBenchSeed)); err != nil {
+		b.Fatal(err)
+	}
+	body, err := st.post("/v1/docs/bench/query", `{"path":"/root"}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var q struct {
+		IDs []int `json:"ids"`
+	}
+	if err := json.Unmarshal(body, &q); err != nil || len(q.IDs) != 1 {
+		b.Fatalf("root query: ids=%v err=%v", q.IDs, err)
+	}
+	st.root = q.IDs[0]
+	return st
+}
+
+// post issues one JSON POST and fails on any non-200 answer.
+func (st *httpBenchState) post(path, body string) ([]byte, error) {
+	resp, err := st.client.Post(st.ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, out)
+	}
+	return out, nil
+}
+
+// failures tracks the zero-failed-requests guarantee: the count and
+// the first error, shared by every goroutine of a run.
+type failures struct {
+	n     atomic.Int64
+	first atomic.Pointer[error]
+}
+
+func (f *failures) report(err error) {
+	f.n.Add(1)
+	f.first.CompareAndSwap(nil, &err)
+}
+
+func (f *failures) check(b *testing.B) {
+	b.Helper()
+	if n := f.n.Load(); n > 0 {
+		b.Fatalf("%d failed requests; first: %v", n, *f.first.Load())
+	}
+}
+
+// benchHTTPReaders measures query latency under readers-many
+// concurrent connections while one writer loops insert/delete pairs
+// against the same document, churning the snapshot generation so
+// every read pays for a real evaluation. b.N queries are spread
+// across the readers via a work channel; every request must succeed.
+func benchHTTPReaders(b *testing.B, readers int) {
+	st := newHTTPBenchState(b, readers)
+	var fails failures
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		insert := fmt.Sprintf(`{"op":"insert-element","parent":%d,"pos":0,"name":"x"}`, st.root)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body, err := st.post("/v1/docs/bench/edit", insert)
+			if err != nil {
+				fails.report(fmt.Errorf("writer insert: %w", err))
+				return
+			}
+			var r editWire
+			if err := json.Unmarshal(body, &r); err != nil || len(r.Results) != 1 || len(r.Results[0].IDs) != 1 {
+				fails.report(fmt.Errorf("writer insert result %s: %v", body, err))
+				return
+			}
+			del := fmt.Sprintf(`{"op":"delete","node":%d}`, r.Results[0].IDs[0])
+			if _, err := st.post("/v1/docs/bench/edit", del); err != nil {
+				fails.report(fmt.Errorf("writer delete: %w", err))
+				return
+			}
+		}
+	}()
+
+	work := make(chan struct{}, readers)
+	var readerWG sync.WaitGroup
+	b.ResetTimer()
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for range work {
+				if _, err := st.post("/v1/docs/bench/query", `{"path":"/root/a"}`); err != nil {
+					fails.report(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	readerWG.Wait()
+	b.StopTimer()
+	close(stop)
+	writerWG.Wait()
+	fails.check(b)
+}
+
+// editWire mirrors the edit response shape the readers' writer needs.
+type editWire struct {
+	Results []struct {
+		IDs []int `json:"ids"`
+	} `json:"results"`
+}
+
+// benchHTTPEdits measures journaled edit throughput over HTTP: 8
+// concurrent writers splitting b.N insert/delete pairs (each pair two
+// requests, document size stays flat).
+func benchHTTPEdits(b *testing.B) {
+	const writers = 8
+	st := newHTTPBenchState(b, writers)
+	var fails failures
+
+	work := make(chan struct{}, writers)
+	var wg sync.WaitGroup
+	insert := fmt.Sprintf(`{"op":"insert-element","parent":%d,"pos":0,"name":"x"}`, st.root)
+	b.ResetTimer()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				body, err := st.post("/v1/docs/bench/edit", insert)
+				if err != nil {
+					fails.report(err)
+					continue
+				}
+				var r editWire
+				if err := json.Unmarshal(body, &r); err != nil || len(r.Results) != 1 || len(r.Results[0].IDs) != 1 {
+					fails.report(fmt.Errorf("insert result %s: %v", body, err))
+					continue
+				}
+				del := fmt.Sprintf(`{"op":"delete","node":%d}`, r.Results[0].IDs[0])
+				if _, err := st.post("/v1/docs/bench/edit", del); err != nil {
+					fails.report(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	b.StopTimer()
+	fails.check(b)
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestHTTPBenchmarksSmoke runs every HTTP benchmark for a single
+// iteration: the full serving stack comes up, the readers fleet and
+// the background writer run, and the zero-failed-requests assertion
+// inside each benchmark is exercised. A benchmark that b.Fatals
+// reports N == 0 here.
+func TestHTTPBenchmarksSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving-stack smoke is not short")
+	}
+	bt := flag.Lookup("test.benchtime")
+	old := bt.Value.String()
+	if err := bt.Value.Set("1x"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = bt.Value.Set(old) }()
+	for _, nb := range httpBenchmarks() {
+		nb := nb
+		t.Run(nb.Name, func(t *testing.T) {
+			if r := testing.Benchmark(nb.F); r.N < 1 {
+				t.Fatal("benchmark failed (zero completed iterations)")
+			}
+		})
+	}
+}

@@ -279,6 +279,7 @@ func KernelBenchmarks() []NamedBench {
 	out = append(out, batchBenchmarks()...)
 	out = append(out, journalBenchmarks()...)
 	out = append(out, xpathBenchmarks()...)
+	out = append(out, httpBenchmarks()...)
 	return out
 }
 

@@ -184,13 +184,17 @@ func (c *Concurrent) Count(path string) (int, error) {
 	return len(ids), err
 }
 
-// update is the single writer path: it clones the current snapshot's
-// document, applies fn to the clone and publishes the result as the
-// next snapshot. When fn fails nothing is published, so readers never
-// observe a partially applied edit.
-func (c *Concurrent) update(fn func(d *Document) error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// updateLocked is the raw single-writer path: it clones the current
+// snapshot's document, applies fn to the clone and publishes the
+// result as the next snapshot. When fn fails nothing is published, so
+// readers never observe a partially applied edit. The caller holds
+// the writer mutex and has already decided — under that same lock —
+// that the raw path is allowed (no commit hook installed): checking
+// the hook outside the critical section would let a SetCommitHook
+// racing in between slip an unjournaled edit past the journal.
+//
+// vet:holds c.mu
+func (c *Concurrent) updateLocked(fn func(d *Document) error) error {
 	cur := c.load()
 	next, err := cur.d.Clone()
 	if err != nil {
@@ -222,33 +226,45 @@ func (c *Concurrent) publishLocked(cur *snapshot, next *Document) {
 // returns the results, because the edit is applied in memory.
 func (c *Concurrent) applyEdits(edits []Edit) ([]EditResult, error) {
 	c.mu.Lock()
-	cur := c.load()
-	next, err := cur.d.Clone()
-	if err != nil {
-		c.mu.Unlock()
-		return nil, err
-	}
-	out, err := next.ApplyBatch(edits)
-	if err != nil {
-		c.mu.Unlock()
-		return nil, err
-	}
-	var wait func() error
-	if c.hook != nil {
-		wait, err = c.hook(edits, out)
-		if err != nil {
-			c.mu.Unlock()
-			return nil, err
-		}
-	}
-	c.publishLocked(cur, next)
+	out, wait, err := c.applyEditsLocked(edits)
 	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	if wait != nil {
 		if err := wait(); err != nil {
 			return out, err
 		}
 	}
 	return out, nil
+}
+
+// applyEditsLocked clones, applies and publishes one batch under the
+// writer mutex the caller holds. The returned wait function (the
+// journal's durability acknowledgment, nil when no hook is set or the
+// hook declines) must be called by the caller after releasing the
+// mutex.
+//
+// vet:holds c.mu
+func (c *Concurrent) applyEditsLocked(edits []Edit) ([]EditResult, func() error, error) {
+	cur := c.load()
+	next, err := cur.d.Clone()
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := next.ApplyBatch(edits)
+	if err != nil {
+		return nil, nil, err
+	}
+	var wait func() error
+	if c.hook != nil {
+		wait, err = c.hook(edits, out)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	c.publishLocked(cur, next)
+	return out, wait, nil
 }
 
 // InsertElement inserts a fresh element and publishes a new snapshot.
@@ -280,13 +296,19 @@ func (c *Concurrent) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int,
 func (c *Concurrent) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) ([][]int, int, error) {
 	var ids [][]int
 	var relabeled int
-	if c.hookInstalled() {
+	c.mu.Lock()
+	// The hook decides the write path; checking it under the same lock
+	// that applies and publishes the batch means a SetCommitHook racing
+	// this call either sees the whole batch journaled or none of it —
+	// never a published-but-unjournaled batch.
+	if c.hook != nil {
 		// Journaled path: express the bulk insert as replayable edits.
 		edits := make([]Edit, len(fragments))
 		for k, f := range fragments {
 			edits[k] = Edit{Op: OpInsertTree, Parent: parent, Pos: pos + k, Fragment: f}
 		}
-		res, err := c.applyEdits(edits)
+		res, wait, err := c.applyEditsLocked(edits)
+		c.mu.Unlock()
 		if res != nil {
 			ids = make([][]int, len(res))
 			for k, r := range res {
@@ -294,24 +316,21 @@ func (c *Concurrent) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node)
 				relabeled += r.Relabeled
 			}
 		}
+		if err == nil && wait != nil {
+			err = wait()
+		}
 		return ids, relabeled, err
 	}
-	err := c.update(func(d *Document) error {
+	err := c.updateLocked(func(d *Document) error {
 		var err error
 		ids, relabeled, err = d.InsertTreeBatch(parent, pos, fragments)
 		return err
 	})
+	c.mu.Unlock()
 	if err != nil {
 		return nil, 0, err
 	}
 	return ids, relabeled, nil
-}
-
-// hookInstalled reports whether a commit hook is set.
-func (c *Concurrent) hookInstalled() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hook != nil
 }
 
 // DeleteSubtree removes a subtree and publishes a new snapshot.
@@ -346,12 +365,18 @@ func (c *Concurrent) Snapshot(fn func(d *Document) error) error {
 // composite edits atomic with respect to readers. When fn returns an
 // error nothing is published and the shared document is unchanged.
 // On a journaled document Update fails with ErrRawUpdate: an opaque
-// mutation cannot be recorded for replay.
+// mutation cannot be recorded for replay. The hook check and the
+// update run under one critical section, so a SetCommitHook that
+// completes before this call's turn at the writer mutex reliably
+// rejects it — the raw mutation can never slip past a just-installed
+// journal.
 func (c *Concurrent) Update(fn func(d *Document) error) error {
-	if c.hookInstalled() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hook != nil {
 		return ErrRawUpdate
 	}
-	return c.update(fn)
+	return c.updateLocked(fn)
 }
 
 // Locked runs fn against the currently published document while

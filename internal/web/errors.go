@@ -1,0 +1,59 @@
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	dynxml "repro"
+	"repro/internal/catalog"
+)
+
+// errorBody is the JSON envelope every non-2xx response carries. The
+// request id lets a client quote the exact server-side request in a
+// bug report; it matches the X-Request-ID response header.
+type errorBody struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id"`
+}
+
+// writeError renders err (or a plain message) as the JSON error
+// envelope with the given status.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, RequestID: RequestID(r.Context())})
+}
+
+// mapError translates a catalog or document error into an HTTP status
+// and client-facing message. Unrecognized errors are reported as 400:
+// every error the document layer returns on a live handle is induced
+// by the request (bad ids, malformed paths, rejected edits) — real
+// server faults surface as panics and take the 500 path instead.
+func mapError(err error) (int, string) {
+	switch {
+	case errors.Is(err, catalog.ErrNotFound):
+		return http.StatusNotFound, err.Error()
+	case errors.Is(err, catalog.ErrExists):
+		return http.StatusConflict, err.Error()
+	case errors.Is(err, catalog.ErrBadName):
+		return http.StatusBadRequest, err.Error()
+	case errors.Is(err, dynxml.ErrUnknownScheme):
+		return http.StatusBadRequest,
+			fmt.Sprintf("%s (valid schemes: %s)", err, strings.Join(dynxml.Schemes(), ", "))
+	case errors.Is(err, dynxml.ErrClosed), errors.Is(err, catalog.ErrCatalogClosed):
+		// The handle was evicted or the server is draining; the client
+		// can retry and the catalog will replay the document.
+		return http.StatusServiceUnavailable, err.Error()
+	default:
+		return http.StatusBadRequest, err.Error()
+	}
+}
+
+// fail maps err and writes the error envelope.
+func fail(w http.ResponseWriter, r *http.Request, err error) {
+	status, msg := mapError(err)
+	writeError(w, r, status, msg)
+}

@@ -16,6 +16,7 @@ var (
 	mResultHits   = metrics.Default.Counter("xpath_result_cache_hits_total")
 	mResultMisses = metrics.Default.Counter("xpath_result_cache_misses_total")
 	mResultEvict  = metrics.Default.Counter("xpath_result_cache_evictions_total")
+	mResultRefuse = metrics.Default.Counter("xpath_result_cache_oversize_refused_total")
 )
 
 // Cache bound defaults: entries and total cached ids across all
@@ -97,11 +98,23 @@ func (c *Cache) lookupResult(text string, gen uint64) ([]int, bool) {
 
 // storeResult caches ids for (text, gen) and evicts — stale
 // generations first, then arbitrary entries — until the bounds hold.
+// A result the bounds could never admit (more ids than maxIDs, or a
+// zero-entry cache) is refused outright: storing it would pin the
+// cache over its memory bound forever, since eviction never removes
+// the entry just stored, and evicting every other entry first would
+// empty the cache for a result it still cannot keep. The stale entry
+// the oversize result replaces is still dropped — it is wrong at this
+// generation either way.
 func (c *Cache) storeResult(text string, gen uint64, ids []int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old := c.results[text]; old != nil {
 		c.nIDs -= len(old.ids)
+		delete(c.results, text)
+	}
+	if len(ids) > c.maxIDs || c.maxResults < 1 {
+		mResultRefuse.Inc()
+		return
 	}
 	c.results[text] = &resultEntry{gen: gen, ids: ids}
 	c.nIDs += len(ids)
@@ -126,6 +139,9 @@ func (c *Cache) storeResult(text string, gen uint64, ids []int) {
 			return
 		}
 	}
+	// Unreachable: once every other entry is evicted, the fresh entry
+	// stands alone and the up-front admission check guaranteed a lone
+	// entry fits both bounds.
 }
 
 // evictLocked removes one result entry.

@@ -1,0 +1,88 @@
+package plan
+
+import "testing"
+
+// checkBounds asserts the cache invariant storeResult must preserve:
+// the entry count and the total cached ids never exceed the
+// construction bounds, and the nIDs accounting matches the map.
+func checkBounds(t *testing.T, c *Cache) {
+	t.Helper()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, ent := range c.results {
+		total += len(ent.ids)
+	}
+	if total != c.nIDs {
+		t.Fatalf("nIDs accounting drift: counted %d, recorded %d", total, c.nIDs)
+	}
+	if len(c.results) > c.maxResults {
+		t.Fatalf("%d entries cached, bound is %d", len(c.results), c.maxResults)
+	}
+	if c.nIDs > c.maxIDs {
+		t.Fatalf("%d ids cached, bound is %d", c.nIDs, c.maxIDs)
+	}
+}
+
+func seqIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// TestCacheBoundsTinyLimits is the regression test for the oversize
+// result-cache leak: storeResult never evicted the entry it had just
+// stored, so one result larger than maxIDs was cached permanently,
+// pinning the cache over its memory bound — and on its way in it
+// evicted every other entry in a futile attempt to make room. An
+// oversize result must be refused outright and leave the rest of the
+// cache intact.
+func TestCacheBoundsTinyLimits(t *testing.T) {
+	c := NewCacheBounds(2, 8)
+
+	c.storeResult("a", 1, seqIDs(4))
+	if _, ok := c.lookupResult("a", 1); !ok {
+		t.Fatal("in-bounds result was not cached")
+	}
+
+	// An oversize store must not be admitted and must not wipe "a".
+	c.storeResult("big", 1, seqIDs(16))
+	checkBounds(t, c)
+	if _, ok := c.lookupResult("big", 1); ok {
+		t.Fatal("result larger than maxIDs was cached; the bound is pinned over its budget forever")
+	}
+	if _, ok := c.lookupResult("a", 1); !ok {
+		t.Fatal("refusing an oversize result evicted an unrelated in-bounds entry")
+	}
+
+	// Fill to the brim, then overflow by one entry: eviction trims back
+	// inside both bounds without touching the fresh store.
+	c.storeResult("b", 1, seqIDs(4))
+	checkBounds(t, c)
+	c.storeResult("c", 2, seqIDs(4))
+	checkBounds(t, c)
+	if _, ok := c.lookupResult("c", 2); !ok {
+		t.Fatal("fresh in-bounds result was evicted in favor of older entries")
+	}
+
+	// Overwriting an entry with an oversize result drops the stale
+	// entry (wrong at this generation anyway) and refuses the new one.
+	c.storeResult("c", 3, seqIDs(16))
+	checkBounds(t, c)
+	if _, ok := c.lookupResult("c", 2); ok {
+		t.Fatal("stale entry survived an oversize overwrite")
+	}
+	if _, ok := c.lookupResult("c", 3); ok {
+		t.Fatal("oversize overwrite was cached")
+	}
+
+	// A zero-entry cache refuses everything rather than growing.
+	z := NewCacheBounds(0, 8)
+	z.storeResult("a", 1, seqIDs(1))
+	checkBounds(t, z)
+	if _, ok := z.lookupResult("a", 1); ok {
+		t.Fatal("zero-capacity cache admitted an entry")
+	}
+}

@@ -6,10 +6,11 @@
 #   2. go vet        — the stock vet checks
 #   3. go build      — both tag states (the invariants tag swaps files in)
 #   4. go test       — the whole module, plus invariants-tagged label packages
-#   5. go test -race — the concurrent document layer, the labelstore and
-#                      the journal's group-commit pipeline, plus the
-#                      snapshot storm, planned-query storm and journal
-#                      stress tests by name
+#   5. go test -race — the concurrent document layer, the labelstore,
+#                      the journal's group-commit pipeline and the
+#                      HTTP serving stack (web + catalog), plus the
+#                      snapshot storm, planned-query storm, hook-install
+#                      race, close-drain and journal stress tests by name
 #   6. crash safety  — the recovery/fault-injection suite by name, the
 #                      journal kill matrix, then the FuzzReadAll,
 #                      FuzzEncodeBetween and FuzzEditCodec seed corpora
@@ -23,6 +24,12 @@
 #                      BENCH JSON report, so the bench machinery cannot rot
 #   9. metrics smoke — experiments binary dumps a -metrics-json snapshot and
 #                      the labelstore/cdbs/qed/dyndoc keys must be present
+#  10. httpd smoke    — dynxmld starts on a random port, the whole route
+#                      surface is driven with curl (open, query, explain,
+#                      edit, batch, sync, checkpoint, stats, xml, list,
+#                      close, reopen), /debug/vars must carry the web_*
+#                      and catalog_* families, and SIGTERM must stop the
+#                      server cleanly (exit 0)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -50,12 +57,16 @@ go test ./...
 echo "==> go test -tags invariants ./internal/bitstr/... ./internal/cdbs/..."
 go test -tags invariants ./internal/bitstr/... ./internal/cdbs/...
 
-echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/..."
-go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/...
+echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/..."
+go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/...
 
 echo "==> snapshot + planned-query storms under the race detector"
-go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter|TestPlannedQueryStorm' ./internal/dyndoc
+go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter|TestPlannedQueryStorm|TestSetCommitHookInstallRace' ./internal/dyndoc
 go test -race -count=1 -run 'TestParallelPartitionedJoins|TestCacheGenerations' ./internal/xpath/plan
+
+echo "==> close-drain and eviction races under the race detector"
+go test -race -count=1 -run 'TestCloseUnderLoad' .
+go test -race -count=1 -run 'TestEvictAcquireRace|TestAcquireSingleflight' ./internal/catalog
 
 echo "==> group-commit pipeline under the race detector"
 go test -race -count=1 -run 'TestGroup|TestConcurrent|TestDurable|TestSyncIntervalStress|TestCloseVsAppend' ./internal/journal .
@@ -109,5 +120,59 @@ for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_c
 		exit 1
 	fi
 done
+
+echo "==> httpd smoke (dynxmld route surface + graceful shutdown)"
+httpd_dir=$(mktemp -d)
+httpd_bin="$httpd_dir/dynxmld"
+httpd_addr_file="$httpd_dir/addr"
+go build -o "$httpd_bin" ./cmd/dynxmld
+"$httpd_bin" -addr 127.0.0.1:0 -root "$httpd_dir/docs" -addr-file "$httpd_addr_file" \
+	-durability interval=20ms >"$httpd_dir/log" 2>&1 &
+httpd_pid=$!
+httpd_fail() {
+	echo "httpd smoke: $1" >&2
+	cat "$httpd_dir/log" >&2 || true
+	kill "$httpd_pid" 2>/dev/null || true
+	exit 1
+}
+i=0
+while [ ! -s "$httpd_addr_file" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && httpd_fail "server did not write $httpd_addr_file"
+	sleep 0.1
+done
+httpd_url="http://$(cat "$httpd_addr_file")"
+curl -sf "$httpd_url/healthz" >/dev/null || httpd_fail "healthz"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/open" -d '{"xml":"<root><a></a></root>"}' >/dev/null || httpd_fail "open"
+root_id=$(curl -sf -XPOST "$httpd_url/v1/docs/ci/query" -d '{"path":"/root"}' | sed 's/.*"ids":\[\([0-9]*\)\].*/\1/')
+[ -n "$root_id" ] || httpd_fail "query gave no root id"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/edit" \
+	-d "{\"op\":\"insert-element\",\"parent\":$root_id,\"pos\":0,\"name\":\"x\"}" >/dev/null || httpd_fail "edit"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/batch" \
+	-d "{\"edits\":[{\"op\":\"insert-tree\",\"parent\":$root_id,\"pos\":0,\"fragment\":\"<x><y></y></x>\"}]}" >/dev/null || httpd_fail "batch"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/query" -d '{"path":"/root/x"}' | grep -q '"count":2' || httpd_fail "query after edits"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/explain" -d '{"path":"/root/x"}' | grep -q 'strategy' || httpd_fail "explain"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/sync" >/dev/null || httpd_fail "sync"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/checkpoint" >/dev/null || httpd_fail "checkpoint"
+curl -sf "$httpd_url/v1/docs/ci" | grep -q '"journal"' || httpd_fail "stats"
+curl -sf "$httpd_url/v1/docs/ci/xml" | grep -q '<y>' || httpd_fail "xml"
+curl -sf "$httpd_url/v1/docs" | grep -q '"name":"ci"' || httpd_fail "list"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/close" >/dev/null || httpd_fail "close"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/open" -d '{}' >/dev/null || httpd_fail "reopen after close"
+curl -sf -XPOST "$httpd_url/v1/docs/ci/query" -d '{"path":"/root/x"}' | grep -q '"count":2' || httpd_fail "replay lost an edit"
+status=$(curl -s -o /dev/null -w '%{http_code}' "$httpd_url/v1/docs/ghost")
+[ "$status" = "404" ] || httpd_fail "unknown doc gave $status, want 404"
+vars_out="$httpd_dir/vars.json"
+curl -sf "$httpd_url/debug/vars" >"$vars_out" || httpd_fail "debug/vars"
+for key in web_requests_total web_inflight_requests web_panics_total web_timeouts_total \
+	web_route_query_latency_seconds web_route_open_responses_2xx_total \
+	catalog_opens_total catalog_replays_total catalog_open_docs catalog_resident_bytes catalog_evictions_total; do
+	grep -q "\"$key\"" "$vars_out" || httpd_fail "/debug/vars missing $key"
+done
+kill -TERM "$httpd_pid"
+httpd_status=0
+wait "$httpd_pid" || httpd_status=$?
+[ "$httpd_status" = "0" ] || httpd_fail "SIGTERM exit status $httpd_status, want 0"
+rm -rf "$httpd_dir"
 
 echo "CI gate passed."
