@@ -1,0 +1,379 @@
+// Command dynxmlctl is the command-line companion of dynxmld, built
+// entirely on the typed client package: every request goes to the
+// versioned /v1 surface with a request id and the client's retry
+// policy, never to hand-rolled URLs.
+//
+//	dynxmlctl -addr http://127.0.0.1:8080 create books '<library/>'
+//	dynxmlctl query -first books /library
+//	dynxmlctl insert -seq books 1 0 shelf
+//	dynxmlctl horizon -min 3 -wait 5s books
+//	dynxmlctl watch -n 1 -timeout 10s books /library/shelf
+//
+// The server address comes from -addr or the DYNXML_ADDR environment
+// variable. Commands print their primary result on stdout (JSON for
+// structured answers, a bare value under -first/-seq so shell scripts
+// can capture it) and exit non-zero on any API error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/client"
+)
+
+const usageText = `usage: dynxmlctl [-addr URL] <command> [flags] [args]
+
+commands:
+  list                                 list documents
+  create <doc> <xml> [scheme]          create a document
+  open <doc>                           open (pin) a document
+  query [-first] <doc> <path>          evaluate an XPath, print ids+count
+  count <doc> <path>                   print the match count only
+  explain <doc> <path>                 print the planner's EXPLAIN text
+  insert [-seq] <doc> <parent> <pos> <name>   insert one element
+  insert-tree [-seq] <doc> <parent> <pos> <fragment>   insert a parsed fragment
+  delete <doc> <node>                  delete a subtree
+  batch [-seq] <doc> <edits-json>      apply a JSON array of edits
+  xml <doc>                            print the serialized document
+  sync <doc>                           force a durability sync
+  checkpoint <doc>                     checkpoint the journal
+  close <doc>                          evict the document
+  stats <doc>                          print the stats JSON
+  horizon [-min N] [-wait D] <doc>     wait for / print the durable horizon
+  watch [-n N] [-timeout D] <doc> <path>   stream notifications as JSON lines
+
+The address defaults to $DYNXML_ADDR, then http://127.0.0.1:8080.
+`
+
+func usage() {
+	fmt.Fprint(os.Stderr, usageText)
+	os.Exit(2)
+}
+
+func main() {
+	addrDefault := os.Getenv("DYNXML_ADDR")
+	if addrDefault == "" {
+		addrDefault = "http://127.0.0.1:8080"
+	}
+	addr := flag.String("addr", addrDefault, "dynxmld base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+	}
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	if err := run(c, cmd, args); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dynxmlctl: %v\n", err)
+	os.Exit(1)
+}
+
+// printJSON writes one value as a single JSON line on stdout.
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(v)
+}
+
+func run(c *client.Client, cmd string, args []string) error {
+	switch cmd {
+	case "list":
+		list, err := c.List()
+		if err != nil {
+			return err
+		}
+		return printJSON(list)
+	case "create":
+		if len(args) < 2 || len(args) > 3 {
+			usage()
+		}
+		scheme := ""
+		if len(args) == 3 {
+			scheme = args[2]
+		}
+		doc, err := c.Create(args[0], args[1], scheme)
+		if err != nil {
+			return err
+		}
+		return printJSON(map[string]string{"name": doc.Name(), "scheme": doc.Scheme()})
+	case "open":
+		if len(args) != 1 {
+			usage()
+		}
+		doc, err := c.Open(args[0])
+		if err != nil {
+			return err
+		}
+		return printJSON(map[string]string{"name": doc.Name(), "scheme": doc.Scheme()})
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		first := fs.Bool("first", false, "print only the first matching node id")
+		_ = fs.Parse(args)
+		doc, path, err := docPath(c, fs.Args())
+		if err != nil {
+			return err
+		}
+		ids, err := doc.Query(path)
+		if err != nil {
+			return err
+		}
+		if *first {
+			if len(ids) == 0 {
+				return fmt.Errorf("no match for %s", path)
+			}
+			fmt.Println(ids[0])
+			return nil
+		}
+		return printJSON(map[string]any{"ids": ids, "count": len(ids)})
+	case "count":
+		doc, path, err := docPath(c, args)
+		if err != nil {
+			return err
+		}
+		n, err := doc.Count(path)
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+	case "explain":
+		doc, path, err := docPath(c, args)
+		if err != nil {
+			return err
+		}
+		text, err := doc.Explain(path)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case "insert":
+		fs := flag.NewFlagSet("insert", flag.ExitOnError)
+		seqOnly := fs.Bool("seq", false, "print only the ack'd journal sequence")
+		_ = fs.Parse(args)
+		a := fs.Args()
+		if len(a) != 4 {
+			usage()
+		}
+		doc, err := c.Open(a[0])
+		if err != nil {
+			return err
+		}
+		parent, pos, err := parentPos(a[1], a[2])
+		if err != nil {
+			return err
+		}
+		ack, err := doc.InsertElement(parent, pos, a[3])
+		if err != nil {
+			return err
+		}
+		return printAck(ack, *seqOnly)
+	case "insert-tree":
+		fs := flag.NewFlagSet("insert-tree", flag.ExitOnError)
+		seqOnly := fs.Bool("seq", false, "print only the ack'd journal sequence")
+		_ = fs.Parse(args)
+		a := fs.Args()
+		if len(a) != 4 {
+			usage()
+		}
+		doc, err := c.Open(a[0])
+		if err != nil {
+			return err
+		}
+		parent, pos, err := parentPos(a[1], a[2])
+		if err != nil {
+			return err
+		}
+		ack, err := doc.InsertTree(parent, pos, a[3])
+		if err != nil {
+			return err
+		}
+		return printAck(ack, *seqOnly)
+	case "delete":
+		if len(args) != 2 {
+			usage()
+		}
+		doc, err := c.Open(args[0])
+		if err != nil {
+			return err
+		}
+		var node int
+		if _, err := fmt.Sscanf(args[1], "%d", &node); err != nil {
+			return fmt.Errorf("bad node id %q", args[1])
+		}
+		ack, err := doc.Delete(node)
+		if err != nil {
+			return err
+		}
+		return printAck(ack, false)
+	case "batch":
+		fs := flag.NewFlagSet("batch", flag.ExitOnError)
+		seqOnly := fs.Bool("seq", false, "print only the ack'd journal sequence")
+		_ = fs.Parse(args)
+		a := fs.Args()
+		if len(a) != 2 {
+			usage()
+		}
+		doc, err := c.Open(a[0])
+		if err != nil {
+			return err
+		}
+		var edits []client.Edit
+		if err := json.Unmarshal([]byte(a[1]), &edits); err != nil {
+			return fmt.Errorf("bad edits JSON: %w", err)
+		}
+		ack, err := doc.Batch(edits)
+		if err != nil {
+			return err
+		}
+		return printAck(ack, *seqOnly)
+	case "xml":
+		doc, err := openOne(c, args)
+		if err != nil {
+			return err
+		}
+		xml, err := doc.XML()
+		if err != nil {
+			return err
+		}
+		fmt.Println(xml)
+		return nil
+	case "sync":
+		doc, err := openOne(c, args)
+		if err != nil {
+			return err
+		}
+		return doc.Sync()
+	case "checkpoint":
+		doc, err := openOne(c, args)
+		if err != nil {
+			return err
+		}
+		return doc.Checkpoint()
+	case "close":
+		doc, err := openOne(c, args)
+		if err != nil {
+			return err
+		}
+		return doc.Close()
+	case "stats":
+		doc, err := openOne(c, args)
+		if err != nil {
+			return err
+		}
+		st, err := doc.Stats()
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "horizon":
+		fs := flag.NewFlagSet("horizon", flag.ExitOnError)
+		minSeq := fs.Uint64("min", 0, "sequence the horizon must reach")
+		wait := fs.Duration("wait", 0, "how long to wait for -min")
+		_ = fs.Parse(args)
+		doc, err := openOne(c, fs.Args())
+		if err != nil {
+			return err
+		}
+		hor, reached, err := doc.FollowHorizon(*minSeq, *wait)
+		if err != nil {
+			return err
+		}
+		fmt.Println(hor)
+		if !reached {
+			return fmt.Errorf("horizon %d below requested %d after %s", hor, *minSeq, *wait)
+		}
+		return nil
+	case "watch":
+		fs := flag.NewFlagSet("watch", flag.ExitOnError)
+		n := fs.Int("n", 0, "exit after this many notifications (0 = forever)")
+		timeout := fs.Duration("timeout", 0, "give up after this long (0 = forever)")
+		_ = fs.Parse(args)
+		doc, path, err := docPath(c, fs.Args())
+		if err != nil {
+			return err
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		ch, cancel, err := doc.Watch(ctx, path)
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		seen := 0
+		for {
+			select {
+			case note, ok := <-ch:
+				if !ok {
+					return fmt.Errorf("watch stream ended after %d notifications", seen)
+				}
+				if err := printJSON(note); err != nil {
+					return err
+				}
+				seen++
+				if *n > 0 && seen >= *n {
+					return nil
+				}
+			case <-ctx.Done():
+				return fmt.Errorf("watch: %d/%d notifications before timeout", seen, *n)
+			}
+		}
+	default:
+		usage()
+	}
+	return nil
+}
+
+// openOne opens the single <doc> positional argument.
+func openOne(c *client.Client, args []string) (*client.Doc, error) {
+	if len(args) != 1 {
+		usage()
+	}
+	return c.Open(args[0])
+}
+
+// docPath opens <doc> and returns it with the <path> argument.
+func docPath(c *client.Client, args []string) (*client.Doc, string, error) {
+	if len(args) != 2 {
+		usage()
+	}
+	doc, err := c.Open(args[0])
+	return doc, args[1], err
+}
+
+// parentPos parses the <parent> <pos> argument pair.
+func parentPos(p, q string) (int, int, error) {
+	var parent, pos int
+	if _, err := fmt.Sscanf(p, "%d", &parent); err != nil {
+		return 0, 0, fmt.Errorf("bad parent id %q", p)
+	}
+	if _, err := fmt.Sscanf(q, "%d", &pos); err != nil {
+		return 0, 0, fmt.Errorf("bad position %q", q)
+	}
+	return parent, pos, nil
+}
+
+// printAck prints an edit acknowledgement: the full JSON, or just the
+// journal sequence under -seq for shell capture.
+func printAck(ack client.EditAck, seqOnly bool) error {
+	if seqOnly {
+		fmt.Println(ack.Seq)
+		return nil
+	}
+	return printJSON(ack)
+}

@@ -7,6 +7,15 @@
 //
 //	dynxmld -addr :8080 -root /var/lib/dynxml
 //
+// With -follow the daemon is a read-only replica instead: every
+// document is mirrored from the leader dynxmld at that URL by journal
+// shipping, queries and watches are served locally, and every mutating
+// request answers 403 read_only. The mirror under -root survives kills
+// and restarts and keeps serving everything at or below its advertised
+// horizon.
+//
+//	dynxmld -addr :8081 -root /var/lib/dynxml-replica -follow http://leader:8080
+//
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // drain, then every resident document is checkpointed and closed, so
 // the next start replays from the checkpoint instead of the full
@@ -63,6 +72,7 @@ func run() error {
 		maxOpen    = flag.Int("max-open", catalog.DefaultMaxOpen, "max documents resident at once before eviction")
 		timeout    = flag.Duration("timeout", web.DefaultTimeout, "per-request wall-clock timeout")
 		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file once serving (for scripts using port 0)")
+		follow     = flag.String("follow", "", "leader base URL; serve as a read-only replica mirroring its documents")
 	)
 	flag.Parse()
 	if *root == "" {
@@ -79,6 +89,7 @@ func run() error {
 		Durability: dur,
 		MaxOpen:    *maxOpen,
 		MemBudget:  *memBudget,
+		FollowURL:  *follow,
 	})
 	if err != nil {
 		return err
@@ -100,8 +111,12 @@ func run() error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	log.Printf("dynxmld: serving %s (root %s, scheme %s, durability %s, budget %d bytes / %d docs)",
-		ln.Addr(), *root, *scheme, dur, *memBudget, *maxOpen)
+	if *follow != "" {
+		log.Printf("dynxmld: serving %s as read-only replica of %s (mirror %s)", ln.Addr(), *follow, *root)
+	} else {
+		log.Printf("dynxmld: serving %s (root %s, scheme %s, durability %s, budget %d bytes / %d docs)",
+			ln.Addr(), *root, *scheme, dur, *memBudget, *maxOpen)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,11 +30,12 @@ import (
 
 	dynxml "repro"
 	"repro/internal/bench"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments: table1,sizes,figure5,figure6,table4,figure7,frequent,live,overflow,durable")
+	run := flag.String("run", "all", "comma-separated experiments: table1,sizes,figure5,figure6,table4,figure7,frequent,live,overflow,durable,follow")
 	scale := flag.Int("scale", 10, "D5 replication factor for figure6 (the paper uses 10)")
 	datasets := flag.String("datasets", "D1,D2,D3,D4,D5,D6", "datasets for figure5")
 	inserts := flag.Int("inserts", 2000, "insertions for the frequent-update experiment")
@@ -71,6 +73,7 @@ func main() {
 		{"live", func() error { return runLive(*edits) }},
 		{"overflow", runOverflow},
 		{"durable", func() error { return runDurable(*edits) }},
+		{"follow", func() error { return runFollow(*edits) }},
 	} {
 		if !all && !want[exp.name] {
 			continue
@@ -437,6 +440,127 @@ func runDurable(edits int) error {
 	}
 	fmt.Printf("\njournal append latency (s): %s\n",
 		metrics.Default.Histogram("journal_append_seconds", nil).Summary())
+	return nil
+}
+
+// runFollow drives the PR 9 replication path end to end in-process:
+// a journaled leader handle shipping encoded chunks to a follower
+// (journal.OpenFollower in fetch mode, exactly the transport the HTTP
+// endpoint wraps), with a live watch subscription on the follower.
+// Every leader write is timed from acknowledgement to visibility on
+// the follower — the read-your-writes lag a client pays after
+// FollowHorizon — and the ship/watch/follower metric families are
+// exercised for the metrics smoke.
+func runFollow(edits int) error {
+	if edits < 2 {
+		edits = 2
+	}
+	header(fmt.Sprintf("E13 — journal shipping to a follower, %d leader writes, write-to-visible lag", edits))
+
+	dir, err := os.MkdirTemp("", "follow-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	leader, err := dynxml.Open("<root><a></a></root>", dynxml.WithJournal(dir))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = leader.Close() }()
+	roots, err := leader.QueryString("/root")
+	if err != nil || len(roots) != 1 {
+		return fmt.Errorf("follow: root query: %v %v", roots, err)
+	}
+	root := roots[0]
+
+	// The fetch mode mirrors into its own directory and replays encoded
+	// chunks — the same persist-then-advance contract the HTTP follower
+	// uses, minus the socket.
+	mirror, err := os.MkdirTemp("", "follow-mirror-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(mirror) }()
+	f, err := journal.OpenFollower(journal.FollowerConfig{
+		Dir:      mirror,
+		Interval: 2 * time.Millisecond,
+		MaxBatch: 64,
+		Fetch: func(from uint64, max int) (*journal.ShipChunk, error) {
+			raw, err := leader.Ship(from, max)
+			if err != nil {
+				return nil, err
+			}
+			return journal.DecodeShipStream(bytes.NewReader(raw), from)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+
+	watchCh, cancelWatch, err := f.Doc().Watch("/root/w")
+	if err != nil {
+		return err
+	}
+	defer cancelWatch()
+
+	lags := make([]time.Duration, 0, edits)
+	var notified int
+	start := time.Now()
+	for i := 0; i < edits; i++ {
+		id, _, err := leader.InsertElement(root, 0, "w")
+		if err != nil {
+			return err
+		}
+		seq := leader.Stats().Journal.Seq
+		t0 := time.Now()
+		if _, ok := f.WaitHorizon(seq, 30*time.Second); !ok {
+			return fmt.Errorf("follow: horizon %d never reached", seq)
+		}
+		lags = append(lags, time.Since(t0))
+		if i%2 == 1 {
+			if _, err := leader.DeleteSubtree(id); err != nil {
+				return err
+			}
+		}
+	}
+	total := time.Since(start)
+	// Wait for the coalescing delivery loop to publish at least one
+	// notification, then drain whatever else is already buffered.
+	select {
+	case <-watchCh:
+		notified++
+	case <-time.After(2 * time.Second):
+	}
+	for drained := false; !drained; {
+		select {
+		case <-watchCh:
+			notified++
+		default:
+			drained = true
+		}
+	}
+
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	pct := func(p float64) time.Duration { return lags[int(p*float64(len(lags)-1))] }
+	st := f.Stats()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "writes\ttotal(ms)\tlag p50\tlag p95\tlag max\tpolls\tbatches applied\tresets\tnotifications")
+	fmt.Fprintf(w, "%d\t%.1f\t%s\t%s\t%s\t%d\t%d\t%d\t%d\n",
+		edits, float64(total.Microseconds())/1000, pct(0.50), pct(0.95), lags[len(lags)-1],
+		st.Polls, st.Batches, st.Resets, notified)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if notified == 0 {
+		return fmt.Errorf("follow: watch on the follower never fired")
+	}
+	fmt.Printf("\nship: %d requests, %d batches, %d snapshot(s), %d bytes; follower lag now %.0f seqs\n",
+		metrics.Default.Counter("journal_ship_requests_total").Value(),
+		metrics.Default.Counter("journal_ship_batches_total").Value(),
+		metrics.Default.Counter("journal_ship_snapshots_total").Value(),
+		metrics.Default.Counter("journal_ship_bytes_total").Value(),
+		metrics.Default.Gauge("follower_lag_seqs").Value())
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -204,6 +205,9 @@ type config struct {
 	journalDir string
 	durability *Durability
 	recover    bool
+	followURL  string
+	followDir  string
+	followIvl  time.Duration
 }
 
 // Option configures Open.
@@ -298,6 +302,8 @@ type Handle struct {
 	live       *dyndoc.Document
 	shared     *dyndoc.Concurrent
 	jnl        *journal.Journal
+	follower   *journal.Follower // set on OpenFollower handles; edits get ErrReadOnly
+	followTmp  string            // URL-only follower: temp mirror dir, removed on Close
 
 	// Lifecycle: every error-returning method runs between acquire and
 	// release, so Close can drain the calls already past their closed
@@ -338,6 +344,9 @@ func Open(src any, opts ...Option) (*Handle, error) {
 	cfg := config{scheme: DefaultScheme}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.followURL != "" || cfg.followDir != "" {
+		return nil, errors.New("dynxml: WithFollowURL/WithFollowDir require OpenFollower")
 	}
 	if cfg.journalDir == "" {
 		if cfg.durability != nil {
@@ -462,6 +471,20 @@ func (h *Handle) acquire() error {
 		return ErrClosed
 	}
 	h.inflight++
+	return nil
+}
+
+// acquireWrite is acquire plus the replica guard: every mutating entry
+// point runs through it, so a follower handle rejects writes with
+// ErrReadOnly before touching the document.
+func (h *Handle) acquireWrite() error {
+	if err := h.acquire(); err != nil {
+		return err
+	}
+	if h.follower != nil {
+		h.release()
+		return ErrReadOnly
+	}
 	return nil
 }
 
@@ -614,7 +637,7 @@ func (h *Handle) Explain(path string) (string, error) {
 // InsertElement inserts a fresh element as the pos-th child of parent
 // and returns its id and the re-label count.
 func (h *Handle) InsertElement(parent, pos int, name string) (int, int, error) {
-	if err := h.acquire(); err != nil {
+	if err := h.acquireWrite(); err != nil {
 		return 0, 0, err
 	}
 	defer h.release()
@@ -627,7 +650,7 @@ func (h *Handle) InsertElement(parent, pos int, name string) (int, int, error) {
 // InsertTree inserts a deep copy of fragment as the pos-th child of
 // parent and returns the new ids in preorder plus the re-label count.
 func (h *Handle) InsertTree(parent, pos int, fragment *Node) ([]int, int, error) {
-	if err := h.acquire(); err != nil {
+	if err := h.acquireWrite(); err != nil {
 		return nil, 0, err
 	}
 	defer h.release()
@@ -642,7 +665,7 @@ func (h *Handle) InsertTree(parent, pos int, fragment *Node) ([]int, int, error)
 // the whole run, and on a concurrent handle a single snapshot is
 // published for the batch.
 func (h *Handle) InsertTreeBatch(parent, pos int, fragments []*Node) ([][]int, int, error) {
-	if err := h.acquire(); err != nil {
+	if err := h.acquireWrite(); err != nil {
 		return nil, 0, err
 	}
 	defer h.release()
@@ -655,7 +678,7 @@ func (h *Handle) InsertTreeBatch(parent, pos int, fragments []*Node) ([][]int, i
 // DeleteSubtree removes the node and its descendants, returning how
 // many nodes were removed.
 func (h *Handle) DeleteSubtree(id int) (int, error) {
-	if err := h.acquire(); err != nil {
+	if err := h.acquireWrite(); err != nil {
 		return 0, err
 	}
 	defer h.release()
@@ -673,7 +696,7 @@ func (h *Handle) DeleteSubtree(id int) (int, error) {
 // place and an error leaves the already-applied prefix behind (its
 // results are returned with the error).
 func (h *Handle) ApplyBatch(edits []Edit) ([]EditResult, error) {
-	if err := h.acquire(); err != nil {
+	if err := h.acquireWrite(); err != nil {
 		return nil, err
 	}
 	defer h.release()
@@ -697,12 +720,17 @@ func (h *Handle) ApplyBatch(edits []Edit) ([]EditResult, error) {
 
 // Sync blocks until every edit acknowledged so far is on stable
 // storage. On an unjournaled handle it is a no-op. Use it to get an
-// Always-grade durability point under Interval or None durability.
+// Always-grade durability point under Interval or None durability. On
+// a follower it instead runs one explicit catch-up poll against the
+// leader, returning its error (transient transport failures included).
 func (h *Handle) Sync() error {
 	if err := h.acquire(); err != nil {
 		return err
 	}
 	defer h.release()
+	if h.follower != nil {
+		return h.follower.Poll()
+	}
 	if h.jnl == nil {
 		return nil
 	}
@@ -714,7 +742,7 @@ func (h *Handle) Sync() error {
 // time and disk use. Edits issued concurrently simply land in the new
 // log. On an unjournaled handle it is a no-op.
 func (h *Handle) Checkpoint() error {
-	if err := h.acquire(); err != nil {
+	if err := h.acquireWrite(); err != nil {
 		return err
 	}
 	defer h.release()
@@ -745,6 +773,13 @@ func (h *Handle) Close() error {
 		h.drained.Wait()
 	}
 	h.mu.Unlock()
+	if h.follower != nil {
+		err := h.follower.Close()
+		if h.followTmp != "" {
+			_ = os.RemoveAll(h.followTmp)
+		}
+		return err
+	}
 	if h.jnl == nil {
 		return nil
 	}
@@ -767,6 +802,12 @@ type HandleStats struct {
 	// Journal carries the journal's counters: batches appended and
 	// durable, current segment generation, checkpoints taken, mode.
 	Journal journal.Stats
+	// Following reports whether the handle is a read-only replica;
+	// Replica is only meaningful when it is set.
+	Following bool
+	// Replica carries the follower's counters: applied sequence,
+	// durable horizon, leader horizon, resets, last error.
+	Replica journal.FollowerStats
 }
 
 // Stats returns a snapshot of the handle's state. It stays callable
@@ -783,6 +824,10 @@ func (h *Handle) Stats() HandleStats {
 	if h.jnl != nil {
 		s.Journaled = true
 		s.Journal = h.jnl.Stats()
+	}
+	if h.follower != nil {
+		s.Following = true
+		s.Replica = h.follower.Stats()
 	}
 	return s
 }

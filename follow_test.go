@@ -1,0 +1,199 @@
+package dynxml
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// leaderHandle opens a journaled leader over a fresh directory.
+func leaderHandle(t *testing.T, dir string) *Handle {
+	t.Helper()
+	h, err := Open(openSeed, WithJournal(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	return h
+}
+
+// leaderInsert applies one insert on the leader and returns the ack'd
+// journal sequence.
+func leaderInsert(t *testing.T, h *Handle, parent int, name string) uint64 {
+	t.Helper()
+	if _, _, err := h.InsertElement(parent, 0, name); err != nil {
+		t.Fatal(err)
+	}
+	return h.Stats().Journal.Seq
+}
+
+// rootID resolves the document root's node id.
+func rootID(t *testing.T, h *Handle) int {
+	t.Helper()
+	ids, err := h.QueryString("/library")
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("QueryString(/library) = %v, %v", ids, err)
+	}
+	return ids[0]
+}
+
+// assertReadOnly drives every mutating entry point and expects
+// ErrReadOnly from each.
+func assertReadOnly(t *testing.T, f *Handle) {
+	t.Helper()
+	if _, _, err := f.InsertElement(1, 0, "x"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("InsertElement on follower: %v", err)
+	}
+	doc, err := ParseXMLString("<x/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.InsertTree(1, 0, doc.Root); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("InsertTree on follower: %v", err)
+	}
+	if _, _, err := f.InsertTreeBatch(1, 0, []*Node{doc.Root}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("InsertTreeBatch on follower: %v", err)
+	}
+	if _, err := f.DeleteSubtree(1); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("DeleteSubtree on follower: %v", err)
+	}
+	if _, err := f.ApplyBatch([]Edit{{Op: OpInsertElement, Parent: 1, Name: "x"}}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("ApplyBatch on follower: %v", err)
+	}
+	if err := f.Checkpoint(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Checkpoint on follower: %v", err)
+	}
+}
+
+// TestOpenFollowerTail follows a leader's journal directory directly.
+func TestOpenFollowerTail(t *testing.T) {
+	dir := t.TempDir()
+	leader := leaderHandle(t, dir)
+	root := rootID(t, leader)
+	seq := leaderInsert(t, leader, root, "before")
+
+	f, err := OpenFollower(nil, WithFollowDir(dir), WithFollowInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.Following() || f.Concurrent() != true {
+		t.Fatalf("follower reports Following=%v Concurrent=%v", f.Following(), f.Concurrent())
+	}
+	if f.Scheme() != DefaultScheme {
+		t.Fatalf("follower scheme %q", f.Scheme())
+	}
+	if hor, ok, err := f.FollowHorizon(seq, 5*time.Second); err != nil || !ok {
+		t.Fatalf("FollowHorizon(%d) = %d, %v, %v", seq, hor, ok, err)
+	}
+	if n, err := f.Count("/library/before"); err != nil || n != 1 {
+		t.Fatalf("follower Count(before) = %d, %v", n, err)
+	}
+	assertReadOnly(t, f)
+
+	// Watch on the follower hears a leader write arriving via replay.
+	ch, cancel, err := f.Watch("/library/after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	seq = leaderInsert(t, leader, root, "after")
+	if _, ok, err := f.FollowHorizon(seq, 5*time.Second); err != nil || !ok {
+		t.Fatalf("FollowHorizon after write: %v %v", ok, err)
+	}
+	select {
+	case n := <-ch:
+		if n.Added != 1 {
+			t.Fatalf("notification %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no watch notification on the follower")
+	}
+	st := f.Stats()
+	if !st.Following || st.Replica.Seq != seq || st.Replica.Horizon != seq {
+		t.Fatalf("follower stats %+v, want seq/horizon %d", st.Replica, seq)
+	}
+}
+
+// TestOpenFollowerURL follows over HTTP from a minimal journal
+// endpoint built on Handle.Ship, with no persistent mirror given — the
+// temp mirror must vanish on Close.
+func TestOpenFollowerURL(t *testing.T) {
+	leader := leaderHandle(t, t.TempDir())
+	root := rootID(t, leader)
+	seq := leaderInsert(t, leader, root, "w1")
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		chunk, err := leader.Ship(from, limit)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(chunk)
+	}))
+	defer srv.Close()
+
+	f, err := OpenFollower(nil, WithFollowURL(srv.URL), WithFollowInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Count("/library/w1"); err != nil || n != 1 {
+		t.Fatalf("follower Count(w1) = %d, %v", n, err)
+	}
+	seq = leaderInsert(t, leader, root, "w2")
+	if hor, ok, err := f.FollowHorizon(seq, 5*time.Second); err != nil || !ok {
+		t.Fatalf("FollowHorizon(%d) = %d, %v, %v", seq, hor, ok, err)
+	}
+	if n, err := f.Count("/library/w2"); err != nil || n != 1 {
+		t.Fatalf("follower Count(w2) = %d, %v", n, err)
+	}
+	tmp := f.followTmp
+	if tmp == "" {
+		t.Fatal("URL-only follower has no temp mirror")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); err == nil {
+		t.Fatalf("temp mirror %s survived Close", tmp)
+	}
+}
+
+// TestFollowerOptionValidation pins the option cross-checks.
+func TestFollowerOptionValidation(t *testing.T) {
+	if _, err := Open(openSeed, WithFollowURL("http://x")); err == nil {
+		t.Fatal("Open accepted WithFollowURL")
+	}
+	if _, err := OpenFollower(openSeed, WithFollowDir(t.TempDir())); err == nil {
+		t.Fatal("OpenFollower accepted non-nil src")
+	}
+	if _, err := OpenFollower(nil); err == nil {
+		t.Fatal("OpenFollower accepted no follow options")
+	}
+	if _, err := OpenFollower(nil, WithFollowDir(t.TempDir()), WithJournal(t.TempDir())); err == nil {
+		t.Fatal("OpenFollower accepted WithJournal")
+	}
+	if _, err := OpenFollower(nil, WithFollowDir(t.TempDir())); err == nil {
+		t.Fatal("tail follower opened over an empty directory")
+	}
+}
+
+// TestFollowerNotFoundOverHTTP maps a leader 404 to ErrNotFound.
+func TestFollowerNotFoundOverHTTP(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	_, err := OpenFollower(nil, WithFollowURL(srv.URL))
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	dynxml "repro"
+	"repro/client"
+	"repro/internal/catalog"
+	"repro/internal/web"
+)
+
+// httptestServer boots the web stack over a catalog on a real
+// loopback listener and returns its base URL; both are torn down at
+// benchmark cleanup.
+func httptestServer(b *testing.B, cat *catalog.Catalog) string {
+	b.Helper()
+	ts := httptest.NewServer(web.New(web.Config{Catalog: cat}))
+	b.Cleanup(func() {
+		ts.Close()
+		_ = cat.Close()
+	})
+	return ts.URL
+}
+
+// Replication workloads: a leader dynxmld stack taking writes while a
+// follower stack mirrors it by journal shipping. The readers-on-
+// follower family backs the PR 9 serving claim — query latency on the
+// follower stays within 2× of the same workload read leader-local
+// while the leader sustains writes — and the horizon benchmark prices
+// one full read-your-writes round trip (leader edit acknowledged, then
+// waited visible on the follower).
+
+// followReaders is the reader fleet size of the follower family; the
+// leader-local and on-follower variants use the same count so their
+// per-query times are directly comparable.
+const followReaders = 64
+
+// followerBenchmarks returns the replication benchmark set;
+// KernelBenchmarks folds them into the registry.
+func followerBenchmarks() []NamedBench {
+	var out []NamedBench
+	add := func(name string, f func(b *testing.B)) {
+		out = append(out, NamedBench{Name: name, F: f})
+	}
+	add(fmt.Sprintf("e2e/follow/query/leader-local/%dr+1w", followReaders), func(b *testing.B) {
+		benchFollowerReaders(b, false)
+	})
+	add(fmt.Sprintf("e2e/follow/query/on-follower/%dr+1w", followReaders), func(b *testing.B) {
+		benchFollowerReaders(b, true)
+	})
+	add("e2e/follow/horizon/write-to-visible", benchFollowerHorizon)
+	return out
+}
+
+// followerBenchState is a replication pair: a leader server taking
+// writes and a follower server mirroring it over /v1 journal shipping,
+// both fronted by typed clients.
+type followerBenchState struct {
+	leaderDoc   *client.Doc
+	followerDoc *client.Doc
+	root        int
+}
+
+func newFollowerBenchState(b *testing.B, conns int) *followerBenchState {
+	b.Helper()
+	lcat, err := catalog.Open(catalog.Config{
+		Root:       b.TempDir(),
+		Durability: dynxml.Interval(5 * time.Millisecond),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lts := httptestServer(b, lcat)
+	fcat, err := catalog.Open(catalog.Config{Root: b.TempDir(), FollowURL: lts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fts := httptestServer(b, fcat)
+
+	st := &followerBenchState{}
+	lc := benchHTTPClient(b, lts, conns)
+	if st.leaderDoc, err = lc.Create("bench", httpBenchSeed, ""); err != nil {
+		b.Fatal(err)
+	}
+	ids, err := st.leaderDoc.Query("/root")
+	if err != nil || len(ids) != 1 {
+		b.Fatalf("root query: ids=%v err=%v", ids, err)
+	}
+	st.root = ids[0]
+
+	// Seed one write and wait for the follower to serve it, so the
+	// timed region never includes the bootstrap snapshot fetch.
+	ack, err := st.leaderDoc.InsertElement(st.root, 0, "seeded")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fc := benchHTTPClient(b, fts, conns)
+	if st.followerDoc, err = fc.Open("bench"); err != nil {
+		b.Fatal(err)
+	}
+	if _, reached, err := st.followerDoc.FollowHorizon(ack.Seq, 30*time.Second); err != nil || !reached {
+		b.Fatalf("follower never reached seed seq %d: %v", ack.Seq, err)
+	}
+	return st
+}
+
+// benchFollowerReaders measures query latency with the reader fleet
+// pointed at the leader (baseline) or at the follower, while one
+// writer loops insert/delete pairs against the leader either way.
+func benchFollowerReaders(b *testing.B, onFollower bool) {
+	st := newFollowerBenchState(b, followReaders)
+	readDoc := st.leaderDoc
+	if onFollower {
+		readDoc = st.followerDoc
+	}
+	var fails failures
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ack, err := st.leaderDoc.InsertElement(st.root, 0, "x")
+			if err != nil {
+				fails.report(fmt.Errorf("writer insert: %w", err))
+				return
+			}
+			if _, err := st.leaderDoc.Delete(ack.Results[0].IDs[0]); err != nil {
+				fails.report(fmt.Errorf("writer delete: %w", err))
+				return
+			}
+		}
+	}()
+
+	work := make(chan struct{}, followReaders)
+	var readerWG sync.WaitGroup
+	b.ResetTimer()
+	for r := 0; r < followReaders; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for range work {
+				if _, err := readDoc.Query("/root/a"); err != nil {
+					fails.report(err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	readerWG.Wait()
+	b.StopTimer()
+	close(stop)
+	writerWG.Wait()
+	fails.check(b)
+}
+
+// benchFollowerHorizon prices one read-your-writes round trip: insert
+// on the leader, then block until the follower's horizon covers the
+// acknowledged sequence. The number is dominated by the follower's
+// poll interval plus one ship-decode-replay cycle.
+func benchFollowerHorizon(b *testing.B) {
+	st := newFollowerBenchState(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ack, err := st.leaderDoc.InsertElement(st.root, 0, "h")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, reached, err := st.followerDoc.FollowHorizon(ack.Seq, 30*time.Second); err != nil || !reached {
+			b.Fatalf("horizon %d never reached: %v", ack.Seq, err)
+		}
+		if _, err := st.leaderDoc.Delete(ack.Results[0].IDs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

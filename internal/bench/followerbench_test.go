@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"flag"
+	"testing"
+)
+
+// TestFollowerBenchmarksSmoke runs every replication benchmark for a
+// single iteration: leader and follower stacks come up, the follower
+// bootstraps over /v1 journal shipping, and the zero-failed-requests
+// assertion in each benchmark is exercised.
+func TestFollowerBenchmarksSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication smoke is not short")
+	}
+	bt := flag.Lookup("test.benchtime")
+	old := bt.Value.String()
+	if err := bt.Value.Set("1x"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = bt.Value.Set(old) }()
+	for _, nb := range followerBenchmarks() {
+		nb := nb
+		t.Run(nb.Name, func(t *testing.T) {
+			if r := testing.Benchmark(nb.F); r.N < 1 {
+				t.Fatal("benchmark failed (zero completed iterations)")
+			}
+		})
+	}
+}

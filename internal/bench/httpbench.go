@@ -1,10 +1,7 @@
 package bench
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -13,17 +10,19 @@ import (
 	"time"
 
 	dynxml "repro"
+	"repro/client"
 	"repro/internal/catalog"
 	"repro/internal/web"
 )
 
 // End-to-end HTTP workloads: the full dynxmld stack — middleware,
 // catalog pin, snapshot query, journaled edit — over real TCP
-// loopback connections. The headline pair is query/1000r+1w: one
-// thousand persistent readers issuing queries concurrently while a
-// writer continuously edits (and so continuously invalidates the
-// result cache), with zero failed requests tolerated. That is the
-// serving claim of PR 8 measured, not asserted.
+// loopback connections, driven through the typed client package so
+// the benchmark exercises exactly the path applications use (the /v1
+// surface, request ids, the retry policy). The headline pair is
+// query/1000r+1w: one thousand persistent readers issuing queries
+// concurrently while a writer continuously edits (and so continuously
+// invalidates the result cache), with zero failed requests tolerated.
 
 // httpReadersHeadline is the reader count of the headline benchmark.
 const httpReadersHeadline = 1000
@@ -46,16 +45,35 @@ func httpBenchmarks() []NamedBench {
 }
 
 // httpBenchState is one live server: catalog over a temp root, the
-// web stack on a real loopback listener, and a client whose transport
-// keeps enough idle connections for every reader goroutine.
+// web stack on a real loopback listener, and a typed client whose
+// transport keeps enough idle connections for every reader goroutine.
 type httpBenchState struct {
-	ts     *httptest.Server
-	cat    *catalog.Catalog
-	client *http.Client
-	root   int // root element id of the bench document
+	ts   *httptest.Server
+	cat  *catalog.Catalog
+	doc  *client.Doc
+	root int // root element id of the bench document
 }
 
 const httpBenchSeed = "<root><a></a><b></b></root>"
+
+// benchHTTPClient dials a typed client with a connection pool sized
+// for conns concurrent requesters.
+func benchHTTPClient(b *testing.B, baseURL string, conns int) *client.Client {
+	b.Helper()
+	tr := &http.Transport{
+		MaxIdleConns:        conns + 16,
+		MaxIdleConnsPerHost: conns + 16,
+	}
+	b.Cleanup(tr.CloseIdleConnections)
+	c, err := client.Dial(baseURL, client.WithHTTPClient(&http.Client{
+		Transport: tr,
+		Timeout:   60 * time.Second,
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
 
 func newHTTPBenchState(b *testing.B, conns int) *httpBenchState {
 	b.Helper()
@@ -67,52 +85,21 @@ func newHTTPBenchState(b *testing.B, conns int) *httpBenchState {
 		b.Fatal(err)
 	}
 	ts := httptest.NewServer(web.New(web.Config{Catalog: cat}))
-	tr := &http.Transport{
-		MaxIdleConns:        conns + 16,
-		MaxIdleConnsPerHost: conns + 16,
-	}
-	st := &httpBenchState{
-		ts:     ts,
-		cat:    cat,
-		client: &http.Client{Transport: tr, Timeout: 60 * time.Second},
-	}
 	b.Cleanup(func() {
-		tr.CloseIdleConnections()
 		ts.Close()
 		_ = cat.Close()
 	})
-	if _, err := st.post("/v1/docs/bench/open", fmt.Sprintf(`{"xml":%q}`, httpBenchSeed)); err != nil {
+	st := &httpBenchState{ts: ts, cat: cat}
+	c := benchHTTPClient(b, ts.URL, conns)
+	if st.doc, err = c.Create("bench", httpBenchSeed, ""); err != nil {
 		b.Fatal(err)
 	}
-	body, err := st.post("/v1/docs/bench/query", `{"path":"/root"}`)
-	if err != nil {
-		b.Fatal(err)
+	ids, err := st.doc.Query("/root")
+	if err != nil || len(ids) != 1 {
+		b.Fatalf("root query: ids=%v err=%v", ids, err)
 	}
-	var q struct {
-		IDs []int `json:"ids"`
-	}
-	if err := json.Unmarshal(body, &q); err != nil || len(q.IDs) != 1 {
-		b.Fatalf("root query: ids=%v err=%v", q.IDs, err)
-	}
-	st.root = q.IDs[0]
+	st.root = ids[0]
 	return st
-}
-
-// post issues one JSON POST and fails on any non-200 answer.
-func (st *httpBenchState) post(path, body string) ([]byte, error) {
-	resp, err := st.client.Post(st.ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = resp.Body.Close() }()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, out)
-	}
-	return out, nil
 }
 
 // failures tracks the zero-failed-requests guarantee: the count and
@@ -148,25 +135,22 @@ func benchHTTPReaders(b *testing.B, readers int) {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		insert := fmt.Sprintf(`{"op":"insert-element","parent":%d,"pos":0,"name":"x"}`, st.root)
 		for {
 			select {
 			case <-stop:
 				return
 			default:
 			}
-			body, err := st.post("/v1/docs/bench/edit", insert)
+			ack, err := st.doc.InsertElement(st.root, 0, "x")
 			if err != nil {
 				fails.report(fmt.Errorf("writer insert: %w", err))
 				return
 			}
-			var r editWire
-			if err := json.Unmarshal(body, &r); err != nil || len(r.Results) != 1 || len(r.Results[0].IDs) != 1 {
-				fails.report(fmt.Errorf("writer insert result %s: %v", body, err))
+			if len(ack.Results) != 1 || len(ack.Results[0].IDs) != 1 {
+				fails.report(fmt.Errorf("writer insert result %+v", ack))
 				return
 			}
-			del := fmt.Sprintf(`{"op":"delete","node":%d}`, r.Results[0].IDs[0])
-			if _, err := st.post("/v1/docs/bench/edit", del); err != nil {
+			if _, err := st.doc.Delete(ack.Results[0].IDs[0]); err != nil {
 				fails.report(fmt.Errorf("writer delete: %w", err))
 				return
 			}
@@ -181,7 +165,7 @@ func benchHTTPReaders(b *testing.B, readers int) {
 		go func() {
 			defer readerWG.Done()
 			for range work {
-				if _, err := st.post("/v1/docs/bench/query", `{"path":"/root/a"}`); err != nil {
+				if _, err := st.doc.Query("/root/a"); err != nil {
 					fails.report(err)
 				}
 			}
@@ -198,13 +182,6 @@ func benchHTTPReaders(b *testing.B, readers int) {
 	fails.check(b)
 }
 
-// editWire mirrors the edit response shape the readers' writer needs.
-type editWire struct {
-	Results []struct {
-		IDs []int `json:"ids"`
-	} `json:"results"`
-}
-
 // benchHTTPEdits measures journaled edit throughput over HTTP: 8
 // concurrent writers splitting b.N insert/delete pairs (each pair two
 // requests, document size stays flat).
@@ -215,25 +192,22 @@ func benchHTTPEdits(b *testing.B) {
 
 	work := make(chan struct{}, writers)
 	var wg sync.WaitGroup
-	insert := fmt.Sprintf(`{"op":"insert-element","parent":%d,"pos":0,"name":"x"}`, st.root)
 	b.ResetTimer()
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for range work {
-				body, err := st.post("/v1/docs/bench/edit", insert)
+				ack, err := st.doc.InsertElement(st.root, 0, "x")
 				if err != nil {
 					fails.report(err)
 					continue
 				}
-				var r editWire
-				if err := json.Unmarshal(body, &r); err != nil || len(r.Results) != 1 || len(r.Results[0].IDs) != 1 {
-					fails.report(fmt.Errorf("insert result %s: %v", body, err))
+				if len(ack.Results) != 1 || len(ack.Results[0].IDs) != 1 {
+					fails.report(fmt.Errorf("insert result %+v", ack))
 					continue
 				}
-				del := fmt.Sprintf(`{"op":"delete","node":%d}`, r.Results[0].IDs[0])
-				if _, err := st.post("/v1/docs/bench/edit", del); err != nil {
+				if _, err := st.doc.Delete(ack.Results[0].IDs[0]); err != nil {
 					fails.report(err)
 				}
 			}

@@ -280,6 +280,7 @@ func KernelBenchmarks() []NamedBench {
 	out = append(out, journalBenchmarks()...)
 	out = append(out, xpathBenchmarks()...)
 	out = append(out, httpBenchmarks()...)
+	out = append(out, followerBenchmarks()...)
 	return out
 }
 

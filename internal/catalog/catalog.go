@@ -18,9 +18,11 @@ package catalog
 import (
 	"errors"
 	"fmt"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -93,6 +95,13 @@ type Config struct {
 	// truncated to its last durable point. Off by default — a serving
 	// catalog wants the document back.
 	StrictRecovery bool
+	// FollowURL turns the whole catalog into a read-only replica of the
+	// leader server at this base URL (e.g. "http://leader:8080"): every
+	// document opens as a follower pulling ship chunks from the
+	// leader's /v1/docs/{name}/journal endpoint into a mirror under
+	// Root, Create fails with dynxml.ErrReadOnly, and a name unknown
+	// locally is fetched from the leader on first Acquire.
+	FollowURL string
 }
 
 // entry is one named document's residency state. An entry is in
@@ -141,6 +150,11 @@ func Open(cfg Config) (*Catalog, error) {
 	if cfg.MemBudget <= 0 {
 		cfg.MemBudget = DefaultMemBudget
 	}
+	if cfg.FollowURL != "" {
+		if u, err := url.Parse(cfg.FollowURL); err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("catalog: bad FollowURL %q", cfg.FollowURL)
+		}
+	}
 	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
 		return nil, fmt.Errorf("catalog: creating root: %w", err)
 	}
@@ -169,6 +183,11 @@ func ValidName(name string) bool {
 // dir returns the journal directory for a validated name.
 func (c *Catalog) dir(name string) string { return filepath.Join(c.cfg.Root, name) }
 
+// followJournalURL is the leader's journal endpoint for a document.
+func (c *Catalog) followJournalURL(name string) string {
+	return strings.TrimRight(c.cfg.FollowURL, "/") + "/v1/docs/" + name + "/journal"
+}
+
 // Pin is one acquired reference to a resident document. The handle
 // stays resident — never evicted — until Release.
 type Pin struct {
@@ -196,6 +215,9 @@ func (p *Pin) Release() {
 func (c *Catalog) Create(name string, src any, schemeName string) (*Pin, error) {
 	if !ValidName(name) {
 		return nil, fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	if c.cfg.FollowURL != "" {
+		return nil, fmt.Errorf("%w: catalog follows %s; create on the leader", dynxml.ErrReadOnly, c.cfg.FollowURL)
 	}
 	if schemeName == "" {
 		schemeName = c.cfg.Scheme
@@ -244,9 +266,15 @@ func (c *Catalog) Acquire(name string) (*Pin, error) {
 		if pinned != nil {
 			return &Pin{c: c, e: pinned}, nil
 		}
-		if _, statErr := os.Stat(c.dir(name)); statErr != nil {
-			c.abandon(opening)
-			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		// A following catalog skips the local existence check: the first
+		// Acquire of a name mirrors it from the leader, and a name the
+		// leader does not serve fails the bootstrap fetch with
+		// dynxml.ErrNotFound.
+		if c.cfg.FollowURL == "" {
+			if _, statErr := os.Stat(c.dir(name)); statErr != nil {
+				c.abandon(opening)
+				return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+			}
 		}
 		mReplays.Inc()
 		return c.finishOpen(opening, nil, "")
@@ -291,18 +319,26 @@ func (c *Catalog) abandon(e *entry) {
 // finishOpen opens the journal for a claimed placeholder and
 // publishes the handle, pinned once for the caller.
 func (c *Catalog) finishOpen(e *entry, src any, schemeName string) (*Pin, error) {
-	opts := []dynxml.Option{
-		dynxml.WithJournal(c.dir(e.name)),
-		dynxml.WithDurability(c.cfg.Durability),
-	}
-	if schemeName != "" {
-		opts = append(opts, dynxml.WithScheme(schemeName))
-	}
-	if !c.cfg.StrictRecovery {
-		opts = append(opts, dynxml.WithRecover())
-	}
+	var h *dynxml.Handle
+	var err error
 	start := time.Now()
-	h, err := dynxml.Open(src, opts...)
+	if c.cfg.FollowURL != "" {
+		h, err = dynxml.OpenFollower(nil,
+			dynxml.WithFollowURL(c.followJournalURL(e.name)),
+			dynxml.WithFollowDir(c.dir(e.name)))
+	} else {
+		opts := []dynxml.Option{
+			dynxml.WithJournal(c.dir(e.name)),
+			dynxml.WithDurability(c.cfg.Durability),
+		}
+		if schemeName != "" {
+			opts = append(opts, dynxml.WithScheme(schemeName))
+		}
+		if !c.cfg.StrictRecovery {
+			opts = append(opts, dynxml.WithRecover())
+		}
+		h, err = dynxml.Open(src, opts...)
+	}
 	mOpenSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		c.abandon(e)
@@ -406,6 +442,11 @@ func (c *Catalog) markClosingLocked(e *entry) {
 // mutex — the checkpoint fsyncs.
 func (c *Catalog) retire(e *entry) {
 	err := e.h.Checkpoint()
+	if errors.Is(err, dynxml.ErrReadOnly) {
+		// Followers checkpoint by mirroring the leader's; eviction just
+		// closes them.
+		err = nil
+	}
 	if cerr := e.h.Close(); err == nil {
 		err = cerr
 	}

@@ -57,6 +57,16 @@ type Concurrent struct {
 	// one atomic snapshot load, so a cached result can never cross
 	// generations (see plan.Cache).
 	plans *plan.Cache
+
+	// Watch state (see watch.go). Lock order: c.mu before wmu — the
+	// writer path enqueues events under both; the dispatcher only ever
+	// takes wmu, so it can never hold up a writer.
+	wmu         sync.Mutex
+	watchers    map[int]*watcher // vet:guardedby wmu
+	nextWatch   int              // vet:guardedby wmu
+	wevents     []watchEvent     // vet:guardedby wmu // published swaps awaiting dispatch
+	wcond       *sync.Cond       // vet:guardedby wmu
+	dispatching bool             // vet:guardedby wmu
 }
 
 // CommitHook intercepts every structured edit batch on its way to
@@ -203,17 +213,23 @@ func (c *Concurrent) updateLocked(fn func(d *Document) error) error {
 	if err := fn(next); err != nil {
 		return err
 	}
-	c.publishLocked(cur, next)
+	ns := c.publishLocked(cur, next)
+	// An opaque mutation carries no edit list, so watchers get a reset
+	// event and requery.
+	c.notifyWatchersLocked(cur, ns, nil, nil, true)
 	return nil
 }
 
-// publishLocked publishes next as the successor of snapshot cur. It
-// must run under the writer mutex so publication order is edit order.
+// publishLocked publishes next as the successor of snapshot cur and
+// returns the published snapshot. It must run under the writer mutex
+// so publication order is edit order.
 //
 // vet:holds c.mu
-func (c *Concurrent) publishLocked(cur *snapshot, next *Document) {
-	c.snap.Store(&snapshot{d: next, eng: next.engine(), gen: cur.gen + 1})
+func (c *Concurrent) publishLocked(cur *snapshot, next *Document) *snapshot {
+	ns := &snapshot{d: next, eng: next.engine(), gen: cur.gen + 1}
+	c.snap.Store(ns)
 	mSnapshotSwaps.Inc()
+	return ns
 }
 
 // applyEdits is the structured writer path every typed edit method
@@ -263,7 +279,8 @@ func (c *Concurrent) applyEditsLocked(edits []Edit) ([]EditResult, func() error,
 			return nil, nil, err
 		}
 	}
-	c.publishLocked(cur, next)
+	ns := c.publishLocked(cur, next)
+	c.notifyWatchersLocked(cur, ns, edits, out, false)
 	return out, wait, nil
 }
 
@@ -387,4 +404,58 @@ func (c *Concurrent) Locked(fn func(d *Document) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return fn(c.load().d)
+}
+
+// ErrFollowerOnly reports a Replay or Reset call on a journaled
+// document: those paths exist for a read-only follower applying a
+// leader's already-journaled batches, and running them on a document
+// with its own commit hook would bypass the journal.
+var ErrFollowerOnly = errors.New("dyndoc: Replay/Reset are follower paths; not allowed on a journaled document")
+
+// Replay applies a run of already-journaled batches as one snapshot
+// swap: fn mutates a private clone (applying as many batches as it
+// likes) and returns the flattened edit/result lists — with node ids
+// valid in the clone — describing what it did, which drive watch
+// notifications. When fn fails nothing is published, so a follower
+// that hits a corrupt or divergent batch mid-run leaves readers on the
+// last good state. Rejected on journaled documents (ErrFollowerOnly).
+func (c *Concurrent) Replay(fn func(d *Document) ([]Edit, []EditResult, error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hook != nil {
+		return ErrFollowerOnly
+	}
+	cur := c.load()
+	next, err := cur.d.Clone()
+	if err != nil {
+		return err
+	}
+	edits, results, err := fn(next)
+	if err != nil {
+		return err
+	}
+	ns := c.publishLocked(cur, next)
+	c.notifyWatchersLocked(cur, ns, edits, results, false)
+	return nil
+}
+
+// Reset replaces the shared document wholesale with d — the follower
+// path for adopting a leader's new checkpoint generation, where no
+// edit list connects the old state to the new. The replacement
+// publishes as the next generation and watchers receive a reset event
+// (full requery). The caller must not touch d afterwards. Rejected on
+// journaled documents (ErrFollowerOnly).
+func (c *Concurrent) Reset(d *Document) error {
+	if _, ok := d.lab.(scheme.Cloner); !ok {
+		return fmt.Errorf("dyndoc: labeling %s does not support snapshots (missing scheme.Cloner)", d.lab.Name())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hook != nil {
+		return ErrFollowerOnly
+	}
+	cur := c.load()
+	ns := c.publishLocked(cur, d)
+	c.notifyWatchersLocked(cur, ns, nil, nil, true)
+	return nil
 }

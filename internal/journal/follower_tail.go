@@ -1,0 +1,207 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/dyndoc"
+	"repro/internal/labelstore"
+)
+
+// Tail mode: the follower shares storage with the leader and reads the
+// leader's own segment files directly. Nothing is ever written — the
+// log is scanned with labelstore.ReadAvailable, which stops cleanly at
+// the live writer's torn tail, and a generation swap (the leader
+// checkpointing) is ridden by draining the old log one final time
+// before switching files. On Linux the open fd keeps the old log
+// readable even after the leader unlinks it, so no batch between the
+// old checkpoint and the new one can be missed.
+
+// bootstrapTail builds the replica from the newest complete checkpoint
+// plus whatever log tail is readable right now.
+func (f *Follower) bootstrapTail() error {
+	f.pollMu.Lock()
+	defer f.pollMu.Unlock()
+	g, meta, err := newestCheckpoint(f.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	d, idmap, err := rebuildFromMeta(meta)
+	if err != nil {
+		return err
+	}
+	seq := meta.BaseSeq
+	var nBatches, nEdits uint64
+	var logf *os.File
+	var logOff int64
+	if lf, err := os.Open(logPath(f.cfg.Dir, g.gen)); err == nil {
+		recs, off, err := labelstore.ReadAvailable(lf, 0)
+		if err != nil {
+			_ = lf.Close()
+			return fmt.Errorf("journal: follower: %w", err)
+		}
+		batches, err := f.contiguous(recs, seq)
+		if err != nil {
+			_ = lf.Close()
+			return err
+		}
+		s, edits, err := applyBatchesRaw(d, idmap, seq, batches)
+		if err != nil {
+			_ = lf.Close()
+			return err
+		}
+		seq, nEdits = s, uint64(edits)
+		nBatches = uint64(len(batches))
+		logf, logOff = lf, off
+	}
+	c, err := dyndoc.NewConcurrentFrom(d)
+	if err != nil {
+		if logf != nil {
+			_ = logf.Close()
+		}
+		return err
+	}
+	f.doc = c
+	f.idmap = idmap
+	f.logf, f.logOff = logf, logOff
+	f.mu.Lock()
+	f.gen = g.gen
+	f.schemeName = meta.Scheme
+	f.seq = seq
+	f.batches += nBatches
+	f.edits += nEdits
+	f.horizon = seq
+	f.leaderHorizon = seq
+	f.mu.Unlock()
+	return nil
+}
+
+// contiguous converts log records above seq into a ship run, rejecting
+// gaps and regressions.
+func (f *Follower) contiguous(recs []labelstore.Record, seq uint64) ([]ShipBatch, error) {
+	var batches []ShipBatch
+	for _, rec := range recs {
+		if rec.ID <= seq {
+			continue
+		}
+		if rec.ID != seq+1 {
+			return nil, fmt.Errorf("journal: follower: log gap at %d (want %d)", rec.ID, seq+1)
+		}
+		batches = append(batches, ShipBatch{Seq: rec.ID, Payload: rec.Payload})
+		seq = rec.ID
+	}
+	return batches, nil
+}
+
+// drainTail applies every complete record past the clean offset. In
+// tail mode what is readable in the leader's log is the replication
+// horizon, so horizon tracks seq.
+//
+// vet:holds f.pollMu
+func (f *Follower) drainTail() error {
+	if f.logf == nil {
+		return nil
+	}
+	recs, off, err := labelstore.ReadAvailable(f.logf, f.logOff)
+	if err != nil {
+		return f.fail(err)
+	}
+	batches, err := f.contiguous(recs, f.seqLocal())
+	if err != nil {
+		return f.fail(err)
+	}
+	if err := f.applyBatchesLive(batches); err != nil {
+		return f.fail(err)
+	}
+	f.logOff = off
+	f.mu.Lock()
+	f.horizon = f.seq
+	f.leaderHorizon = f.seq
+	f.mu.Unlock()
+	return nil
+}
+
+// pollTail is one tail-mode round: drain the current log, then check
+// for a generation swap and ride it.
+//
+// vet:holds f.pollMu
+func (f *Follower) pollTail() error {
+	if f.logf == nil {
+		// The log was missing at bootstrap (crash window between
+		// checkpoint completion and log creation) — keep trying.
+		if lf, err := os.Open(logPath(f.cfg.Dir, f.genLocal())); err == nil {
+			f.logf, f.logOff = lf, 0
+		}
+	}
+	if err := f.drainTail(); err != nil {
+		return err
+	}
+	g, meta, err := newestCheckpoint(f.cfg.Dir)
+	if err != nil {
+		return err // transient: mid-swap directory states resolve themselves
+	}
+	cur := f.genLocal()
+	if g.gen == cur {
+		return nil
+	}
+	if g.gen < cur {
+		return f.fail(fmt.Errorf("journal: follower: generation regressed %d -> %d", cur, g.gen))
+	}
+	// The leader checkpointed. The old log stopped growing at the new
+	// checkpoint's base; drain the final records our last scan may have
+	// raced past, then switch.
+	if err := f.drainTail(); err != nil {
+		return err
+	}
+	if f.seqLocal() >= meta.BaseSeq {
+		lf, err := os.Open(logPath(f.cfg.Dir, g.gen))
+		if err != nil {
+			return nil // new log not created yet; retry next round
+		}
+		if f.logf != nil {
+			_ = f.logf.Close()
+		}
+		f.logf, f.logOff = lf, 0
+		f.mu.Lock()
+		f.gen = g.gen
+		f.mu.Unlock()
+		return f.drainTail()
+	}
+	// Fell behind across a compaction (e.g. the old log vanished before
+	// we ever opened it): adopt the new checkpoint wholesale.
+	return f.resetToCheckpoint(g, meta)
+}
+
+// resetToCheckpoint swaps the replica onto a checkpoint it cannot
+// reach by log replay: rebuild, publish as one reset (watchers
+// requery), restart tailing from the checkpoint's log.
+//
+// vet:holds f.pollMu
+func (f *Follower) resetToCheckpoint(g genFiles, meta checkpointMeta) error {
+	d, idmap, err := rebuildFromMeta(meta)
+	if err != nil {
+		return f.fail(err)
+	}
+	if err := f.doc.Reset(d); err != nil {
+		return f.fail(err)
+	}
+	f.idmap = idmap
+	if f.logf != nil {
+		_ = f.logf.Close()
+		f.logf = nil
+	}
+	if lf, err := os.Open(logPath(f.cfg.Dir, g.gen)); err == nil {
+		f.logf = lf
+	}
+	f.logOff = 0
+	f.mu.Lock()
+	f.gen = g.gen
+	f.schemeName = meta.Scheme
+	f.seq = meta.BaseSeq
+	f.horizon = meta.BaseSeq
+	f.leaderHorizon = meta.BaseSeq
+	f.resets++
+	f.mu.Unlock()
+	mFollowerResets.Inc()
+	return f.drainTail()
+}

@@ -1,0 +1,428 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dyndoc"
+	"repro/internal/labelstore"
+	"repro/internal/labelstore/faultfs"
+)
+
+// fetchVia is the test transport: leader Ship, through the real wire
+// codec, into the follower — every fetch exercises EncodeShipChunk and
+// DecodeShipStream exactly like the HTTP path does.
+func fetchVia(j *Journal) FetchFunc {
+	return func(from uint64, max int) (*ShipChunk, error) {
+		chunk, err := j.Ship(from, max)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := EncodeShipChunk(&buf, chunk); err != nil {
+			return nil, err
+		}
+		return DecodeShipStream(&buf, from)
+	}
+}
+
+func leaderWrite(t *testing.T, j *Journal, d *dyndoc.Document, name string) {
+	t.Helper()
+	root := rootID(t, d)
+	if err := applyAndAppend(t, j, d, insertEdit(root, name))(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFollowerTailCatchUp(t *testing.T) {
+	dir := t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: dir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	leaderWrite(t, j, d, "a")
+	leaderWrite(t, j, d, "b")
+
+	f, err := OpenFollower(FollowerConfig{Dir: dir, Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := f.Doc().XML(); got != d.XML() {
+		t.Fatalf("bootstrap state = %s, want %s", got, d.XML())
+	}
+	if f.Horizon() != 2 || f.Scheme() != testScheme {
+		t.Fatalf("bootstrap horizon=%d scheme=%q", f.Horizon(), f.Scheme())
+	}
+
+	// Live tail: leader appends, follower polls.
+	leaderWrite(t, j, d, "c")
+	if err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Doc().XML(); got != d.XML() {
+		t.Fatalf("after poll = %s, want %s", got, d.XML())
+	}
+
+	// Generation swap: checkpoint, more writes, follower rides it.
+	if err := j.Checkpoint(d); err != nil {
+		t.Fatal(err)
+	}
+	leaderWrite(t, j, d, "e")
+	leaderWrite(t, j, d, "f")
+	if err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Doc().XML(); got != d.XML() {
+		t.Fatalf("after generation swap = %s, want %s", got, d.XML())
+	}
+	st := f.Stats()
+	if st.Generation != 1 || st.Seq != 5 || st.Horizon != 5 {
+		t.Fatalf("stats after swap = %+v", st)
+	}
+	if st.Resets != 0 {
+		t.Fatalf("tail swap should not reset the document: %+v", st)
+	}
+}
+
+func TestFollowerFetchCatchUpAndRestart(t *testing.T) {
+	ldir, fdir := t.TempDir(), t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: ldir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	leaderWrite(t, j, d, "a")
+	leaderWrite(t, j, d, "b")
+
+	// From-scratch bootstrap pulls the checkpoint snapshot plus tail.
+	f, err := OpenFollower(FollowerConfig{Dir: fdir, Fetch: fetchVia(j), Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Doc().XML(); got != d.XML() {
+		t.Fatalf("scratch bootstrap = %s, want %s", got, d.XML())
+	}
+
+	// Plain continuation.
+	leaderWrite(t, j, d, "c")
+	if err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Doc().XML(); got != d.XML() {
+		t.Fatalf("after poll = %s, want %s", got, d.XML())
+	}
+
+	// Leader checkpoint compacts batches away; the next fetch from an
+	// old position adopts the snapshot.
+	if err := j.Checkpoint(d); err != nil {
+		t.Fatal(err)
+	}
+	leaderWrite(t, j, d, "e")
+	if err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Doc().XML(); got != d.XML() {
+		t.Fatalf("after adopt = %s, want %s", got, d.XML())
+	}
+	st := f.Stats()
+	if st.Seq != 4 || st.Horizon != 4 || st.LeaderHorizon != 4 {
+		t.Fatalf("stats after adopt = %+v", st)
+	}
+	horizon := f.Horizon()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with the leader unreachable: the local mirror alone must
+	// serve everything at or below the advertised horizon.
+	dead := func(from uint64, max int) (*ShipChunk, error) {
+		return nil, errors.New("leader unreachable")
+	}
+	f2, err := OpenFollower(FollowerConfig{Dir: fdir, Fetch: dead, Manual: true})
+	if err != nil {
+		t.Fatalf("restart from mirror: %v", err)
+	}
+	defer f2.Close()
+	if f2.Horizon() < horizon {
+		t.Fatalf("restart horizon %d below advertised %d", f2.Horizon(), horizon)
+	}
+	if got := f2.Doc().XML(); got != d.XML() {
+		t.Fatalf("restart state = %s, want %s", got, d.XML())
+	}
+	// Polls fail (transport), but are transient: the follower keeps
+	// serving and recovers when the leader returns.
+	if err := f2.Poll(); err == nil {
+		t.Fatal("poll against dead leader should fail")
+	}
+	leaderWrite(t, j, d, "f")
+	f2.cfg.Fetch = fetchVia(j)
+	if err := f2.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Doc().XML(); got != d.XML() {
+		t.Fatalf("after leader return = %s, want %s", got, d.XML())
+	}
+}
+
+// TestFollowerReadYourWrites pins the horizon contract end to end: a
+// client that saw the leader acknowledge sequence S waits for the
+// follower horizon to reach S and must then see the write.
+func TestFollowerReadYourWrites(t *testing.T) {
+	ldir, fdir := t.TempDir(), t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: ldir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	leaderWrite(t, j, d, "seed")
+
+	f, err := OpenFollower(FollowerConfig{Dir: fdir, Fetch: fetchVia(j), Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 10; i++ {
+		leaderWrite(t, j, d, fmt.Sprintf("w%d", i))
+		seq := j.Stats().Seq // durably acknowledged: wait() returned
+		if h, ok := f.WaitHorizon(seq, 5*time.Second); !ok {
+			t.Fatalf("WaitHorizon(%d) stalled at %d", seq, h)
+		}
+		n, err := f.Doc().Count(fmt.Sprintf("/root/w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("write w%d not visible at horizon %d", i, f.Horizon())
+		}
+	}
+}
+
+// TestFollowerWatch wires the two tentpole halves together: a watcher
+// on the replica fires as replication applies the leader's batches.
+func TestFollowerWatch(t *testing.T) {
+	ldir, fdir := t.TempDir(), t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: ldir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	f, err := OpenFollower(FollowerConfig{Dir: fdir, Fetch: fetchVia(j), Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ch, cancel, err := f.Doc().Watch("/root/n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	leaderWrite(t, j, d, "n")
+	if err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-ch:
+		if n.Added != 1 {
+			t.Fatalf("notification = %+v, want Added=1", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification after replicated insert")
+	}
+}
+
+// TestFollowerRejectsForkedHistory pins the divergence guard: a leader
+// whose history regressed (data loss, different instance) must wedge
+// the follower, not silently fork it.
+func TestFollowerRejectsForkedHistory(t *testing.T) {
+	ldir, fdir := t.TempDir(), t.TempDir()
+	d := mustDoc(t, "<root/>")
+	j, err := Create(Config{Dir: ldir, Scheme: testScheme}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	leaderWrite(t, j, d, "a")
+	leaderWrite(t, j, d, "b")
+	f, err := OpenFollower(FollowerConfig{Dir: fdir, Fetch: fetchVia(j), Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A "leader" that reports a horizon below the replica's position.
+	f.cfg.Fetch = func(from uint64, max int) (*ShipChunk, error) {
+		return &ShipChunk{Horizon: from - 1}, nil
+	}
+	if err := f.Poll(); err == nil {
+		t.Fatal("regressed horizon accepted")
+	}
+	if err := f.Poll(); !errors.Is(err, errDiverged) {
+		t.Fatalf("divergence is not sticky: %v", err)
+	}
+	// A gap in the shipped run is also a fork.
+	f2dir := t.TempDir()
+	f2, err := OpenFollower(FollowerConfig{Dir: f2dir, Fetch: fetchVia(j), Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	f2.cfg.Fetch = func(from uint64, max int) (*ShipChunk, error) {
+		return &ShipChunk{Batches: []ShipBatch{{Seq: from + 2, Payload: []byte("x")}}, Horizon: from + 2}, nil
+	}
+	if err := f2.Poll(); err == nil {
+		t.Fatal("gapped batch run accepted")
+	}
+}
+
+// TestFollowerKillMatrix crashes the follower at every mirror I/O
+// boundary via fault injection, then restarts it with the leader
+// unreachable. The contract: a restart serves some prefix of the
+// leader's history no shorter than the horizon the follower advertised
+// before dying.
+func TestFollowerKillMatrix(t *testing.T) {
+	// followerScript drives one deterministic leader+follower run with
+	// the given mirror wrapper, returning the advertised horizon at the
+	// moment of "death" (first error) and how many batches the leader
+	// issued. A nil follower means the initial open itself crashed —
+	// no horizon was ever advertised, so no promise exists.
+	type runResult struct {
+		horizon uint64
+		issued  uint64
+		opened  bool
+	}
+	followerScript := func(t *testing.T, fdir string, wrap func(labelstore.File) labelstore.File) (res runResult) {
+		ldir := t.TempDir()
+		d := mustDoc(t, "<root/>")
+		j, err := Create(Config{Dir: ldir, Scheme: testScheme}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		leaderWrite(t, j, d, "n1")
+		leaderWrite(t, j, d, "n2")
+		res.issued = 2
+		f, err := OpenFollower(FollowerConfig{Dir: fdir, Fetch: fetchVia(j), Manual: true, WrapFile: wrap})
+		if err != nil {
+			return res
+		}
+		res.opened = true
+		defer func() {
+			res.horizon = f.Horizon()
+			_ = f.Close()
+		}()
+		step := func(ckpt bool, name string) bool {
+			if ckpt {
+				if err := j.Checkpoint(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+			leaderWrite(t, j, d, name)
+			res.issued++
+			return f.Poll() == nil
+		}
+		if !step(false, "n3") {
+			return res
+		}
+		if !step(false, "n4") {
+			return res
+		}
+		if !step(true, "n5") { // checkpoint → snapshot adoption on the mirror
+			return res
+		}
+		if !step(false, "n6") {
+			return res
+		}
+		return res
+	}
+
+	// Reference history: XML after each batch prefix.
+	refXML := func(t *testing.T) []string {
+		d := mustDoc(t, "<root/>")
+		out := []string{d.XML()}
+		root := rootID(t, d)
+		for i := 1; i <= 6; i++ {
+			if _, err := d.ApplyBatch(insertEdit(root, fmt.Sprintf("n%d", i))); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d.XML())
+		}
+		return out
+	}(t)
+
+	// Profile the clean run's mirror I/O.
+	var files []*faultfs.File
+	profile := followerScript(t, t.TempDir(), func(f labelstore.File) labelstore.File {
+		ff := faultfs.Wrap(f.(faultfs.Backing))
+		files = append(files, ff)
+		return ff
+	})
+	if !profile.opened || profile.horizon != 6 {
+		t.Fatalf("clean profile run: %+v", profile)
+	}
+	var writes, syncs []int
+	for _, ff := range files {
+		writes = append(writes, ff.Ops(faultfs.OpWrite))
+		syncs = append(syncs, ff.Ops(faultfs.OpSync))
+	}
+
+	verify := func(t *testing.T, fdir string, res runResult, boundary string) {
+		dead := func(from uint64, max int) (*ShipChunk, error) {
+			return nil, errors.New("leader unreachable")
+		}
+		f, err := OpenFollower(FollowerConfig{Dir: fdir, Fetch: dead, Manual: true})
+		if err != nil {
+			t.Fatalf("%s: restart after crash: %v (advertised horizon %d)", boundary, err, res.horizon)
+		}
+		defer f.Close()
+		st := f.Stats()
+		if st.Horizon < res.horizon {
+			t.Fatalf("%s: restart horizon %d below advertised %d", boundary, st.Horizon, res.horizon)
+		}
+		if st.Seq > res.issued {
+			t.Fatalf("%s: restart seq %d beyond issued %d", boundary, st.Seq, res.issued)
+		}
+		if got, want := f.Doc().XML(), refXML[st.Seq]; got != want {
+			t.Fatalf("%s: restart state is not the %d-batch prefix:\n got %s\nwant %s", boundary, st.Seq, got, want)
+		}
+	}
+
+	total := 0
+	for fi := range writes {
+		for n := 1; n <= writes[fi]; n++ {
+			for _, short := range []int{0, 3} {
+				boundary := fmt.Sprintf("file%d/write%d/short%d", fi, n, short)
+				fdir := t.TempDir()
+				res := followerScript(t, fdir, wrapNth(fi, faultfs.Fault{Op: faultfs.OpWrite, N: n, Short: short}))
+				if !res.opened {
+					continue
+				}
+				verify(t, fdir, res, boundary)
+				total++
+			}
+		}
+		for n := 1; n <= syncs[fi]; n++ {
+			boundary := fmt.Sprintf("file%d/sync%d", fi, n)
+			fdir := t.TempDir()
+			res := followerScript(t, fdir, wrapNth(fi, faultfs.Fault{Op: faultfs.OpSync, N: n}))
+			if !res.opened {
+				continue
+			}
+			verify(t, fdir, res, boundary)
+			total++
+		}
+	}
+	if total < 10 {
+		t.Fatalf("follower kill matrix exercised only %d boundaries — profiling is broken", total)
+	}
+	t.Logf("follower kill matrix: %d crash boundaries verified", total)
+}

@@ -134,12 +134,13 @@ type Journal struct {
 
 	// mu is the append lock: sequence assignment and buffered record
 	// writes, in publication order.
-	mu      sync.Mutex
-	store   *labelstore.Store // vet:guardedby mu
-	gen     uint64            // vet:guardedby mu // current segment generation
-	seq     uint64            // vet:guardedby mu // last appended batch sequence
-	baseSeq uint64            // vet:guardedby mu // seq when this session opened (replayed history)
-	closed  bool              // vet:guardedby mu
+	mu       sync.Mutex
+	store    *labelstore.Store // vet:guardedby mu
+	gen      uint64            // vet:guardedby mu // current segment generation
+	seq      uint64            // vet:guardedby mu // last appended batch sequence
+	baseSeq  uint64            // vet:guardedby mu // seq when this session opened (replayed history)
+	ckptBase uint64            // vet:guardedby mu // seq the current generation's checkpoint covers
+	closed   bool              // vet:guardedby mu
 
 	// appended mirrors seq for lock-free reads by the group-commit
 	// window spin (an approximate progress signal, not a fence).
@@ -167,7 +168,7 @@ type Journal struct {
 	done chan struct{}
 }
 
-func newJournal(cfg Config, store *labelstore.Store, gen, seq uint64) *Journal {
+func newJournal(cfg Config, store *labelstore.Store, gen, seq, ckptBase uint64) *Journal {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 100 * time.Millisecond
 	}
@@ -176,7 +177,7 @@ func newJournal(cfg Config, store *labelstore.Store, gen, seq uint64) *Journal {
 	} else if cfg.GroupWindow < 0 {
 		cfg.GroupWindow = 0
 	}
-	j := &Journal{cfg: cfg, store: store, gen: gen, seq: seq, baseSeq: seq, durable: seq}
+	j := &Journal{cfg: cfg, store: store, gen: gen, seq: seq, baseSeq: seq, ckptBase: ckptBase, durable: seq}
 	j.cond = sync.NewCond(&j.cmu)
 	if cfg.Mode == SyncInterval {
 		j.stop = make(chan struct{})
@@ -236,7 +237,7 @@ func Create(cfg Config, d *dyndoc.Document) (*Journal, error) {
 		return nil, err
 	}
 	syncDir(cfg.Dir)
-	return newJournal(cfg, store, 0, 0), nil
+	return newJournal(cfg, store, 0, 0, 0), nil
 }
 
 // writeCheckpoint serializes doc into ckpt-gen: a meta record, every
@@ -574,6 +575,7 @@ func (j *Journal) Checkpoint(d *dyndoc.Document) error {
 	j.store = store
 	oldGen := j.gen
 	j.gen = next
+	j.ckptBase = j.seq
 	j.checkpoints++
 	j.setDurable(j.seq) // the checkpoint made everything appended durable
 	_ = old.Close()

@@ -230,7 +230,7 @@ func Replay(cfg Config) (*Journal, *dyndoc.Document, ReplayInfo, error) {
 		if err != nil {
 			return fail(err)
 		}
-		if err := applyRecorded(d, idmap, edits, recorded); err != nil {
+		if _, _, err := applyRecorded(d, idmap, edits, recorded); err != nil {
 			return fail(fmt.Errorf("journal: replaying batch %d: %w", rec.ID, err))
 		}
 		seq = rec.ID
@@ -278,16 +278,18 @@ func Replay(cfg Config) (*Journal, *dyndoc.Document, ReplayInfo, error) {
 		}
 		store = labelstore.AppendStore(lf)
 	}
-	return newJournal(cfg, store, g.gen, seq), d, info, nil
+	return newJournal(cfg, store, g.gen, seq, meta.BaseSeq), d, info, nil
 }
 
 // applyRecorded re-executes one recorded batch against the rebuilt
 // document, translating node ids both ways: edit references old→new
 // before applying, recorded result ids old→new after, so later
-// batches can reference nodes this one created.
-func applyRecorded(d *dyndoc.Document, idmap map[int]int, edits []dyndoc.Edit, recorded []dyndoc.EditResult) error {
+// batches can reference nodes this one created. It returns the
+// translated edits and the fresh results — ids valid in d — which the
+// follower feeds to watch notification.
+func applyRecorded(d *dyndoc.Document, idmap map[int]int, edits []dyndoc.Edit, recorded []dyndoc.EditResult) ([]dyndoc.Edit, []dyndoc.EditResult, error) {
 	if len(recorded) != len(edits) {
-		return fmt.Errorf("%w: %d results for %d edits", ErrCodec, len(recorded), len(edits))
+		return nil, nil, fmt.Errorf("%w: %d results for %d edits", ErrCodec, len(recorded), len(edits))
 	}
 	translated := make([]dyndoc.Edit, len(edits))
 	for i, e := range edits {
@@ -296,13 +298,13 @@ func applyRecorded(d *dyndoc.Document, idmap map[int]int, edits []dyndoc.Edit, r
 		case dyndoc.OpInsertElement, dyndoc.OpInsertTree:
 			nid, ok := idmap[e.Parent]
 			if !ok {
-				return fmt.Errorf("edit %d references unknown parent %d", i, e.Parent)
+				return nil, nil, fmt.Errorf("edit %d references unknown parent %d", i, e.Parent)
 			}
 			t.Parent = nid
 		case dyndoc.OpDeleteSubtree:
 			nid, ok := idmap[e.Node]
 			if !ok {
-				return fmt.Errorf("edit %d references unknown node %d", i, e.Node)
+				return nil, nil, fmt.Errorf("edit %d references unknown node %d", i, e.Node)
 			}
 			t.Node = nid
 		}
@@ -310,15 +312,15 @@ func applyRecorded(d *dyndoc.Document, idmap map[int]int, edits []dyndoc.Edit, r
 	}
 	results, err := d.ApplyBatch(translated)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	for i, rec := range recorded {
 		if len(results[i].IDs) != len(rec.IDs) {
-			return fmt.Errorf("edit %d produced %d ids, journal recorded %d", i, len(results[i].IDs), len(rec.IDs))
+			return nil, nil, fmt.Errorf("edit %d produced %d ids, journal recorded %d", i, len(results[i].IDs), len(rec.IDs))
 		}
 		for k, old := range rec.IDs {
 			idmap[old] = results[i].IDs[k]
 		}
 	}
-	return nil
+	return translated, results, nil
 }

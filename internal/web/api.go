@@ -35,11 +35,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any, allowEmpty bool
 		if allowEmpty && errors.Is(err, io.EOF) {
 			return true
 		}
-		writeError(w, r, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "invalid JSON body: "+err.Error())
 		return false
 	}
 	if dec.More() {
-		writeError(w, r, http.StatusBadRequest, "invalid JSON body: trailing data")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "invalid JSON body: trailing data")
 		return false
 	}
 	return true
@@ -122,7 +122,7 @@ type docEntry struct {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	names, err := s.cat.Names()
 	if err != nil {
-		writeError(w, r, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	st := s.cat.Stats()
@@ -148,12 +148,22 @@ type journalInfo struct {
 	Mode        string `json:"mode"`
 }
 
+type replicaInfo struct {
+	Seq           uint64 `json:"seq"`
+	Horizon       uint64 `json:"horizon"`
+	LeaderHorizon uint64 `json:"leader_horizon"`
+	Generation    uint64 `json:"generation"`
+	Resets        uint64 `json:"resets"`
+	LastErr       string `json:"last_err,omitempty"`
+}
+
 type statsResponse struct {
 	Name      string       `json:"name"`
 	Scheme    string       `json:"scheme"`
 	Nodes     int          `json:"nodes"`
 	Relabeled int64        `json:"relabeled"`
 	Journal   *journalInfo `json:"journal,omitempty"`
+	Replica   *replicaInfo `json:"replica,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -173,6 +183,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Generation:  st.Journal.Generation,
 				Checkpoints: st.Journal.Checkpoints,
 				Mode:        st.Journal.Mode.String(),
+			}
+		}
+		if st.Following {
+			resp.Replica = &replicaInfo{
+				Seq:           st.Replica.Seq,
+				Horizon:       st.Replica.Horizon,
+				LeaderHorizon: st.Replica.LeaderHorizon,
+				Generation:    st.Replica.Generation,
+				Resets:        st.Replica.Resets,
+				LastErr:       st.Replica.LastErr,
 			}
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -276,6 +296,22 @@ type editResult struct {
 type editResponse struct {
 	Results []editResult `json:"results"`
 	Applied int          `json:"applied"`
+	// Seq is the journal sequence covering this edit (the handle's
+	// current sequence after the batch landed): the read-your-writes
+	// anchor a client hands to a follower's horizon wait. Zero on an
+	// unjournaled document.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// editSeq reads the journal sequence after a successful edit. Under
+// concurrent writers it may cover later batches too; waiting on a
+// later sequence is always safe for read-your-writes.
+func editSeq(h *dynxml.Handle) uint64 {
+	st := h.Stats()
+	if !st.Journaled {
+		return 0
+	}
+	return st.Journal.Seq
 }
 
 func toResults(in []dynxml.EditResult) []editResult {
@@ -293,7 +329,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	}
 	edit, err := req.toEdit()
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	s.withDoc(w, r, func(h *dynxml.Handle) {
@@ -302,7 +338,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 			fail(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, editResponse{Results: toResults(results), Applied: len(results)})
+		writeJSON(w, http.StatusOK, editResponse{Results: toResults(results), Applied: len(results), Seq: editSeq(h)})
 	})
 }
 
@@ -316,14 +352,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Edits) == 0 {
-		writeError(w, r, http.StatusBadRequest, "batch requires at least one edit")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "batch requires at least one edit")
 		return
 	}
 	edits := make([]dynxml.Edit, len(req.Edits))
 	for i := range req.Edits {
 		e, err := req.Edits[i].toEdit()
 		if err != nil {
-			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("edit %d: %s", i, err))
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("edit %d: %s", i, err))
 			return
 		}
 		edits[i] = e
@@ -334,7 +370,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fail(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, editResponse{Results: toResults(results), Applied: len(results)})
+		writeJSON(w, http.StatusOK, editResponse{Results: toResults(results), Applied: len(results), Seq: editSeq(h)})
 	})
 }
 

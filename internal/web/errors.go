@@ -11,49 +11,70 @@ import (
 	"repro/internal/catalog"
 )
 
-// errorBody is the JSON envelope every non-2xx response carries. The
-// request id lets a client quote the exact server-side request in a
-// bug report; it matches the X-Request-ID response header.
+// Stable machine-readable error codes, carried in every error
+// envelope's "code" field. Clients branch on these, never on the
+// human-readable message text.
+const (
+	CodeNotFound      = "not_found"
+	CodeExists        = "exists"
+	CodeBadName       = "bad_name"
+	CodeUnknownScheme = "unknown_scheme"
+	CodeUnavailable   = "unavailable"
+	CodeReadOnly      = "read_only"
+	CodeBadRequest    = "bad_request"
+	CodeTimeout       = "timeout"
+	CodeInternal      = "internal"
+)
+
+// errorBody is the JSON envelope every non-2xx response carries. Code
+// is the stable machine-readable classification; the request id lets a
+// client quote the exact server-side request in a bug report and
+// matches the X-Request-ID response header.
 type errorBody struct {
 	Error     string `json:"error"`
+	Code      string `json:"code"`
 	RequestID string `json:"request_id"`
 }
 
-// writeError renders err (or a plain message) as the JSON error
-// envelope with the given status.
-func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+// writeError renders a message as the JSON error envelope with the
+// given status and code.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, RequestID: RequestID(r.Context())})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, Code: code, RequestID: RequestID(r.Context())})
 }
 
-// mapError translates a catalog or document error into an HTTP status
-// and client-facing message. Unrecognized errors are reported as 400:
-// every error the document layer returns on a live handle is induced
-// by the request (bad ids, malformed paths, rejected edits) — real
-// server faults surface as panics and take the 500 path instead.
-func mapError(err error) (int, string) {
+// mapError translates a catalog or document error into an HTTP status,
+// a stable error code and a client-facing message. Unrecognized errors
+// are reported as 400: every error the document layer returns on a
+// live handle is induced by the request (bad ids, malformed paths,
+// rejected edits) — real server faults surface as panics and take the
+// 500 path instead.
+func mapError(err error) (int, string, string) {
 	switch {
-	case errors.Is(err, catalog.ErrNotFound):
-		return http.StatusNotFound, err.Error()
+	case errors.Is(err, catalog.ErrNotFound), errors.Is(err, dynxml.ErrNotFound):
+		return http.StatusNotFound, CodeNotFound, err.Error()
 	case errors.Is(err, catalog.ErrExists):
-		return http.StatusConflict, err.Error()
+		return http.StatusConflict, CodeExists, err.Error()
 	case errors.Is(err, catalog.ErrBadName):
-		return http.StatusBadRequest, err.Error()
+		return http.StatusBadRequest, CodeBadName, err.Error()
 	case errors.Is(err, dynxml.ErrUnknownScheme):
-		return http.StatusBadRequest,
+		return http.StatusBadRequest, CodeUnknownScheme,
 			fmt.Sprintf("%s (valid schemes: %s)", err, strings.Join(dynxml.Schemes(), ", "))
+	case errors.Is(err, dynxml.ErrReadOnly):
+		// A follower serves reads only; writes belong on the leader.
+		return http.StatusForbidden, CodeReadOnly, err.Error()
 	case errors.Is(err, dynxml.ErrClosed), errors.Is(err, catalog.ErrCatalogClosed):
 		// The handle was evicted or the server is draining; the client
 		// can retry and the catalog will replay the document.
-		return http.StatusServiceUnavailable, err.Error()
+		return http.StatusServiceUnavailable, CodeUnavailable, err.Error()
 	default:
-		return http.StatusBadRequest, err.Error()
+		return http.StatusBadRequest, CodeBadRequest, err.Error()
 	}
 }
 
 // fail maps err and writes the error envelope.
 func fail(w http.ResponseWriter, r *http.Request, err error) {
-	status, msg := mapError(err)
-	writeError(w, r, status, msg)
+	status, code, msg := mapError(err)
+	writeError(w, r, status, code, msg)
 }

@@ -70,7 +70,7 @@ func withRecover(h http.Handler) http.Handler {
 				mPanics.Inc()
 				log.Printf("web: panic serving %s %s (request %s): %v\n%s",
 					r.Method, r.URL.Path, RequestID(r.Context()), p, debug.Stack())
-				writeError(w, r, http.StatusInternalServerError, "internal error")
+				writeError(w, r, http.StatusInternalServerError, CodeInternal, "internal error")
 			}
 		}()
 		h.ServeHTTP(w, r)
@@ -141,7 +141,7 @@ func withTimeout(d time.Duration, h http.Handler) http.Handler {
 			rec.flush(w)
 		case <-ctx.Done():
 			mTimeouts.Inc()
-			writeError(w, r, http.StatusGatewayTimeout, "request timed out")
+			writeError(w, r, http.StatusGatewayTimeout, CodeTimeout, "request timed out")
 		}
 	})
 }
@@ -165,6 +165,14 @@ func (s *statusWriter) Write(p []byte) (int, error) {
 		s.status = http.StatusOK
 	}
 	return s.ResponseWriter.Write(p)
+}
+
+// Flush forwards to the underlying writer so streaming routes (SSE)
+// work through the metrics layer.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // routeMetrics is one route's instrument family on the process

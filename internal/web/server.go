@@ -19,8 +19,14 @@
 //	POST /v1/docs/{name}/sync       force durability point
 //	POST /v1/docs/{name}/checkpoint bound future replay time
 //	POST /v1/docs/{name}/close      evict the resident handle (journal stays)
+//	GET  /v1/docs/{name}/journal    binary ship chunk for followers (?from, ?limit, ?waitms)
+//	GET  /v1/docs/{name}/horizon    durable horizon; read-your-writes wait (?min, ?waitms)
+//	GET  /v1/docs/{name}/watch      SSE stream of change notifications (?path)
 //	GET  /healthz                   liveness
 //	GET  /debug/vars                process metrics registry as JSON
+//
+// Unversioned /docs... routes answer 308 Permanent Redirect to their
+// /v1 equivalents.
 package web
 
 import (
@@ -70,6 +76,16 @@ func New(cfg Config) *Server {
 	s.route(mux, "POST /v1/docs/{name}/sync", "sync", s.handleSync)
 	s.route(mux, "POST /v1/docs/{name}/checkpoint", "checkpoint", s.handleCheckpoint)
 	s.route(mux, "POST /v1/docs/{name}/close", "close", s.handleClose)
+	// The replication sync surface streams or long-polls, so it runs
+	// without the buffering timeout middleware and bounds its own waits.
+	s.routeStream(mux, "GET /v1/docs/{name}/journal", "journal", s.handleJournal)
+	s.routeStream(mux, "GET /v1/docs/{name}/horizon", "horizon", s.handleHorizon)
+	s.routeStream(mux, "GET /v1/docs/{name}/watch", "watch", s.handleWatch)
+	// Unversioned routes from before the /v1 surface answer with a 308
+	// so old clients learn the new location without losing the method
+	// or body.
+	mux.Handle("/docs", redirectV1())
+	mux.Handle("/docs/", redirectV1())
 	// Introspection routes skip the timeout and per-route metrics:
 	// they must answer even when the API is saturated, and scraping
 	// them should not perturb what they report.
@@ -79,12 +95,33 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// redirectV1 sends unversioned /docs... requests to their /v1
+// equivalent with 308 Permanent Redirect, which preserves the request
+// method and body across the retry.
+func redirectV1() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		target := "/v1" + r.URL.Path
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, target, http.StatusPermanentRedirect)
+	})
+}
+
 // route registers one API route under the full middleware stack.
 // Recovery sits innermost so it runs on the timeout's handler
 // goroutine; metrics sit outermost so a timed-out request is recorded
 // as its client saw it — a 504.
 func (s *Server) route(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
 	mux.Handle(pattern, withMetrics(newRouteMetrics(name), withTimeout(s.timeout, withRecover(h))))
+}
+
+// routeStream registers a streaming or long-polling route: metrics and
+// recovery, but no timeout layer — its buffered response would defeat
+// SSE flushing and kill parked long-polls. Stream handlers bound their
+// own waits and stop on request-context cancellation.
+func (s *Server) routeStream(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+	mux.Handle(pattern, withMetrics(newRouteMetrics(name), withRecover(h)))
 }
 
 // ServeHTTP dispatches through the middleware stack.

@@ -1,8 +1,9 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR8.json, the checked-in record of the
-# label-kernel, journal group-commit, query-planner and HTTP-serving
-# benchmarks (see internal/bench/kernels.go, internal/bench/journal.go,
-# internal/bench/xpathbench.go and internal/bench/httpbench.go).
+# bench.sh — regenerate BENCH_PR9.json, the checked-in record of the
+# label-kernel, journal group-commit, query-planner, HTTP-serving and
+# journal-shipping replication benchmarks (see internal/bench/
+# kernels.go, journal.go, xpathbench.go, httpbench.go and
+# followerbench.go).
 #
 #   sh scripts/bench.sh            # full run, benchtime 1s
 #   BENCH_TIME=1x sh scripts/bench.sh   # smoke run (CI)
@@ -12,7 +13,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-1s}"
-BENCH_OUT="${BENCH_OUT:-BENCH_PR8.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR9.json}"
 
 echo "==> go run ./cmd/experiments -bench-json $BENCH_OUT -bench-time $BENCH_TIME"
 go run ./cmd/experiments -bench-json "$BENCH_OUT" -bench-time "$BENCH_TIME"

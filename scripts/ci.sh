@@ -8,12 +8,14 @@
 #   4. go test       — the whole module, plus invariants-tagged label packages
 #   5. go test -race — the concurrent document layer, the labelstore,
 #                      the journal's group-commit pipeline and the
-#                      HTTP serving stack (web + catalog), plus the
-#                      snapshot storm, planned-query storm, hook-install
-#                      race, close-drain and journal stress tests by name
+#                      HTTP serving stack (web + catalog + client), plus
+#                      the snapshot storm, planned-query storm,
+#                      hook-install race, close-drain, journal stress,
+#                      watch storm and follower replication tests by name
 #   6. crash safety  — the recovery/fault-injection suite by name, the
-#                      journal kill matrix, then the FuzzReadAll,
-#                      FuzzEncodeBetween and FuzzEditCodec seed corpora
+#                      journal kill matrix, the follower kill matrix,
+#                      then the FuzzReadAll, FuzzEncodeBetween,
+#                      FuzzEditCodec and FuzzStreamDecode seed corpora
 #                      as short fuzz runs
 #   7. labelvet      — the repo's own static-analysis suite (label invariants,
 #                      lock hygiene, dropped errors, panic allowlist), then
@@ -23,13 +25,20 @@
 #   8. bench smoke   — every benchmark once (-benchtime 1x) plus a throwaway
 #                      BENCH JSON report, so the bench machinery cannot rot
 #   9. metrics smoke — experiments binary dumps a -metrics-json snapshot and
-#                      the labelstore/cdbs/qed/dyndoc keys must be present
+#                      the labelstore/cdbs/qed/dyndoc/journal-ship/watch/
+#                      follower keys must be present
 #  10. httpd smoke    — dynxmld starts on a random port, the whole route
-#                      surface is driven with curl (open, query, explain,
-#                      edit, batch, sync, checkpoint, stats, xml, list,
-#                      close, reopen), /debug/vars must carry the web_*
-#                      and catalog_* families, and SIGTERM must stop the
+#                      surface is driven through dynxmlctl (the typed
+#                      /v1 client: open, query, explain, edit, batch,
+#                      sync, checkpoint, stats, xml, list, close,
+#                      reopen, horizon, watch), unversioned routes must
+#                      308 to /v1, /debug/vars must carry the web_* and
+#                      catalog_* families, and SIGTERM must stop the
 #                      server cleanly (exit 0)
+#  11. replication smoke — a second dynxmld boots with -follow against
+#                      the first, serves a leader write at the ack'd
+#                      horizon, rejects writes with 403 read_only,
+#                      survives SIGKILL and catches up after restart
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,8 +66,8 @@ go test ./...
 echo "==> go test -tags invariants ./internal/bitstr/... ./internal/cdbs/..."
 go test -tags invariants ./internal/bitstr/... ./internal/cdbs/...
 
-echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/..."
-go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/...
+echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/... ./client/..."
+go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/... ./client/...
 
 echo "==> snapshot + planned-query storms under the race detector"
 go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter|TestPlannedQueryStorm|TestSetCommitHookInstallRace' ./internal/dyndoc
@@ -71,17 +80,29 @@ go test -race -count=1 -run 'TestEvictAcquireRace|TestAcquireSingleflight' ./int
 echo "==> group-commit pipeline under the race detector"
 go test -race -count=1 -run 'TestGroup|TestConcurrent|TestDurable|TestSyncIntervalStress|TestCloseVsAppend' ./internal/journal .
 
+echo "==> replication + watch under the race detector"
+go test -race -count=1 -run 'TestWatchStorm' ./internal/dyndoc
+go test -race -count=1 -run 'TestFollowerKillMatrix|TestFollowerReadYourWrites|TestFollowerWatch' ./internal/journal
+go test -race -count=1 -run 'TestOpenFollower' .
+go test -race -count=1 -run 'TestClientFollowerReadYourWrites|TestClientWatch' ./client
+
 echo "==> crash-safety suite (recovery + fault injection)"
 go test -count=1 -run 'TestRecover|TestFault|TestSynced|TestReadAllTorn' ./internal/labelstore ./internal/labelstore/faultfs
 
 echo "==> journal kill matrix (every write/sync fault point at durability=always)"
 go test -count=1 -run 'TestKillMatrix|TestReplay|TestCheckpoint' ./internal/journal
 
+echo "==> follower kill matrix (kill the replica at every ship/persist point, catch up)"
+go test -count=1 -run 'TestFollowerKillMatrix' ./internal/journal
+
 echo "==> FuzzReadAll seed corpus (5s)"
 go test -run '^$' -fuzz 'FuzzReadAll' -fuzztime 5s ./internal/labelstore
 
 echo "==> FuzzEditCodec seed corpus (5s)"
 go test -run '^$' -fuzz 'FuzzEditCodec' -fuzztime 5s ./internal/journal
+
+echo "==> FuzzStreamDecode seed corpus (5s, hostile-leader ship frames)"
+go test -run '^$' -fuzz 'FuzzStreamDecode' -fuzztime 5s ./internal/journal
 
 echo "==> FuzzEncodeBetween seed corpus (5s each, cdbs + qed)"
 go test -run '^$' -fuzz 'FuzzEncodeBetween' -fuzztime 5s ./internal/cdbs
@@ -113,19 +134,21 @@ BENCH_TIME=1x BENCH_OUT="${BENCH_SMOKE_OUT:-/tmp/bench_smoke.json}" sh scripts/b
 
 echo "==> metrics snapshot smoke (-metrics-json)"
 metrics_out="${METRICS_SMOKE_OUT:-/tmp/metrics_smoke.json}"
-go run ./cmd/experiments -run live,overflow,durable -edits 60 -metrics-json "$metrics_out" >/dev/null
-for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_codes qed_code_len_digits dyndoc_inserts_total dyndoc_snapshot_swaps_total dyndoc_reader_staleness_gens dyndoc_batch_size cdbs_batch_insert_codes journal_append_seconds journal_appends_total journal_group_commits_total journal_group_commit_batches journal_checkpoints_total journal_checkpoint_reclaimed_bytes_total journal_replayed_edits_total xpath_plan_cache_hits_total xpath_result_cache_hits_total xpath_join_parallel_parts; do
+go run ./cmd/experiments -run live,overflow,durable,follow -edits 60 -metrics-json "$metrics_out" >/dev/null
+for key in labelstore_sync_seconds labelstore_records_total cdbs_relabel_burst_codes qed_code_len_digits dyndoc_inserts_total dyndoc_snapshot_swaps_total dyndoc_reader_staleness_gens dyndoc_batch_size cdbs_batch_insert_codes journal_append_seconds journal_appends_total journal_group_commits_total journal_group_commit_batches journal_checkpoints_total journal_checkpoint_reclaimed_bytes_total journal_replayed_edits_total xpath_plan_cache_hits_total xpath_result_cache_hits_total xpath_join_parallel_parts journal_ship_requests_total journal_ship_batches_total journal_ship_bytes_total journal_ship_snapshots_total watch_watchers_active watch_events_total watch_notifications_total watch_coalesced_total watch_requeries_total follower_lag_seqs follower_applied_total follower_resets_total follower_polls_total; do
 	if ! grep -q "\"$key\"" "$metrics_out"; then
 		echo "metrics smoke: $key missing from $metrics_out" >&2
 		exit 1
 	fi
 done
 
-echo "==> httpd smoke (dynxmld route surface + graceful shutdown)"
+echo "==> httpd smoke (dynxmld route surface via dynxmlctl + graceful shutdown)"
 httpd_dir=$(mktemp -d)
 httpd_bin="$httpd_dir/dynxmld"
+ctl="$httpd_dir/dynxmlctl"
 httpd_addr_file="$httpd_dir/addr"
 go build -o "$httpd_bin" ./cmd/dynxmld
+go build -o "$ctl" ./cmd/dynxmlctl
 "$httpd_bin" -addr 127.0.0.1:0 -root "$httpd_dir/docs" -addr-file "$httpd_addr_file" \
 	-durability interval=20ms >"$httpd_dir/log" 2>&1 &
 httpd_pid=$!
@@ -142,33 +165,92 @@ while [ ! -s "$httpd_addr_file" ]; do
 	sleep 0.1
 done
 httpd_url="http://$(cat "$httpd_addr_file")"
+export DYNXML_ADDR="$httpd_url"
 curl -sf "$httpd_url/healthz" >/dev/null || httpd_fail "healthz"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/open" -d '{"xml":"<root><a></a></root>"}' >/dev/null || httpd_fail "open"
-root_id=$(curl -sf -XPOST "$httpd_url/v1/docs/ci/query" -d '{"path":"/root"}' | sed 's/.*"ids":\[\([0-9]*\)\].*/\1/')
-[ -n "$root_id" ] || httpd_fail "query gave no root id"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/edit" \
-	-d "{\"op\":\"insert-element\",\"parent\":$root_id,\"pos\":0,\"name\":\"x\"}" >/dev/null || httpd_fail "edit"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/batch" \
-	-d "{\"edits\":[{\"op\":\"insert-tree\",\"parent\":$root_id,\"pos\":0,\"fragment\":\"<x><y></y></x>\"}]}" >/dev/null || httpd_fail "batch"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/query" -d '{"path":"/root/x"}' | grep -q '"count":2' || httpd_fail "query after edits"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/explain" -d '{"path":"/root/x"}' | grep -q 'strategy' || httpd_fail "explain"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/sync" >/dev/null || httpd_fail "sync"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/checkpoint" >/dev/null || httpd_fail "checkpoint"
-curl -sf "$httpd_url/v1/docs/ci" | grep -q '"journal"' || httpd_fail "stats"
-curl -sf "$httpd_url/v1/docs/ci/xml" | grep -q '<y>' || httpd_fail "xml"
-curl -sf "$httpd_url/v1/docs" | grep -q '"name":"ci"' || httpd_fail "list"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/close" >/dev/null || httpd_fail "close"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/open" -d '{}' >/dev/null || httpd_fail "reopen after close"
-curl -sf -XPOST "$httpd_url/v1/docs/ci/query" -d '{"path":"/root/x"}' | grep -q '"count":2' || httpd_fail "replay lost an edit"
-status=$(curl -s -o /dev/null -w '%{http_code}' "$httpd_url/v1/docs/ghost")
-[ "$status" = "404" ] || httpd_fail "unknown doc gave $status, want 404"
+"$ctl" create ci '<root><a></a></root>' >/dev/null || httpd_fail "create"
+root_id=$("$ctl" query -first ci /root) || httpd_fail "query gave no root id"
+edit_seq=$("$ctl" insert -seq ci "$root_id" 0 x) || httpd_fail "edit"
+[ "$edit_seq" -gt 0 ] || httpd_fail "edit ack carried no journal seq"
+"$ctl" batch ci "[{\"op\":\"insert-tree\",\"parent\":$root_id,\"pos\":0,\"fragment\":\"<x><y></y></x>\"}]" >/dev/null || httpd_fail "batch"
+[ "$("$ctl" count ci /root/x)" = "2" ] || httpd_fail "query after edits"
+"$ctl" explain ci /root/x | grep -q 'strategy' || httpd_fail "explain"
+"$ctl" sync ci || httpd_fail "sync"
+"$ctl" checkpoint ci || httpd_fail "checkpoint"
+"$ctl" stats ci | grep -q '"journal"' || httpd_fail "stats"
+"$ctl" xml ci | grep -q '<y>' || httpd_fail "xml"
+"$ctl" list | grep -q '"name":"ci"' || httpd_fail "list"
+"$ctl" horizon -min "$edit_seq" -wait 5s ci >/dev/null || httpd_fail "horizon"
+"$ctl" close ci || httpd_fail "close"
+"$ctl" open ci >/dev/null || httpd_fail "reopen after close"
+[ "$("$ctl" count ci /root/x)" = "2" ] || httpd_fail "replay lost an edit"
+"$ctl" watch -n 1 -timeout 10s ci /root/w >"$httpd_dir/watch.out" 2>&1 &
+watch_pid=$!
+sleep 0.5
+"$ctl" insert ci "$root_id" 0 w >/dev/null || httpd_fail "insert under watch"
+wait "$watch_pid" || httpd_fail "watch never fired: $(cat "$httpd_dir/watch.out")"
+grep -q '"added":1' "$httpd_dir/watch.out" || httpd_fail "watch notification malformed: $(cat "$httpd_dir/watch.out")"
+if "$ctl" open ghost >/dev/null 2>&1; then httpd_fail "unknown doc did not fail"; fi
+# Unversioned paths answer 308 to their /v1 twins (compat redirect).
+status=$(curl -s -o /dev/null -w '%{http_code}' "$httpd_url/docs")
+[ "$status" = "308" ] || httpd_fail "unversioned /docs gave $status, want 308"
 vars_out="$httpd_dir/vars.json"
 curl -sf "$httpd_url/debug/vars" >"$vars_out" || httpd_fail "debug/vars"
 for key in web_requests_total web_inflight_requests web_panics_total web_timeouts_total \
 	web_route_query_latency_seconds web_route_open_responses_2xx_total \
+	web_route_journal_inflight web_route_watch_inflight web_route_horizon_inflight \
 	catalog_opens_total catalog_replays_total catalog_open_docs catalog_resident_bytes catalog_evictions_total; do
 	grep -q "\"$key\"" "$vars_out" || httpd_fail "/debug/vars missing $key"
 done
+
+echo "==> replication smoke (leader + follower dynxmld, kill and catch up)"
+repl_addr_file="$httpd_dir/faddr"
+"$httpd_bin" -addr 127.0.0.1:0 -root "$httpd_dir/replica" -addr-file "$repl_addr_file" \
+	-follow "$httpd_url" >"$httpd_dir/flog" 2>&1 &
+repl_pid=$!
+repl_fail() {
+	echo "replication smoke: $1" >&2
+	cat "$httpd_dir/flog" >&2 || true
+	kill "$repl_pid" "$httpd_pid" 2>/dev/null || true
+	exit 1
+}
+i=0
+while [ ! -s "$repl_addr_file" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && repl_fail "follower did not write $repl_addr_file"
+	sleep 0.1
+done
+repl_url="http://$(cat "$repl_addr_file")"
+# Write through the leader, then the follower must serve at/after the
+# acknowledged horizon (read-your-writes across the pair).
+seq1=$("$ctl" insert -seq ci "$root_id" 0 rep) || repl_fail "leader write"
+"$ctl" -addr "$repl_url" horizon -min "$seq1" -wait 10s ci >/dev/null || repl_fail "follower never reached seq $seq1"
+[ "$("$ctl" -addr "$repl_url" count ci /root/rep)" = "1" ] || repl_fail "leader write invisible on follower"
+# Mutations on the follower are rejected read-only.
+if "$ctl" -addr "$repl_url" insert ci "$root_id" 0 nope >/dev/null 2>&1; then
+	repl_fail "follower accepted a write"
+fi
+# SIGKILL the follower mid-life; its mirror must let a restart catch up.
+kill -KILL "$repl_pid"
+wait "$repl_pid" 2>/dev/null || true
+seq2=$("$ctl" insert -seq ci "$root_id" 0 rep) || repl_fail "leader write while follower dead"
+: >"$repl_addr_file"
+"$httpd_bin" -addr 127.0.0.1:0 -root "$httpd_dir/replica" -addr-file "$repl_addr_file" \
+	-follow "$httpd_url" >>"$httpd_dir/flog" 2>&1 &
+repl_pid=$!
+i=0
+while [ ! -s "$repl_addr_file" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && repl_fail "restarted follower did not write $repl_addr_file"
+	sleep 0.1
+done
+repl_url="http://$(cat "$repl_addr_file")"
+"$ctl" -addr "$repl_url" horizon -min "$seq2" -wait 10s ci >/dev/null || repl_fail "restarted follower never caught up to seq $seq2"
+[ "$("$ctl" -addr "$repl_url" count ci /root/rep)" = "2" ] || repl_fail "catch-up lost a write"
+kill -TERM "$repl_pid"
+repl_status=0
+wait "$repl_pid" || repl_status=$?
+[ "$repl_status" = "0" ] || repl_fail "follower SIGTERM exit status $repl_status, want 0"
+
 kill -TERM "$httpd_pid"
 httpd_status=0
 wait "$httpd_pid" || httpd_status=$?
