@@ -41,10 +41,12 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrKernels -fuzztime=10s ./internal/bitstr
 	$(GO) test -run=^$$ -fuzz=FuzzBitstrCodecs -fuzztime=10s ./internal/bitstr
 	$(GO) test -run=^$$ -fuzz=FuzzReadAll -fuzztime=10s ./internal/labelstore
+	$(GO) test -run=^$$ -fuzz=FuzzPageRoundTrip -fuzztime=10s ./internal/pagestore
+	$(GO) test -run=^$$ -fuzz=FuzzMetaDecode -fuzztime=10s ./internal/pagestore
 	$(GO) test -run=^$$ -fuzz=FuzzEditCodec -fuzztime=10s ./internal/journal
 	$(GO) test -run=^$$ -fuzz=FuzzStreamDecode -fuzztime=10s ./internal/journal
 
-# Regenerate BENCH_PR9.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
+# Regenerate BENCH_PR10.json (benchtime 1s; override with BENCH_TIME/BENCH_OUT).
 bench:
 	sh scripts/bench.sh
 

@@ -428,7 +428,17 @@ type Stats struct {
 	Scheme    string `json:"scheme"`
 	Nodes     int    `json:"nodes"`
 	Relabeled int64  `json:"relabeled"`
-	Journal   *struct {
+	Storage   *struct {
+		Backend        string  `json:"backend"`
+		Entries        int     `json:"entries"`
+		ResidentPages  int     `json:"resident_pages"`
+		AllocatedPages int     `json:"allocated_pages"`
+		CacheHits      uint64  `json:"cache_hits"`
+		CacheMisses    uint64  `json:"cache_misses"`
+		Writebacks     uint64  `json:"writebacks"`
+		CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	} `json:"storage,omitempty"`
+	Journal *struct {
 		Appended    uint64 `json:"appended"`
 		Durable     uint64 `json:"durable"`
 		Seq         uint64 `json:"seq"`

@@ -39,6 +39,7 @@ import (
 	"repro/internal/qed"
 	"repro/internal/registry"
 	"repro/internal/scheme"
+	"repro/internal/store"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 	"repro/internal/xpath/plan"
@@ -208,6 +209,21 @@ type config struct {
 	followURL  string
 	followDir  string
 	followIvl  time.Duration
+	pagedDir   string
+	pageCache  int
+}
+
+// storeFactory returns the index-backend factory the options select:
+// nil (the in-memory slice backend) without WithPagedLabels, otherwise
+// a factory opening the paged backend in the configured directory.
+func (c *config) storeFactory() dyndoc.StoreFactory {
+	if c.pagedDir == "" {
+		return nil
+	}
+	dir, cache := c.pagedDir, c.pageCache
+	return func(b store.Binding) (store.Backend, error) {
+		return store.OpenPaged(dir, cache, b)
+	}
 }
 
 // Option configures Open.
@@ -283,6 +299,38 @@ func WithDurability(d Durability) Option { return func(c *config) { c.durability
 // acknowledged under Always durability. It requires WithJournal.
 func WithRecover() Option { return func(c *config) { c.recover = true } }
 
+// WithPagedLabels moves the handle's element index — the label table
+// and the per-name id lists every query starts from — out of the Go
+// heap into a checksummed page file under dir, so a document can be
+// queried with only a bounded page cache resident (see WithPageCache).
+// The page file is an index, not a store of record: it is rebuilt from
+// the document on every Open, and with WithJournal the journal alone
+// carries durability (checkpoints stop embedding label records). It
+// requires a scheme whose labels have an order-preserving byte form —
+// the CDBS and QED containment schemes qualify (the default
+// V-CDBS-Containment included); schemes without one make Open fail
+// with ErrPagedUnsupported.
+func WithPagedLabels(dir string) Option { return func(c *config) { c.pagedDir = dir } }
+
+// WithPageCache caps how many 4 KiB pages of the paged label index
+// stay resident (default and floor pagestore.MinCachePages). It
+// requires WithPagedLabels.
+func WithPageCache(pages int) Option { return func(c *config) { c.pageCache = pages } }
+
+// ErrPagedUnsupported matches, via errors.Is, the error Open returns
+// when WithPagedLabels meets a labeling scheme whose labels have no
+// order-preserving byte encoding.
+var ErrPagedUnsupported = errors.New("dynxml: scheme has no order-preserving label bytes; WithPagedLabels needs one")
+
+// pagedErr maps the storage and scheme layers' no-ordered-bytes
+// sentinels onto the public ErrPagedUnsupported.
+func pagedErr(err error) error {
+	if err != nil && (errors.Is(err, store.ErrNoOrderedKeys) || errors.Is(err, scheme.ErrNoOrderedLabels)) {
+		return fmt.Errorf("%w: %v", ErrPagedUnsupported, err)
+	}
+	return err
+}
+
 // ErrClosed reports a call on a closed Handle, matching errors.Is.
 var ErrClosed = errors.New("dynxml: handle is closed")
 
@@ -348,6 +396,9 @@ func Open(src any, opts ...Option) (*Handle, error) {
 	if cfg.followURL != "" || cfg.followDir != "" {
 		return nil, errors.New("dynxml: WithFollowURL/WithFollowDir require OpenFollower")
 	}
+	if cfg.pageCache != 0 && cfg.pagedDir == "" {
+		return nil, errors.New("dynxml: WithPageCache requires WithPagedLabels")
+	}
 	if cfg.journalDir == "" {
 		if cfg.durability != nil {
 			return nil, errors.New("dynxml: WithDurability requires WithJournal")
@@ -368,13 +419,17 @@ func Open(src any, opts ...Option) (*Handle, error) {
 	}
 	h := newHandle()
 	h.schemeName, h.batchSize = entry.Name, cfg.batchSize
-	if cfg.concurrent {
-		h.shared, err = dyndoc.NewConcurrent(doc, entry.Build)
-	} else {
-		h.live, err = dyndoc.New(doc, entry.Build)
-	}
+	d, err := dyndoc.NewWithStore(doc, entry.Build, cfg.storeFactory())
 	if err != nil {
-		return nil, err
+		return nil, pagedErr(err)
+	}
+	if cfg.concurrent {
+		h.shared, err = dyndoc.NewConcurrentFrom(d)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		h.live = d
 	}
 	return h, nil
 }
@@ -390,6 +445,10 @@ func openJournaled(src any, cfg config) (*Handle, error) {
 		Scheme:  cfg.scheme,
 		Mode:    journal.SyncAlways,
 		Recover: cfg.recover,
+		// With paged labels the page file carries the label bytes;
+		// checkpoints stop duplicating them (Replay rebuilds the
+		// labeling from XML and preorder either way).
+		OmitLabels: cfg.pagedDir != "",
 	}
 	if cfg.durability != nil {
 		jcfg.Mode = cfg.durability.mode
@@ -412,6 +471,15 @@ func openJournaled(src any, cfg config) (*Handle, error) {
 			return nil, err
 		}
 		h.schemeName = info.Scheme
+		// Replay rebuilds into the default slice backend; convert to the
+		// paged one only once the document is complete — a bulk Build
+		// into fresh pages instead of millions of per-edit inserts.
+		if factory := cfg.storeFactory(); factory != nil {
+			if err := d.ConvertStore(factory); err != nil {
+				_ = h.jnl.Close()
+				return nil, pagedErr(err)
+			}
+		}
 	} else {
 		entry, err := registry.Lookup(cfg.scheme)
 		if err != nil {
@@ -422,12 +490,13 @@ func openJournaled(src any, cfg config) (*Handle, error) {
 		if err != nil {
 			return nil, err
 		}
-		d, err = dyndoc.New(doc, entry.Build)
+		d, err = dyndoc.NewWithStore(doc, entry.Build, cfg.storeFactory())
 		if err != nil {
-			return nil, err
+			return nil, pagedErr(err)
 		}
 		h.jnl, err = journal.Create(jcfg, d)
 		if err != nil {
+			_ = d.Store().Close()
 			return nil, err
 		}
 		h.schemeName = entry.Name
@@ -539,6 +608,34 @@ func (h *Handle) Len() int {
 		return h.shared.Len()
 	}
 	return h.live.Len()
+}
+
+// bytesPerNode is the rough heap estimate per live document node that
+// MemoryFootprint charges for the parts outside the index backend:
+// xmltree node, labeling entry and name-table slot. Measured around
+// 300–400 bytes on the Shakespeare corpus and rounded up — the slice
+// backend's per-entry share, which BytesPerNode used to fold in, is now
+// reported by the backend itself.
+const bytesPerNode = 448
+
+// MemoryFootprint estimates the handle's resident bytes: a per-node
+// constant for the tree and labeling plus whatever the index backend
+// reports — for the paged backend that is its bounded page cache, not
+// the document size, which is what lets one process keep many
+// larger-than-budget documents open. The catalog's memory budget
+// charges this estimate.
+func (h *Handle) MemoryFootprint() int64 {
+	var fp int64
+	if h.shared != nil {
+		fp = int64(h.shared.Len()) * bytesPerNode
+		_ = h.shared.Snapshot(func(d *LiveDocument) error {
+			fp += d.Store().MemoryFootprint()
+			return nil
+		})
+	} else {
+		fp = int64(h.live.Len())*bytesPerNode + h.live.Store().MemoryFootprint()
+	}
+	return fp
 }
 
 // Relabeled returns the cumulative count of existing nodes whose
@@ -740,17 +837,28 @@ func (h *Handle) Sync() error {
 // Checkpoint persists the current document state as a fresh journal
 // checkpoint and truncates the replayed log prefix, bounding recovery
 // time and disk use. Edits issued concurrently simply land in the new
-// log. On an unjournaled handle it is a no-op.
+// log. It also maintains the paged label index when one is attached:
+// journaled handles compact it into a dense new generation, unjournaled
+// ones flush its dirty pages. Without either there is nothing to do.
 func (h *Handle) Checkpoint() error {
 	if err := h.acquireWrite(); err != nil {
 		return err
 	}
 	defer h.release()
 	if h.jnl == nil {
-		return nil
+		if h.shared != nil {
+			return h.shared.Locked(func(d *LiveDocument) error { return d.Store().Flush() })
+		}
+		return h.live.Store().Flush()
 	}
 	return h.shared.Locked(func(d *LiveDocument) error {
-		return h.jnl.Checkpoint(d)
+		if err := h.jnl.Checkpoint(d); err != nil {
+			return err
+		}
+		// Compact the paged index alongside the journal checkpoint: both
+		// reclaim space left behind by the replaced history. A slice
+		// backend's Compact is a no-op.
+		return d.Store().Compact()
 	})
 }
 
@@ -780,10 +888,36 @@ func (h *Handle) Close() error {
 		}
 		return err
 	}
-	if h.jnl == nil {
-		return nil
+	err := h.closeStore()
+	if h.jnl != nil {
+		if jerr := h.jnl.Close(); err == nil {
+			err = jerr
+		}
 	}
-	return h.jnl.Close()
+	return err
+}
+
+// closeStore flushes and closes the index backend of the handle's
+// current document. For the in-memory slice backend both are no-ops;
+// for the paged backend this commits the dirty pages and releases the
+// page file (snapshots still referencing it will fail cleanly, but
+// Close has already drained every in-flight call).
+func (h *Handle) closeStore() error {
+	shut := func(d *LiveDocument) error {
+		st := d.Store()
+		err := st.Flush()
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	if h.shared != nil {
+		return h.shared.Locked(shut)
+	}
+	if h.live != nil {
+		return shut(h.live)
+	}
+	return nil
 }
 
 // HandleStats is a point-in-time snapshot of a handle's state,
@@ -808,7 +942,16 @@ type HandleStats struct {
 	// Replica carries the follower's counters: applied sequence,
 	// durable horizon, leader horizon, resets, last error.
 	Replica journal.FollowerStats
+	// Storage describes the element-index backend: which one
+	// ("slice" or "paged"), its entry count, and — for the paged
+	// backend — the page cache's resident/allocated pages and
+	// hit/miss/writeback counters.
+	Storage StorageStats
 }
+
+// StorageStats is the element-index backend's self-description,
+// surfaced in HandleStats and on the /v1 stats endpoint.
+type StorageStats = store.Stats
 
 // Stats returns a snapshot of the handle's state. It stays callable
 // on a closed handle.
@@ -817,9 +960,14 @@ func (h *Handle) Stats() HandleStats {
 	if h.shared != nil {
 		s.Nodes = h.shared.Len()
 		s.Relabeled = h.shared.Relabeled()
+		_ = h.shared.Snapshot(func(d *LiveDocument) error {
+			s.Storage = d.Store().Stats()
+			return nil
+		})
 	} else {
 		s.Nodes = h.live.Len()
 		s.Relabeled = h.live.Relabeled()
+		s.Storage = h.live.Store().Stats()
 	}
 	if h.jnl != nil {
 		s.Journaled = true

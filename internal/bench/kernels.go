@@ -278,6 +278,7 @@ func KernelBenchmarks() []NamedBench {
 	out = append(out, NamedBench{Name: "e2e/figure6-q6/V-CDBS-Containment", F: benchFigure6Q6})
 	out = append(out, batchBenchmarks()...)
 	out = append(out, journalBenchmarks()...)
+	out = append(out, storeBenchmarks()...)
 	out = append(out, xpathBenchmarks()...)
 	out = append(out, httpBenchmarks()...)
 	out = append(out, followerBenchmarks()...)

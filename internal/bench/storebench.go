@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/store"
+)
+
+// Store-backend benchmarks: the slice and paged element indexes on
+// identical workloads, named store/<op>/<backend> so the BENCH JSON
+// shows the price of paging directly. The cold/warm pair isolates the
+// page cache: same paged index, minimum cache versus one large enough
+// to hold everything.
+
+// storeNames is a small fixed vocabulary, like an XML document's
+// element names.
+var storeNames = [8]string{"act", "scene", "speech", "speaker", "line", "title", "stagedir", "persona"}
+
+// storeBinding orders ids by their own value — a stand-in for document
+// order — and emits 8-byte big-endian keys, which sort identically.
+func storeBinding() store.Binding {
+	return store.Binding{
+		Before: func(a, b int) bool { return a < b },
+		Key: func(dst []byte, id int) ([]byte, error) {
+			return binary.BigEndian.AppendUint64(dst, uint64(id)), nil
+		},
+	}
+}
+
+// openStoreBackend builds a backend preloaded with n entries.
+func openStoreBackend(b *testing.B, kind string, cachePages, n int) store.Backend {
+	b.Helper()
+	var (
+		s   store.Backend
+		err error
+	)
+	if kind == "paged" {
+		s, err = store.OpenPaged(b.TempDir(), cachePages, storeBinding())
+		if err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		s = store.NewSlice(storeBinding())
+	}
+	for id := 0; id < n; id++ {
+		if err := s.Add(storeNames[id%len(storeNames)], id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	// The experiments harness runs every registered benchmark in one
+	// process; collect the preload garbage (and whatever earlier
+	// benchmarks left behind) so GC pauses land outside the timer.
+	runtime.GC()
+	return s
+}
+
+// benchStoreInsert appends b.N fresh entries past an existing base —
+// the insert-heavy path every edit takes.
+func benchStoreInsert(kind string, cachePages int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := openStoreBackend(b, kind, cachePages, 4096)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := 4096 + i
+			if err := s.Add(storeNames[id%len(storeNames)], id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchStoreScan interleaves one insert with a full per-name id scan,
+// the update-then-query rhythm of a live document. The insert
+// invalidates any memoized scan, so every iteration pays the real
+// re-derivation cost.
+func benchStoreScan(kind string, cachePages, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := openStoreBackend(b, kind, cachePages, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := n + i
+			if err := s.Add(storeNames[id%len(storeNames)], id); err != nil {
+				b.Fatal(err)
+			}
+			ids := s.IDs(storeNames[i%len(storeNames)])
+			benchSink = len(ids)
+		}
+	}
+}
+
+// storeBenchmarks returns the registry slice.
+func storeBenchmarks() []NamedBench {
+	var out []NamedBench
+	add := func(name string, f func(b *testing.B)) {
+		out = append(out, NamedBench{Name: name, F: func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		}})
+	}
+	// A cache big enough that the whole index stays resident.
+	const warm = 4096
+	add("store/insert/slice", benchStoreInsert("slice", 0))
+	add("store/insert/paged", benchStoreInsert("paged", warm))
+	add(fmt.Sprintf("store/scan/slice/%d", 16384), benchStoreScan("slice", 0, 16384))
+	add(fmt.Sprintf("store/scan/paged/%d", 16384), benchStoreScan("paged", warm, 16384))
+	// Cold versus warm page cache on the identical scan workload: the
+	// cold side holds pagestore.MinCachePages while the index spans
+	// hundreds of pages, so every scan is a miss storm.
+	add("store/coldscan/cold", benchStoreScan("paged", pagestore.MinCachePages, 16384))
+	add("store/coldscan/warm", benchStoreScan("paged", warm, 16384))
+	return out
+}

@@ -44,10 +44,14 @@ var (
 	mOpenSeconds = metrics.Default.Histogram("catalog_open_seconds", nil)
 )
 
-// BytesPerNode is the rough resident-memory estimate per live
-// document node the budget accounting uses: tree node + label +
-// name/element indexes + engine postings, measured around 300–400
-// bytes on the Shakespeare corpus and rounded up.
+// BytesPerNode was the flat per-node resident-memory estimate the
+// budget accounting multiplied by Handle.Len.
+//
+// Deprecated: the catalog now charges Handle.MemoryFootprint, which
+// asks the index backend for its real share — essential since a paged
+// backend's share is its bounded page cache, not the document size.
+// The constant remains only for external callers sizing budgets by
+// hand.
 const BytesPerNode = 512
 
 // Residency defaults for a zero Config.
@@ -102,6 +106,15 @@ type Config struct {
 	// Root, Create fails with dynxml.ErrReadOnly, and a name unknown
 	// locally is fetched from the leader on first Acquire.
 	FollowURL string
+	// PagedLabels opens every leader document with its element index on
+	// paged storage (dynxml.WithPagedLabels) under <docdir>/pages, so a
+	// document's budget charge is its bounded page cache rather than
+	// its size. Followers ignore it. It requires a scheme with
+	// order-preserving label bytes.
+	PagedLabels bool
+	// PageCache is the per-document page-cache size in 4 KiB pages when
+	// PagedLabels is set (0: the pagestore minimum).
+	PageCache int
 }
 
 // entry is one named document's residency state. An entry is in
@@ -337,6 +350,12 @@ func (c *Catalog) finishOpen(e *entry, src any, schemeName string) (*Pin, error)
 		if !c.cfg.StrictRecovery {
 			opts = append(opts, dynxml.WithRecover())
 		}
+		if c.cfg.PagedLabels {
+			opts = append(opts, dynxml.WithPagedLabels(filepath.Join(c.dir(e.name), "pages")))
+			if c.cfg.PageCache > 0 {
+				opts = append(opts, dynxml.WithPageCache(c.cfg.PageCache))
+			}
+		}
 		h, err = dynxml.Open(src, opts...)
 	}
 	mOpenSeconds.Observe(time.Since(start).Seconds())
@@ -348,7 +367,7 @@ func (c *Catalog) finishOpen(e *entry, src any, schemeName string) (*Pin, error)
 	c.mu.Lock()
 	e.h = h
 	e.refs = 1
-	e.bytes = int64(h.Len()) * BytesPerNode
+	e.bytes = h.MemoryFootprint()
 	c.resident += e.bytes
 	c.clock++
 	e.lastUse = c.clock
@@ -372,7 +391,7 @@ func (c *Catalog) release(e *entry) {
 	c.clock++
 	e.lastUse = c.clock
 	if e.h != nil {
-		nb := int64(e.h.Len()) * BytesPerNode
+		nb := e.h.MemoryFootprint()
 		c.resident += nb - e.bytes
 		e.bytes = nb
 		mResident.Set(float64(c.resident))

@@ -320,3 +320,81 @@ func TestCatalogClose(t *testing.T) {
 	}
 	p.Release()
 }
+
+// TestBudgetChargesFootprint is the accounting regression test: the
+// budget must charge Handle.MemoryFootprint — refreshed on release as
+// documents grow — not a stale nodes×constant estimate. A document
+// edited past the budget while pinned is evicted as soon as it is
+// released.
+func TestBudgetChargesFootprint(t *testing.T) {
+	// Roomy enough for the seed document, far too small for 200 nodes.
+	c := openTest(t, Config{MemBudget: 40_000})
+	p, err := c.Create("alpha", seed, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Handle().MemoryFootprint() > 40_000 {
+		t.Fatal("seed document must fit the test budget")
+	}
+	p.Release()
+	if !c.Resident("alpha") {
+		t.Fatal("within-budget document must stay resident")
+	}
+
+	p, err = c.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addX(t, p, 200)
+	if fp := p.Handle().MemoryFootprint(); fp <= 40_000 {
+		t.Fatalf("grown document footprint %d should exceed the budget", fp)
+	}
+	p.Release() // release refreshes the charge and triggers eviction
+	waitEvicted(t, c, "alpha")
+
+	// Eviction checkpointed; the replay serves every edit.
+	p, err = c.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countX(t, p); got != 200 {
+		t.Fatalf("after budget eviction alpha has %d edits, want 200", got)
+	}
+	p.Release()
+}
+
+// TestPagedCatalog runs the catalog with paged label storage: the
+// pages directory lives inside each document's journal directory, so
+// replay must tolerate it, and edits must survive eviction exactly as
+// on the slice backend.
+func TestPagedCatalog(t *testing.T) {
+	c := openTest(t, Config{MaxOpen: 1, PagedLabels: true, PageCache: 16})
+	p, err := c.Create("alpha", seed, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Handle().Stats().Storage.Backend; got != "paged" {
+		t.Fatalf("catalog backend = %q, want paged", got)
+	}
+	addX(t, p, 30)
+	p.Release()
+
+	q, err := c.Create("beta", seed, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Release()
+	waitEvicted(t, c, "alpha")
+
+	p, err = c.Acquire("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Handle().Stats().Storage.Backend; got != "paged" {
+		t.Fatalf("replayed catalog backend = %q, want paged", got)
+	}
+	if got := countX(t, p); got != 30 {
+		t.Fatalf("after eviction and replay alpha has %d edits, want 30", got)
+	}
+	p.Release()
+}

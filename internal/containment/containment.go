@@ -112,6 +112,24 @@ func (l *Labeling) Tree() *scheme.Tree { return l.tree }
 // Level returns the stored level of v (root = 1).
 func (l *Labeling) Level(v int) int { return l.tree.Depths[v] }
 
+// AppendOrderedLabel implements scheme.OrderedLabeler when the
+// endpoint codec implements keys.OrderedBytes (CDBS, QED): it emits
+// the node's start key, whose order across live nodes is exactly
+// document order and which is unique per node (every start position
+// is distinct). Codecs whose byte form does not sort like their
+// numeric order (binary, float) make this return an error, which the
+// storage layer maps to "slice backend only".
+func (l *Labeling) AppendOrderedLabel(dst []byte, v int) ([]byte, error) {
+	ob, ok := l.codec.(keys.OrderedBytes)
+	if !ok {
+		return nil, fmt.Errorf("%w: containment codec %s", scheme.ErrNoOrderedLabels, l.codec.Name())
+	}
+	if !l.tree.Alive(v) {
+		return nil, fmt.Errorf("%w: %d", scheme.ErrBadNode, v)
+	}
+	return ob.AppendOrdered(dst, l.start[v])
+}
+
 // StartKey returns v's start key (for tests and harnesses).
 func (l *Labeling) StartKey(v int) keys.Key { return l.start[v] }
 

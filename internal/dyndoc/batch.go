@@ -132,6 +132,10 @@ func (d *Document) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) (
 	d.relabeled += int64(relabeled)
 	mInserts.Add(int64(len(fragments)))
 	mRelabeled.Add(int64(relabeled))
+	// With re-labeling, label-keyed backends rebuild once after the
+	// walk (the rebuild covers every fragment node).
+	rebuild := relabeled > 0 && d.idx.Name() != "slice"
+	var walkErr error
 	for k, f := range fragments {
 		clone := cloneTree(f)
 		if err := d.nodes[parent].InsertChildAt(pos+k, clone); err != nil {
@@ -153,14 +157,23 @@ func (d *Document) InsertTreeBatch(parent, pos int, fragments []*xmltree.Node) (
 				// Only elements enter the name and element indexes,
 				// matching the bulk construction path.
 				d.names[id] = n.Name
-				d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
-				d.elems = d.insertOrdered(d.elems, id)
+				if !rebuild && walkErr == nil {
+					walkErr = d.addToIndex(n.Name, id)
+				}
 			}
 			for _, c := range n.Children {
 				walk(c)
 			}
 		}
 		walk(clone)
+	}
+	if walkErr != nil {
+		return nil, 0, walkErr
+	}
+	if rebuild {
+		if err := d.rebuildIndex(); err != nil {
+			return nil, 0, err
+		}
 	}
 	return ids, relabeled, nil
 }

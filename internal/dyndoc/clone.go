@@ -21,7 +21,7 @@ func (d *Document) Clone() (*Document, error) {
 	// never reused, so d.nodes counts every node that ever existed and
 	// a map sized to it dwarfs a small document that has seen many
 	// edits — and Clone runs once per published snapshot.
-	nodeMap := make(map[*xmltree.Node]*xmltree.Node, len(d.elems))
+	nodeMap := make(map[*xmltree.Node]*xmltree.Node, d.idx.Entries())
 	var copyTree func(n *xmltree.Node) *xmltree.Node
 	copyTree = func(n *xmltree.Node) *xmltree.Node {
 		out := &xmltree.Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
@@ -43,22 +43,21 @@ func (d *Document) Clone() (*Document, error) {
 			nodes[i] = nodeMap[n]
 		}
 	}
-	// One backing array for every per-name id list; the three-index
-	// subslices keep later insertOrdered appends from sharing it.
-	byName := make(map[string][]int, len(d.byName))
-	backing := make([]int, 0, len(d.elems))
-	for name, list := range d.byName {
-		off := len(backing)
-		backing = append(backing, list...)
-		byName[name] = backing[off:len(backing):len(backing)]
+	lab := cl.CloneLabeling()
+	// The index backend clones through its own interface (slice copies
+	// its lists; paged shares pages copy-on-write) and rebinds its
+	// label callbacks to the cloned labeling.
+	idx, err := d.idx.Clone(bindingFor(lab))
+	if err != nil {
+		return nil, err
 	}
 	return &Document{
 		doc:       &xmltree.Document{Root: root},
-		lab:       cl.CloneLabeling(),
+		lab:       lab,
 		nodes:     nodes,
 		names:     append([]string(nil), d.names...),
-		byName:    byName,
-		elems:     append([]int(nil), d.elems...),
+		idx:       idx,
+		factory:   d.factory,
 		relabeled: d.relabeled,
 	}, nil
 }

@@ -4,19 +4,22 @@
 // the dynamic schemes never re-labeling a node.
 //
 // Every edit updates three things in lock step: the xmltree nodes, the
-// labeling, and the document-ordered per-element-name id lists the
-// query engine joins over. The per-name lists are maintained with a
-// binary search on the labeling's Before predicate, so an insertion
-// costs O(log n) label comparisons plus the list shift.
+// labeling, and the document-ordered element index the query engine
+// joins over. The index lives behind the store.Backend interface: the
+// default slice backend keeps document-ordered id lists in memory
+// (insertions binary-search on the labeling's Before predicate), and
+// the paged backend keeps them in B-trees over checksummed 4 KB pages
+// keyed by order-preserving label bytes, for documents whose index
+// should not live on the heap.
 package dyndoc
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/scheme"
+	"repro/internal/store"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 	"repro/internal/xpath/plan"
@@ -37,38 +40,138 @@ type Document struct {
 	nodes []*xmltree.Node // by node id
 	names []string        // element name by id; "" for text nodes
 
-	byName map[string][]int // live element ids in document order
-	elems  []int            // all live element ids in document order
+	idx     store.Backend // live element index in document order
+	factory StoreFactory  // how to build a fresh backend (rebuilds, conversions)
 
 	relabeled int64 // cumulative re-labels caused by edits
 }
 
+// StoreFactory builds a storage backend over a binding; it
+// parameterizes which backend a document's index lives in. Nil means
+// the in-memory slice backend.
+type StoreFactory func(store.Binding) (store.Backend, error)
+
 // ErrBadNode reports an id that is out of range or deleted.
 var ErrBadNode = errors.New("dyndoc: bad node id")
 
-// New labels doc with the given builder and indexes it.
+// bindingFor derives the store binding from a labeling: the document
+// order predicate always, and the order-preserving label bytes when
+// the scheme can produce them (scheme.OrderedLabeler).
+func bindingFor(lab scheme.Labeling) store.Binding {
+	b := store.Binding{Before: lab.Before}
+	if ol, ok := lab.(scheme.OrderedLabeler); ok {
+		b.Key = ol.AppendOrderedLabel
+	}
+	return b
+}
+
+// New labels doc with the given builder and indexes it in the default
+// in-memory slice backend.
 func New(doc *xmltree.Document, build scheme.Builder) (*Document, error) {
+	return NewWithStore(doc, build, nil)
+}
+
+// NewWithStore is New with an explicit storage backend for the element
+// index.
+func NewWithStore(doc *xmltree.Document, build scheme.Builder, factory StoreFactory) (*Document, error) {
 	lab, err := build(doc)
 	if err != nil {
 		return nil, err
 	}
+	if factory == nil {
+		factory = func(b store.Binding) (store.Backend, error) { return store.NewSlice(b), nil }
+	}
 	nodes := doc.Nodes()
 	d := &Document{
-		doc:    doc,
-		lab:    lab,
-		nodes:  nodes,
-		names:  make([]string, len(nodes)),
-		byName: map[string][]int{},
+		doc:     doc,
+		lab:     lab,
+		nodes:   nodes,
+		names:   make([]string, len(nodes)),
+		factory: factory,
 	}
+	var elems []int
 	for i, n := range nodes {
 		if n.Kind != xmltree.Element {
 			continue
 		}
 		d.names[i] = n.Name
-		d.byName[n.Name] = append(d.byName[n.Name], i)
-		d.elems = append(d.elems, i)
+		elems = append(elems, i)
+	}
+	if d.idx, err = factory(bindingFor(lab)); err != nil {
+		return nil, err
+	}
+	if err := d.idx.Build(elems, d.nameOf); err != nil {
+		_ = d.idx.Close()
+		return nil, err
 	}
 	return d, nil
+}
+
+// nameOf is the index's view of element names ("" for text nodes).
+func (d *Document) nameOf(id int) string {
+	if id < 0 || id >= len(d.names) {
+		return ""
+	}
+	return d.names[id]
+}
+
+// Store exposes the element index backend (for stats, flushing and
+// compaction by the ownership layer).
+func (d *Document) Store() store.Backend { return d.idx }
+
+// ConvertStore rebuilds the element index into a backend from the
+// given factory, replacing the current one. The document must not be
+// queried concurrently. It is how a journal-replayed document (always
+// rebuilt on the slice backend) moves onto paged storage.
+func (d *Document) ConvertStore(factory StoreFactory) error {
+	if factory == nil {
+		factory = func(b store.Binding) (store.Backend, error) { return store.NewSlice(b), nil }
+	}
+	idx, err := factory(bindingFor(d.lab))
+	if err != nil {
+		return err
+	}
+	if err := idx.Build(d.liveElems(), d.nameOf); err != nil {
+		_ = idx.Close()
+		return err
+	}
+	old := d.idx
+	d.idx, d.factory = idx, factory
+	return old.Close()
+}
+
+// liveElems returns the live element ids in current document order,
+// derived from the labeling's structural mirror (not from the index —
+// this is what rebuilds the index).
+func (d *Document) liveElems() []int {
+	order := d.lab.Tree().PreOrder()
+	elems := make([]int, 0, len(order))
+	for _, id := range order {
+		if d.nameOf(id) != "" {
+			elems = append(elems, id)
+		}
+	}
+	return elems
+}
+
+// rebuildIndex reconstructs the index from the labeling, used after
+// re-labeling (stored label keys went stale) or after an index write
+// error left it incomplete.
+func (d *Document) rebuildIndex() error {
+	return d.idx.Build(d.liveElems(), d.nameOf)
+}
+
+// addToIndex registers one new element, falling back to a full rebuild
+// if the incremental add fails (a paged I/O error leaves the index
+// missing entries; the rebuild restores consistency or surfaces the
+// fault).
+func (d *Document) addToIndex(name string, id int) error {
+	if err := d.idx.Add(name, id); err != nil {
+		if rerr := d.rebuildIndex(); rerr != nil {
+			return fmt.Errorf("dyndoc: index add failed (%v) and rebuild failed: %w", err, rerr)
+		}
+	}
+	return nil
 }
 
 // Parse is New over XML text.
@@ -142,19 +245,21 @@ func (d *Document) InsertElement(parent, pos int, name string) (int, int, error)
 	mRelabeled.Add(int64(relabeled))
 	d.nodes = append(d.nodes, node)
 	d.names = append(d.names, name)
-	d.byName[name] = d.insertOrdered(d.byName[name], id)
-	d.elems = d.insertOrdered(d.elems, id)
+	if err := d.indexInsert(name, id, relabeled); err != nil {
+		return 0, 0, err
+	}
 	return id, relabeled, nil
 }
 
-// insertOrdered places id into a document-ordered id list using the
-// labeling's Before predicate.
-func (d *Document) insertOrdered(list []int, id int) []int {
-	i := sort.Search(len(list), func(i int) bool { return d.lab.Before(id, list[i]) })
-	list = append(list, 0)
-	copy(list[i+1:], list[i:])
-	list[i] = id
-	return list
+// indexInsert registers a fresh element after an edit. When existing
+// nodes were re-labeled, label-keyed backends (paged) rebuild from the
+// labeling — the rebuild covers the new node too; otherwise the node
+// is added incrementally.
+func (d *Document) indexInsert(name string, id int, relabeled int) error {
+	if relabeled > 0 && d.idx.Name() != "slice" {
+		return d.rebuildIndex()
+	}
+	return d.addToIndex(name, id)
 }
 
 // DeleteSubtree removes the node id and its descendants from the
@@ -187,37 +292,23 @@ func (d *Document) DeleteSubtree(id int) (int, error) {
 	if _, err := node.Parent.RemoveChildAt(pi); err != nil {
 		return 0, err
 	}
+	// Drop the doomed nodes from the index BEFORE deleting their
+	// labels: label-keyed backends compute each node's tree key from
+	// its still-live label. A failed incremental removal falls back to
+	// a rebuild — but only after the labels are gone, so the rebuild
+	// sees only surviving nodes.
+	removeErr := d.idx.Remove(doomed, d.nameOf)
 	removed, err := d.lab.DeleteSubtree(id)
 	if err != nil {
 		return 0, err
 	}
-	// Prune the index lists.
-	names := map[string]bool{}
-	for v := range doomed {
-		if d.names[v] != "" {
-			names[d.names[v]] = true
+	if removeErr != nil {
+		if rerr := d.rebuildIndex(); rerr != nil {
+			return 0, fmt.Errorf("dyndoc: index remove failed (%v) and rebuild failed: %w", removeErr, rerr)
 		}
 	}
-	for name := range names {
-		d.byName[name] = prune(d.byName[name], doomed)
-		if len(d.byName[name]) == 0 {
-			delete(d.byName, name)
-		}
-	}
-	d.elems = prune(d.elems, doomed)
 	mDeletes.Inc()
 	return removed, nil
-}
-
-// prune filters doomed ids out of a list in place.
-func prune(list []int, doomed map[int]bool) []int {
-	out := list[:0]
-	for _, v := range list {
-		if !doomed[v] {
-			out = append(out, v)
-		}
-	}
-	return out
 }
 
 // Query evaluates an absolute path expression over the current
@@ -232,7 +323,7 @@ func (d *Document) Query(q *xpath.Query) ([]int, error) {
 // valid (and safe to share across goroutines) as long as the document
 // is not edited, which is what the snapshot layer relies on.
 func (d *Document) engine() *xpath.Engine {
-	return xpath.NewEngineIndexed(d.lab, d.names, d.byName, d.elems)
+	return xpath.NewEngineWithIndex(d.lab, d.names, d.idx)
 }
 
 // Explain plans and evaluates a path expression with instrumentation
@@ -297,7 +388,11 @@ func (d *Document) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, i
 	}
 	mInserts.Inc()
 	mRelabeled.Add(int64(relabeled))
-	// Register every fragment node under its preorder id.
+	// Register every fragment node under its preorder id. With
+	// re-labeling, label-keyed backends rebuild once afterwards (the
+	// rebuild covers the fragment), so the walk skips incremental adds.
+	rebuild := relabeled > 0 && d.idx.Name() != "slice"
+	var walkErr error
 	idAt := 0
 	var walk func(n *xmltree.Node)
 	walk = func(n *xmltree.Node) {
@@ -313,14 +408,23 @@ func (d *Document) InsertTree(parent, pos int, fragment *xmltree.Node) ([]int, i
 			// nodes are labeled but not queryable, matching the bulk
 			// construction path.
 			d.names[id] = n.Name
-			d.byName[n.Name] = d.insertOrdered(d.byName[n.Name], id)
-			d.elems = d.insertOrdered(d.elems, id)
+			if !rebuild && walkErr == nil {
+				walkErr = d.addToIndex(n.Name, id)
+			}
 		}
 		for _, c := range n.Children {
 			walk(c)
 		}
 	}
 	walk(clone)
+	if walkErr != nil {
+		return nil, 0, walkErr
+	}
+	if rebuild {
+		if err := d.rebuildIndex(); err != nil {
+			return nil, 0, err
+		}
+	}
 	return ids, relabeled, nil
 }
 

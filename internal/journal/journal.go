@@ -93,6 +93,14 @@ type Config struct {
 	// log, remove stray segments). Without it Replay refuses such
 	// journals with ErrRecoveryTruncated.
 	Recover bool
+	// OmitLabels makes checkpoints skip the per-node label records.
+	// Replay never reads them — it rebuilds the labeling from the
+	// checkpoint's XML and preorder — so the records exist only for
+	// offline inspection. A paged-label document keeps its labels in
+	// its own page file, and writing them a second time into every
+	// checkpoint would double the checkpoint cost for bytes nothing
+	// consumes.
+	OmitLabels bool
 }
 
 // ErrClosed reports journal use after Close.
@@ -261,10 +269,13 @@ func writeCheckpoint(cfg Config, gen uint64, d *dyndoc.Document, baseSeq uint64)
 		_ = store.Close()
 		return err
 	}
-	labels, err := labelstore.SaveLabeling(store, d.Labeling())
-	if err != nil {
-		_ = store.Close()
-		return err
+	labels := 0
+	if !cfg.OmitLabels {
+		labels, err = labelstore.SaveLabeling(store, d.Labeling())
+		if err != nil {
+			_ = store.Close()
+			return err
+		}
 	}
 	if err := store.Write(endRecordID, encodeEnd(checkpointEnd{Labels: labels, BaseSeq: baseSeq})); err != nil {
 		_ = store.Close()

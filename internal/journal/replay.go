@@ -60,6 +60,11 @@ func listGens(dir string) ([]genFiles, error) {
 	}
 	byGen := map[uint64]*genFiles{}
 	for _, e := range entries {
+		if e.IsDir() {
+			// Subdirectories are someone else's: dynxml parks its paged
+			// label files in <dir>/pages alongside the segments.
+			continue
+		}
 		var gen uint64
 		var kind string
 		if _, err := fmt.Sscanf(e.Name(), "ckpt-%08d", &gen); err == nil {

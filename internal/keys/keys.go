@@ -57,6 +57,21 @@ type Codec interface {
 	TotalBits(ks []Key) int
 }
 
+// OrderedBytes is implemented by codecs whose keys admit an
+// order-preserving raw-byte encoding: bytes.Compare on two encodings
+// must agree with Compare, and the encoding must be unique per key.
+// Paged index storage (internal/store) keys its B-trees with these
+// bytes. CDBS codes qualify because every code ends in a 1-bit, so
+// MSB-first byte packing with zero padding is bijective and preserves
+// the bitwise lexicographic order; QED codes qualify because the
+// digit string itself is the comparison key. Binary and float codecs
+// do not (their numeric order disagrees with bytewise order), so they
+// deliberately lack this method.
+type OrderedBytes interface {
+	// AppendOrdered appends the order-preserving encoding of k to dst.
+	AppendOrdered(dst []byte, k Key) ([]byte, error)
+}
+
 // All returns every codec the evaluation uses, in the order the
 // paper's containment-scheme figures list them.
 func All() []Codec {
@@ -481,6 +496,18 @@ func (c cdbsCodec) Compare(a, b Key) int {
 	return a.(bitstr.BitString).Compare(b.(bitstr.BitString))
 }
 
+// AppendOrdered implements OrderedBytes: packed MSB-first code bytes.
+// CDBS codes end in a 1-bit, so the zero padding in the final byte
+// never makes two distinct codes collide, and bytewise comparison of
+// the packed form equals bitwise comparison of the codes.
+func (c cdbsCodec) AppendOrdered(dst []byte, k Key) ([]byte, error) {
+	b, ok := k.(bitstr.BitString)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", ErrWrongKeyType, k)
+	}
+	return append(dst, b.Bytes()...), nil
+}
+
 func (c cdbsCodec) TotalBits(ks []Key) int {
 	if len(ks) == 0 {
 		return 0
@@ -575,6 +602,20 @@ func (qedCodec) NBetween(l, r Key, n int) ([]Key, error) {
 
 func (qedCodec) Compare(a, b Key) int {
 	return a.(qed.Code).Compare(b.(qed.Code))
+}
+
+// AppendOrdered implements OrderedBytes: the raw digit bytes. QED
+// comparison is Go string order on the digit values, so the digit
+// string is its own order-preserving encoding.
+func (qedCodec) AppendOrdered(dst []byte, k Key) ([]byte, error) {
+	c, ok := k.(qed.Code)
+	if !ok {
+		return nil, fmt.Errorf("%w: %T", ErrWrongKeyType, k)
+	}
+	for i := 0; i < c.Len(); i++ {
+		dst = append(dst, c.Digit(i))
+	}
+	return dst, nil
 }
 
 func (qedCodec) TotalBits(ks []Key) int {

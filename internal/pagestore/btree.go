@@ -1,0 +1,510 @@
+package pagestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// MaxKeySize bounds one key so that a page always fits several
+// entries; label byte keys are tens of bytes in practice.
+const MaxKeySize = 1024
+
+// node is the decoded form of a B-tree page. Key slices alias the
+// sealed page buffer they were decoded from (which is never mutated —
+// updates write a fresh buffer), so decoding allocates only the
+// slice headers.
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     []uint32 // leaf: one value per key
+	children []uint32 // internal: len(keys)+1 child page ids
+	size     int      // encoded payload bytes
+}
+
+// Payload encodings:
+//
+//	leaf:     per entry: klen u16 | key | value u32
+//	internal: child0 u32, then per key: klen u16 | key | child u32
+const entryOverhead = 2 + 4
+
+func (n *node) entrySize(i int) int { return entryOverhead + len(n.keys[i]) }
+
+func decodeNode(buf []byte) (*node, error) {
+	pl := payload(buf)
+	nk := pageNKeys(buf)
+	n := &node{size: len(pl), keys: make([][]byte, 0, nk)}
+	off := 0
+	switch pageType(buf) {
+	case PageLeaf:
+		n.leaf = true
+		n.vals = make([]uint32, 0, nk)
+	case PageInternal:
+		if len(pl) < 4 {
+			return nil, &ErrPageCorrupt{ID: pageID(buf), Reason: "internal node shorter than child0"}
+		}
+		n.children = make([]uint32, 0, nk+1)
+		n.children = append(n.children, binary.BigEndian.Uint32(pl[:4]))
+		off = 4
+	default:
+		return nil, &ErrPageCorrupt{ID: pageID(buf), Reason: fmt.Sprintf("unexpected page type %d", pageType(buf))}
+	}
+	for i := 0; i < nk; i++ {
+		if off+2 > len(pl) {
+			return nil, &ErrPageCorrupt{ID: pageID(buf), Reason: "truncated entry header"}
+		}
+		klen := int(binary.BigEndian.Uint16(pl[off : off+2]))
+		off += 2
+		if off+klen+4 > len(pl) {
+			return nil, &ErrPageCorrupt{ID: pageID(buf), Reason: "truncated entry"}
+		}
+		n.keys = append(n.keys, pl[off:off+klen:off+klen])
+		off += klen
+		v := binary.BigEndian.Uint32(pl[off : off+4])
+		off += 4
+		if n.leaf {
+			n.vals = append(n.vals, v)
+		} else {
+			n.children = append(n.children, v)
+		}
+	}
+	if off != len(pl) {
+		return nil, &ErrPageCorrupt{ID: pageID(buf), Reason: "trailing payload bytes"}
+	}
+	return n, nil
+}
+
+// encodeNode seals n into a fresh PageSize buffer under id.
+func encodeNode(n *node, id uint32) []byte {
+	buf := make([]byte, PageSize)
+	pl := buf[HeaderSize:]
+	off := 0
+	typ := PageLeaf
+	if !n.leaf {
+		typ = PageInternal
+		binary.BigEndian.PutUint32(pl[0:4], n.children[0])
+		off = 4
+	}
+	for i, k := range n.keys {
+		binary.BigEndian.PutUint16(pl[off:off+2], uint16(len(k)))
+		off += 2
+		copy(pl[off:], k)
+		off += len(k)
+		v := uint32(0)
+		if n.leaf {
+			v = n.vals[i]
+		} else {
+			v = n.children[i+1]
+		}
+		binary.BigEndian.PutUint32(pl[off:off+4], v)
+		off += 4
+	}
+	n.size = off
+	Seal(buf, id, typ, len(n.keys), off)
+	return buf
+}
+
+// Tree is a B-tree over a shared pager, keyed by raw bytes with uint32
+// values. Updates are copy-on-write: every mutated root-to-leaf path
+// is rewritten into freshly allocated pages, except pages this Tree
+// instance itself allocated since it was created or last flushed (the
+// owned set), which are safely rewritten in place because no other
+// clone or committed root can reach them. Clone is therefore O(1) —
+// share the pager, take the root — which is what lets the snapshot
+// layer keep one immutable tree per published snapshot.
+//
+// A Tree instance is not safe for concurrent mutation; the store layer
+// serializes access. Distinct clones may be read concurrently.
+type Tree struct {
+	pg    *Pager
+	root  uint32 // 0 = empty
+	count int
+	owned map[uint32]bool
+}
+
+// NewTree returns an empty tree over pg.
+func NewTree(pg *Pager) *Tree {
+	return &Tree{pg: pg, owned: map[uint32]bool{}}
+}
+
+// LoadTree attaches to a committed root.
+func LoadTree(pg *Pager, root uint32, count int) *Tree {
+	return &Tree{pg: pg, root: root, count: count, owned: map[uint32]bool{}}
+}
+
+// Root returns the current root page id (0 when empty).
+func (t *Tree) Root() uint32 { return t.root }
+
+// Count returns the number of entries.
+func (t *Tree) Count() int { return t.count }
+
+// Clone returns an independent tree sharing pg and the current root.
+// Either side may keep mutating; path copying keeps the other's view
+// intact. Cloning seals the receiver too: pages it allocated are now
+// reachable from the clone's root, so neither side may rewrite them in
+// place anymore.
+func (t *Tree) Clone() *Tree {
+	t.owned = map[uint32]bool{}
+	return &Tree{pg: t.pg, root: t.root, count: t.count, owned: map[uint32]bool{}}
+}
+
+// Sealed drops ownership of every page allocated so far: called after
+// a flush commits them, so later mutations path-copy instead of
+// rewriting committed pages in place.
+func (t *Tree) Sealed() { t.owned = map[uint32]bool{} }
+
+// load returns the decoded node of a page, memoizing the decode on the
+// cache entry.
+func (t *Tree) load(id uint32) (*node, error) {
+	e, err := t.pg.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if e.node == nil {
+		n, err := decodeNode(e.buf)
+		if err != nil {
+			return nil, err
+		}
+		e.node = n
+	}
+	return e.node, nil
+}
+
+// write stores n, reusing prev's page when this tree owns it (and the
+// caller is replacing, not keeping, that version), else into a fresh
+// page. It returns the page id holding n.
+func (t *Tree) write(n *node, prev uint32) (uint32, error) {
+	id := prev
+	if id == 0 || !t.owned[id] {
+		id = t.pg.Alloc()
+		t.owned[id] = true
+	}
+	if err := t.pg.Put(id, encodeNode(n, id), n); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// search returns the first index i with key <= n.keys[i].
+func searchKeys(keys [][]byte, key []byte) (int, bool) {
+	i := sort.Search(len(keys), func(i int) bool { return bytes.Compare(keys[i], key) >= 0 })
+	return i, i < len(keys) && bytes.Equal(keys[i], key)
+}
+
+// childIndex picks the child covering key in an internal node: the
+// separator at index i is the smallest key of child i+1.
+func childIndex(keys [][]byte, key []byte) int {
+	return sort.Search(len(keys), func(i int) bool { return bytes.Compare(key, keys[i]) < 0 })
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) (uint32, bool, error) {
+	id := t.root
+	if id == 0 {
+		return 0, false, nil
+	}
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return 0, false, err
+		}
+		if n.leaf {
+			i, ok := searchKeys(n.keys, key)
+			if !ok {
+				return 0, false, nil
+			}
+			return n.vals[i], true, nil
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// cloneNode copies a decoded node so it can be mutated without
+// touching the shared cached view.
+func cloneNode(n *node) *node {
+	out := &node{leaf: n.leaf, size: n.size}
+	out.keys = append(make([][]byte, 0, len(n.keys)+1), n.keys...)
+	if n.leaf {
+		out.vals = append(make([]uint32, 0, len(n.vals)+1), n.vals...)
+	} else {
+		out.children = append(make([]uint32, 0, len(n.children)+1), n.children...)
+	}
+	return out
+}
+
+// split divides an over-full node in two by entry count and returns
+// the right half plus its separator key (the right half's smallest).
+func split(n *node) (*node, []byte) {
+	h := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	right.keys = append(right.keys, n.keys[h:]...)
+	if n.leaf {
+		right.vals = append(right.vals, n.vals[h:]...)
+		n.vals = n.vals[:h]
+	} else {
+		right.children = append(right.children, n.children[h:]...)
+		n.children = n.children[:h+1]
+	}
+	n.keys = n.keys[:h]
+	return right, right.keys[0]
+}
+
+// Insert stores val under key, replacing any existing value. The key
+// bytes are copied into page storage.
+func (t *Tree) Insert(key []byte, val uint32) error {
+	if len(key) == 0 || len(key) > MaxKeySize {
+		return fmt.Errorf("pagestore: key size %d out of range [1,%d]", len(key), MaxKeySize)
+	}
+	if t.root == 0 {
+		n := &node{leaf: true, keys: [][]byte{append([]byte(nil), key...)}, vals: []uint32{val}}
+		id, err := t.write(n, 0)
+		if err != nil {
+			return err
+		}
+		t.root, t.count = id, 1
+		return nil
+	}
+	newRoot, sep, rightID, added, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if sep != nil {
+		root := &node{leaf: false, keys: [][]byte{sep}, children: []uint32{newRoot, rightID}}
+		newRoot, err = t.write(root, 0)
+		if err != nil {
+			return err
+		}
+	}
+	t.root = newRoot
+	if added {
+		t.count++
+	}
+	return nil
+}
+
+// insert descends into page id and returns the id now holding the
+// updated node, plus a separator and right-sibling id when the node
+// split.
+func (t *Tree) insert(id uint32, key []byte, val uint32) (newID uint32, sep []byte, rightID uint32, added bool, err error) {
+	n, err := t.load(id)
+	if err != nil {
+		return 0, nil, 0, false, err
+	}
+	cp := cloneNode(n)
+	if cp.leaf {
+		i, ok := searchKeys(cp.keys, key)
+		if ok {
+			cp.vals[i] = val
+		} else {
+			added = true
+			kc := append([]byte(nil), key...)
+			cp.keys = append(cp.keys, nil)
+			copy(cp.keys[i+1:], cp.keys[i:])
+			cp.keys[i] = kc
+			cp.vals = append(cp.vals, 0)
+			copy(cp.vals[i+1:], cp.vals[i:])
+			cp.vals[i] = val
+			cp.size += entryOverhead + len(kc)
+		}
+	} else {
+		ci := childIndex(cp.keys, key)
+		childNew, childSep, childRight, childAdded, err := t.insert(cp.children[ci], key, val)
+		if err != nil {
+			return 0, nil, 0, false, err
+		}
+		added = childAdded
+		cp.children[ci] = childNew
+		if childSep != nil {
+			cp.keys = append(cp.keys, nil)
+			copy(cp.keys[ci+1:], cp.keys[ci:])
+			cp.keys[ci] = childSep
+			cp.children = append(cp.children, 0)
+			copy(cp.children[ci+2:], cp.children[ci+1:])
+			cp.children[ci+1] = childRight
+			cp.size += entryOverhead + len(childSep)
+		}
+	}
+	if cp.size > PayloadSize && len(cp.keys) > 1 {
+		right, s := split(cp)
+		rid, err := t.write(right, 0)
+		if err != nil {
+			return 0, nil, 0, false, err
+		}
+		nid, err := t.write(cp, id)
+		if err != nil {
+			return 0, nil, 0, false, err
+		}
+		return nid, append([]byte(nil), s...), rid, added, nil
+	}
+	nid, err := t.write(cp, id)
+	if err != nil {
+		return 0, nil, 0, false, err
+	}
+	return nid, nil, 0, added, nil
+}
+
+// Delete removes key, reporting whether it was present. Underflowing
+// nodes are not rebalanced — deletes only shrink a page until it
+// empties, at which point it is unlinked from its parent; compaction
+// (a bulk rebuild into a fresh file) restores density.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	if t.root == 0 {
+		return false, nil
+	}
+	newRoot, removed, empty, err := t.delete(t.root, key)
+	if err != nil {
+		return false, err
+	}
+	if !removed {
+		return false, nil
+	}
+	t.count--
+	if empty {
+		t.root = 0
+		return true, nil
+	}
+	// Collapse a root holding a single child.
+	for newRoot != 0 {
+		n, err := t.load(newRoot)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf || len(n.children) > 1 {
+			break
+		}
+		newRoot = n.children[0]
+	}
+	t.root = newRoot
+	return true, nil
+}
+
+func (t *Tree) delete(id uint32, key []byte) (newID uint32, removed, empty bool, err error) {
+	n, err := t.load(id)
+	if err != nil {
+		return 0, false, false, err
+	}
+	if n.leaf {
+		i, ok := searchKeys(n.keys, key)
+		if !ok {
+			return id, false, false, nil
+		}
+		cp := cloneNode(n)
+		cp.size -= entryOverhead + len(cp.keys[i])
+		cp.keys = append(cp.keys[:i], cp.keys[i+1:]...)
+		cp.vals = append(cp.vals[:i], cp.vals[i+1:]...)
+		if len(cp.keys) == 0 {
+			return 0, true, true, nil
+		}
+		nid, err := t.write(cp, id)
+		return nid, true, false, err
+	}
+	ci := childIndex(n.keys, key)
+	childNew, removed, childEmpty, err := t.delete(n.children[ci], key)
+	if err != nil || !removed {
+		return id, removed, false, err
+	}
+	cp := cloneNode(n)
+	if childEmpty {
+		// Unlink the emptied child and the separator beside it (a
+		// single-child node left by earlier unlinks has no separator).
+		if len(cp.keys) > 0 {
+			ki := ci
+			if ki == len(cp.keys) {
+				ki = len(cp.keys) - 1
+			}
+			cp.size -= entryOverhead + len(cp.keys[ki])
+			cp.keys = append(cp.keys[:ki], cp.keys[ki+1:]...)
+		}
+		cp.children = append(cp.children[:ci], cp.children[ci+1:]...)
+		if len(cp.children) == 0 {
+			return 0, true, true, nil
+		}
+	} else {
+		cp.children[ci] = childNew
+	}
+	nid, err := t.write(cp, id)
+	return nid, true, false, err
+}
+
+// Scan walks every entry in key order, stopping early when fn returns
+// false. The key slice passed to fn aliases page storage and is only
+// valid during the call.
+func (t *Tree) Scan(fn func(key []byte, val uint32) bool) error {
+	return t.ScanFrom(nil, fn)
+}
+
+// ScanFrom walks entries with key >= from (nil = from the start) in
+// key order, stopping early when fn returns false.
+func (t *Tree) ScanFrom(from []byte, fn func(key []byte, val uint32) bool) error {
+	if t.root == 0 {
+		return nil
+	}
+	type frame struct {
+		n   *node
+		idx int
+	}
+	var stack []frame
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			i := 0
+			if from != nil {
+				i, _ = searchKeys(n.keys, from)
+			}
+			stack = append(stack, frame{n, i})
+			break
+		}
+		ci := 0
+		if from != nil {
+			ci = childIndex(n.keys, from)
+		}
+		stack = append(stack, frame{n, ci})
+		id = n.children[ci]
+	}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.n.leaf {
+			for ; top.idx < len(top.n.keys); top.idx++ {
+				if !fn(top.n.keys[top.idx], top.n.vals[top.idx]) {
+					return nil
+				}
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		top.idx++
+		if top.idx >= len(top.n.children) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		// Descend leftmost under the next child.
+		id := top.n.children[top.idx]
+		for {
+			n, err := t.load(id)
+			if err != nil {
+				return err
+			}
+			stack = append(stack, frame{n, 0})
+			if n.leaf {
+				break
+			}
+			id = n.children[0]
+		}
+	}
+	return nil
+}
+
+// ScanPrefix walks entries whose key starts with prefix, in key order.
+func (t *Tree) ScanPrefix(prefix []byte, fn func(key []byte, val uint32) bool) error {
+	return t.ScanFrom(prefix, func(k []byte, v uint32) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false
+		}
+		return fn(k, v)
+	})
+}

@@ -1,0 +1,237 @@
+package pagestore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Process-wide pager metrics, aggregated across every open pager.
+var (
+	mCacheHits   = metrics.Default.Counter("pagestore_cache_hits")
+	mCacheMisses = metrics.Default.Counter("pagestore_cache_misses")
+	mWritebacks  = metrics.Default.Counter("pagestore_writebacks")
+	mPages       = metrics.Default.Gauge("pagestore_pages")
+)
+
+// MinCachePages is the smallest cache a pager will run with: enough to
+// hold a root-to-leaf path of both trees plus the pages one mutation
+// touches, so a pathological budget cannot thrash a single operation
+// against its own evictions.
+const MinCachePages = 8
+
+// cached is one resident page: the sealed buffer, an optional decoded
+// view (the B-tree memoizes its node decode here), and LRU links.
+type cached struct {
+	id         uint32
+	buf        []byte // PageSize, sealed
+	node       *node  // decoded B-tree view, nil until first decode
+	dirty      bool
+	prev, next *cached
+}
+
+// Pager serves fixed-size pages out of an LRU cache over a page File.
+// Reads of uncached pages come from disk with CRC verification; new
+// and updated pages enter the cache dirty and are written back when
+// evicted or flushed. Only Flush moves the committed state — eviction
+// writeback never fsyncs and never touches the meta page, so a crash
+// exposes at most an old committed root whose pages are all intact.
+//
+// All methods are safe for concurrent use; snapshot readers and the
+// writer share one pager.
+type Pager struct {
+	mu    sync.Mutex
+	file  *File
+	cap   int
+	cache map[uint32]*cached
+	head  *cached // most recently used
+	tail  *cached // least recently used
+	next  uint32  // vet:guardedby mu // next page id to allocate
+
+	hits, misses, writebacks uint64 // vet:guardedby mu
+}
+
+// PagerStats is a point-in-time snapshot of one pager's counters.
+type PagerStats struct {
+	// Resident is the number of cached pages right now.
+	Resident int
+	// Allocated is the number of data pages ever allocated in the
+	// current file (committed or not).
+	Allocated int
+	// Hits, Misses and Writebacks count cache lookups and dirty-page
+	// evictions since the pager opened.
+	Hits, Misses, Writebacks uint64
+}
+
+// NewPager wraps file with a cache of at most cachePages pages
+// (clamped up to MinCachePages).
+func NewPager(file *File, cachePages int) *Pager {
+	if cachePages < MinCachePages {
+		cachePages = MinCachePages
+	}
+	return &Pager{
+		file:  file,
+		cap:   cachePages,
+		cache: make(map[uint32]*cached, cachePages),
+		next:  file.Meta().Pages,
+	}
+}
+
+// lruUnlink removes e from the LRU list.
+//
+// vet:holds p.mu
+func (p *Pager) lruUnlink(e *cached) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		p.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		p.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// lruFront pushes e to the most-recently-used end.
+//
+// vet:holds p.mu
+func (p *Pager) lruFront(e *cached) {
+	e.prev, e.next = nil, p.head
+	if p.head != nil {
+		p.head.prev = e
+	}
+	p.head = e
+	if p.tail == nil {
+		p.tail = e
+	}
+}
+
+// insertLocked adds e to the cache, evicting from the LRU end past
+// capacity. Dirty evictees are written back (no fsync).
+//
+// vet:holds p.mu
+func (p *Pager) insertLocked(e *cached) error {
+	p.cache[e.id] = e
+	p.lruFront(e)
+	mPages.Add(1)
+	for len(p.cache) > p.cap {
+		victim := p.tail
+		if victim == nil {
+			break
+		}
+		if victim.dirty {
+			if err := p.file.WritePage(victim.buf); err != nil {
+				return err
+			}
+			victim.dirty = false
+			p.writebacks++
+			mWritebacks.Inc()
+		}
+		p.lruUnlink(victim)
+		delete(p.cache, victim.id)
+		mPages.Add(-1)
+	}
+	return nil
+}
+
+// Alloc reserves a fresh page id. The page becomes resident when the
+// caller Puts its sealed buffer.
+func (p *Pager) Alloc() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.next
+	p.next++
+	return id
+}
+
+// Get returns the resident entry for page id, reading and verifying it
+// from disk on a cache miss.
+func (p *Pager) Get(id uint32) (*cached, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cache == nil {
+		return nil, fmt.Errorf("pagestore: pager is closed")
+	}
+	if e, ok := p.cache[id]; ok {
+		p.hits++
+		mCacheHits.Inc()
+		p.lruUnlink(e)
+		p.lruFront(e)
+		return e, nil
+	}
+	p.misses++
+	mCacheMisses.Inc()
+	buf := make([]byte, PageSize)
+	if err := p.file.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	e := &cached{id: id, buf: buf}
+	if err := p.insertLocked(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Put installs (or replaces) page id with a sealed buffer and its
+// decoded view, marking it dirty. The buffer must be sealed under id.
+func (p *Pager) Put(id uint32, buf []byte, n *node) error {
+	if pageID(buf) != id {
+		return &ErrPageCorrupt{ID: id, Reason: fmt.Sprintf("sealed as %d", pageID(buf))}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.cache[id]; ok {
+		e.buf, e.node, e.dirty = buf, n, true
+		p.lruUnlink(e)
+		p.lruFront(e)
+		return nil
+	}
+	return p.insertLocked(&cached{id: id, buf: buf, node: n, dirty: true})
+}
+
+// Flush writes every dirty page back and commits the given roots and
+// counts: dirty writeback, fsync, meta slot write, fsync — the
+// ordering rule that makes the committed root only ever reference
+// fully-written pages.
+func (p *Pager) Flush(roots [2]uint32, counts [2]uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.cache {
+		if !e.dirty {
+			continue
+		}
+		if err := p.file.WritePage(e.buf); err != nil {
+			return err
+		}
+		e.dirty = false
+	}
+	return p.file.Commit(Meta{Pages: p.next, Roots: roots, Counts: counts})
+}
+
+// Stats returns a snapshot of the pager's counters.
+func (p *Pager) Stats() PagerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PagerStats{
+		Resident:   len(p.cache),
+		Allocated:  int(p.next) - 1,
+		Hits:       p.hits,
+		Misses:     p.misses,
+		Writebacks: p.writebacks,
+	}
+}
+
+// Close drops the cache (without writeback) and closes the file. The
+// committed state on disk is whatever the last Flush established.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cache != nil {
+		mPages.Add(-float64(len(p.cache)))
+		p.cache, p.head, p.tail = nil, nil, nil
+	}
+	return p.file.Close()
+}

@@ -86,6 +86,19 @@ type Cloner interface {
 	CloneLabeling() Labeling
 }
 
+// OrderedLabeler is implemented by labelings that can emit an
+// order-preserving byte encoding of one node's label: bytes.Compare
+// on two encodings agrees with Before, and every live node's encoding
+// is unique. Paged index storage (internal/store) keys its B-trees
+// with these bytes; a labeling without the capability (or whose
+// underlying codec lacks it) is restricted to the in-memory slice
+// backend.
+type OrderedLabeler interface {
+	// AppendOrderedLabel appends node v's order-preserving label bytes
+	// to dst.
+	AppendOrderedLabel(dst []byte, v int) ([]byte, error)
+}
+
 // BatchInserter is implemented by labelings with a bulk sibling-run
 // insertion path: the whole run takes the label-assignment write path
 // once, so dynamic codecs place every code of the run into the single
@@ -102,6 +115,12 @@ type BatchInserter interface {
 
 // ErrBadNode reports a node id that is out of range or dead.
 var ErrBadNode = errors.New("scheme: bad node id")
+
+// ErrNoOrderedLabels reports a labeling whose label bytes do not sort
+// like document order, so it cannot feed an order-preserving key
+// store. Implementations of OrderedLabeler whose underlying codec
+// lacks the property wrap this sentinel.
+var ErrNoOrderedLabels = errors.New("scheme: labels have no order-preserving byte form")
 
 // Tree is the structural mirror every labeling keeps: parent pointers
 // and ordered child lists by node id. It is bookkeeping for updates,

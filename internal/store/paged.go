@@ -1,0 +1,437 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"repro/internal/pagestore"
+)
+
+// ErrNoOrderedKeys reports a labeling scheme that cannot produce
+// order-preserving label bytes; the paged backend requires them.
+var ErrNoOrderedKeys = errors.New("store: labeling scheme does not expose order-preserving label bytes")
+
+// paged keeps the element index in two B-trees over a checksummed page
+// file:
+//
+//	labels tree:  ordered label bytes            -> node id  (document order)
+//	names tree:   nameID(u32 BE) || label bytes  -> node id  (per-name, document order)
+//
+// Because the label encoding is order-preserving, an in-order scan of
+// the labels tree yields ids in document order, and a prefix scan of
+// the names tree under one nameID yields that name's ids in document
+// order — no Before callback, no post-sort.
+//
+// The name table (name -> nameID) is in-memory only: the page file is
+// rebuilt from the document on every open (the journal is the
+// recovery truth), so nothing beyond the committed pages needs to
+// survive a restart.
+type paged struct {
+	mu   sync.Mutex
+	bind Binding
+	dir  string
+	// cachePages is the pager budget handed to every generation.
+	cachePages int
+
+	file   *pagestore.File // vet:guardedby mu
+	pg     *pagestore.Pager
+	labels *pagestore.Tree // vet:guardedby mu
+	names  *pagestore.Tree // vet:guardedby mu
+	gen    int             // vet:guardedby mu
+
+	nameIDs  map[string]uint32 // vet:guardedby mu
+	nameList []string          // vet:guardedby mu
+
+	// memoElems and memoIDs materialize scan results once per mutation
+	// epoch so repeated queries don't re-walk the tree. They are
+	// mutated only under mu, but a materialized slice itself is never
+	// written again — invalidation swaps in a nil slice or fresh map —
+	// so handing one out as a borrowed read-only view (the same
+	// contract the slice backend and the query engine use) is safe and
+	// they are deliberately left un-annotated.
+	memoElems []int
+	memoIDs   map[string][]int
+
+	// lastErr records a degraded read (IDs/Elems cannot return an
+	// error through the query path); Flush surfaces it.
+	lastErr error // vet:guardedby mu
+}
+
+func genPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("labels-%06d.pages", gen))
+}
+
+// OpenPaged creates a paged backend rooted at dir. The page file is
+// created fresh — stale files from a previous process are removed —
+// because the index is always rebuilt from the recovered document;
+// pages are a spill target, not a source of truth. Binding.Key is
+// required.
+func OpenPaged(dir string, cachePages int, b Binding) (Backend, error) {
+	if b.Key == nil {
+		return nil, ErrNoOrderedKeys
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "labels-*.pages"))
+	if err == nil {
+		for _, s := range stale {
+			_ = os.Remove(s)
+		}
+	}
+	p := &paged{
+		bind:       b,
+		dir:        dir,
+		cachePages: cachePages,
+		gen:        1,
+		nameIDs:    map[string]uint32{},
+		memoIDs:    map[string][]int{},
+	}
+	p.mu.Lock()
+	err = p.openGen()
+	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// openGen creates the current generation's file, pager and empty trees.
+//
+// vet:holds p.mu
+func (p *paged) openGen() error {
+	file, err := pagestore.Create(genPath(p.dir, p.gen))
+	if err != nil {
+		return err
+	}
+	p.file = file
+	p.pg = pagestore.NewPager(file, p.cachePages)
+	p.labels = pagestore.NewTree(p.pg)
+	p.names = pagestore.NewTree(p.pg)
+	return nil
+}
+
+func (p *paged) Name() string { return "paged" }
+
+// vet:holds p.mu
+func (p *paged) nameIDLocked(name string) uint32 {
+	if id, ok := p.nameIDs[name]; ok {
+		return id
+	}
+	id := uint32(len(p.nameList))
+	p.nameIDs[name] = id
+	p.nameList = append(p.nameList, name)
+	return id
+}
+
+// labelKey appends the node's order-preserving label bytes.
+func (p *paged) labelKey(dst []byte, id int) ([]byte, error) {
+	return p.bind.Key(dst, id)
+}
+
+// nameKey builds the names-tree key: nameID (big-endian, so prefix
+// scans isolate one name) followed by the label bytes.
+func (p *paged) nameKey(dst []byte, nameID uint32, label []byte) []byte {
+	dst = append(dst, byte(nameID>>24), byte(nameID>>16), byte(nameID>>8), byte(nameID))
+	return append(dst, label...)
+}
+
+func (p *paged) invalidateLocked() {
+	p.memoElems = nil
+	if len(p.memoIDs) > 0 {
+		p.memoIDs = map[string][]int{}
+	}
+}
+
+// vet:holds p.mu
+func (p *paged) addLocked(name string, id int) error {
+	if id < 0 || int64(id) > math.MaxUint32 {
+		return fmt.Errorf("store: node id %d out of paged range", id)
+	}
+	label, err := p.labelKey(nil, id)
+	if err != nil {
+		return err
+	}
+	if err := p.labels.Insert(label, uint32(id)); err != nil {
+		return err
+	}
+	nk := p.nameKey(nil, p.nameIDLocked(name), label)
+	if err := p.names.Insert(nk, uint32(id)); err != nil {
+		return err
+	}
+	p.invalidateLocked()
+	return nil
+}
+
+func (p *paged) Build(elems []int, nameOf func(int) string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.labels.Count() > 0 {
+		// Rebuild into a fresh generation rather than deleting
+		// entry-by-entry.
+		if err := p.swapGenLocked(func(labels, names *pagestore.Tree) error { return nil }); err != nil {
+			return err
+		}
+	}
+	for _, id := range elems {
+		if err := p.addLocked(nameOf(id), id); err != nil {
+			return err
+		}
+	}
+	p.invalidateLocked()
+	return nil
+}
+
+func (p *paged) Add(name string, id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addLocked(name, id)
+}
+
+func (p *paged) Remove(doomed map[int]bool, nameOf func(int) string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var label []byte
+	for id := range doomed {
+		name := nameOf(id)
+		if name == "" {
+			continue // only elements are indexed
+		}
+		var err error
+		label, err = p.labelKey(label[:0], id)
+		if err != nil {
+			return err
+		}
+		if _, err := p.labels.Delete(label); err != nil {
+			return err
+		}
+		nk := p.nameKey(nil, p.nameIDLocked(name), label)
+		if _, err := p.names.Delete(nk); err != nil {
+			return err
+		}
+	}
+	p.invalidateLocked()
+	return nil
+}
+
+func (p *paged) IDs(name string) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ids, ok := p.memoIDs[name]; ok {
+		return ids
+	}
+	nameID, ok := p.nameIDs[name]
+	if !ok {
+		return nil
+	}
+	prefix := p.nameKey(nil, nameID, nil)
+	ids := []int{}
+	err := p.names.ScanPrefix(prefix, func(k []byte, v uint32) bool {
+		ids = append(ids, int(v))
+		return true
+	})
+	if err != nil {
+		p.lastErr = err
+		return nil
+	}
+	p.memoIDs[name] = ids
+	return ids
+}
+
+func (p *paged) Elems() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.memoElems != nil {
+		return p.memoElems
+	}
+	ids := []int{}
+	err := p.labels.Scan(func(k []byte, v uint32) bool {
+		ids = append(ids, int(v))
+		return true
+	})
+	if err != nil {
+		p.lastErr = err
+		return nil
+	}
+	p.memoElems = ids
+	return ids
+}
+
+func (p *paged) Entries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.labels.Count()
+}
+
+func (p *paged) MemoryFootprint() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var st pagestore.PagerStats
+	if p.pg != nil {
+		st = p.pg.Stats()
+	}
+	fp := int64(st.Resident) * pagestore.PageSize
+	fp += int64(len(p.memoElems)) * 8
+	for _, ids := range p.memoIDs {
+		fp += int64(len(ids)) * 8
+	}
+	for name := range p.nameIDs {
+		fp += int64(len(name)) + 24
+	}
+	return fp
+}
+
+func (p *paged) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var st pagestore.PagerStats
+	if p.pg != nil {
+		st = p.pg.Stats()
+	}
+	return Stats{
+		Backend:        "paged",
+		Entries:        p.labels.Count(),
+		ResidentPages:  st.Resident,
+		AllocatedPages: st.Allocated,
+		CacheHits:      st.Hits,
+		CacheMisses:    st.Misses,
+		Writebacks:     st.Writebacks,
+	}
+}
+
+// Clone shares the page file copy-on-write: both sides' trees are
+// sealed, so each rewrites only pages it allocates afterwards. The
+// clone inherits pager and file; a later Compact on either side swaps
+// only that side's pointers, and the shared old file stays readable
+// until every holder drops it.
+func (p *paged) Clone(b Binding) (Backend, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cl := &paged{
+		bind:       b,
+		dir:        p.dir,
+		cachePages: p.cachePages,
+		file:       p.file,
+		pg:         p.pg,
+		labels:     p.labels.Clone(),
+		names:      p.names.Clone(),
+		gen:        p.gen,
+		nameIDs:    make(map[string]uint32, len(p.nameIDs)),
+		nameList:   append([]string(nil), p.nameList...),
+		memoIDs:    map[string][]int{},
+	}
+	for name, id := range p.nameIDs {
+		cl.nameIDs[name] = id
+	}
+	return cl, nil
+}
+
+// Flush writes every dirty page and commits both tree roots with a
+// dual-fsync barrier, then reports any degraded read recorded since
+// the previous flush.
+func (p *paged) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pg == nil {
+		return errors.New("store: paged backend is closed")
+	}
+	err := p.pg.Flush(
+		[2]uint32{p.labels.Root(), p.names.Root()},
+		[2]uint64{uint64(p.labels.Count()), uint64(p.names.Count())},
+	)
+	if err != nil {
+		return err
+	}
+	p.labels.Sealed()
+	p.names.Sealed()
+	if p.lastErr != nil {
+		err, p.lastErr = p.lastErr, nil
+		return err
+	}
+	return nil
+}
+
+// swapGenLocked builds a fresh generation file, lets fill populate the
+// new trees, commits it and retires the old generation. Old snapshots
+// (clones) keep their own pager/file pointers; the old file is
+// unlinked now and closed by a finalizer once no pager references it.
+//
+// vet:holds p.mu
+func (p *paged) swapGenLocked(fill func(labels, names *pagestore.Tree) error) error {
+	oldFile, oldPg, oldGen := p.file, p.pg, p.gen
+	oldLabels, oldNames := p.labels, p.names
+	p.gen++
+	if err := p.openGen(); err != nil {
+		p.file, p.pg, p.gen = oldFile, oldPg, oldGen
+		return err
+	}
+	if err := fill(p.labels, p.names); err != nil {
+		failedGen := p.gen
+		_ = p.pg.Close()
+		_ = os.Remove(genPath(p.dir, failedGen))
+		p.file, p.pg, p.gen = oldFile, oldPg, oldGen
+		p.labels, p.names = oldLabels, oldNames
+		return fmt.Errorf("store: generation swap aborted: %w", err)
+	}
+	_ = os.Remove(oldFile.Path())
+	// Close the retired pager only when the last clone holding it is
+	// gone; until then its committed pages remain readable through the
+	// unlinked inode.
+	runtime.SetFinalizer(oldPg, func(pg *pagestore.Pager) { _ = pg.Close() })
+	return nil
+}
+
+// Compact rebuilds both trees densely into a new generation file,
+// reclaiming pages left sparse by unbalanced deletes.
+func (p *paged) Compact() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pg == nil {
+		return errors.New("store: paged backend is closed")
+	}
+	oldLabels, oldNames := p.labels, p.names
+	err := p.swapGenLocked(func(labels, names *pagestore.Tree) error {
+		if err := copyTree(oldLabels, labels); err != nil {
+			return err
+		}
+		return copyTree(oldNames, names)
+	})
+	if err != nil {
+		return err
+	}
+	p.invalidateLocked()
+	return p.pg.Flush(
+		[2]uint32{p.labels.Root(), p.names.Root()},
+		[2]uint64{uint64(p.labels.Count()), uint64(p.names.Count())},
+	)
+}
+
+func copyTree(src, dst *pagestore.Tree) error {
+	var scanErr error
+	err := src.Scan(func(k []byte, v uint32) bool {
+		if scanErr = dst.Insert(k, v); scanErr != nil {
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return scanErr
+}
+
+func (p *paged) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pg == nil {
+		return nil
+	}
+	err := p.pg.Close()
+	p.pg = nil
+	return err
+}

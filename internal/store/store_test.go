@@ -1,0 +1,264 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// testWorld fabricates the document side of a Binding: every node id
+// gets a unique order key standing in for its label, so Before and Key
+// agree with each other the same way a real labeling's comparator and
+// ordered byte encoding do.
+type testWorld struct {
+	ord  map[int]uint64
+	name map[int]string
+}
+
+func newWorld() *testWorld {
+	return &testWorld{ord: map[int]uint64{}, name: map[int]string{}}
+}
+
+func (w *testWorld) binding() Binding {
+	return Binding{
+		Before: func(a, b int) bool { return w.ord[a] < w.ord[b] },
+		Key: func(dst []byte, id int) ([]byte, error) {
+			o, ok := w.ord[id]
+			if !ok {
+				return nil, fmt.Errorf("key for dead node %d", id)
+			}
+			return binary.BigEndian.AppendUint64(dst, o), nil
+		},
+	}
+}
+
+func checkEqual(t *testing.T, w *testWorld, oracle, subject Backend, names []string) {
+	t.Helper()
+	if o, s := oracle.Entries(), subject.Entries(); o != s {
+		t.Fatalf("entries: oracle %d, paged %d", o, s)
+	}
+	if o, s := oracle.Elems(), subject.Elems(); !sameIDs(o, s) {
+		t.Fatalf("elems diverge:\noracle %v\npaged  %v", o, s)
+	}
+	for _, name := range names {
+		if o, s := oracle.IDs(name), subject.IDs(name); !sameIDs(o, s) {
+			t.Fatalf("ids(%q) diverge:\noracle %v\npaged  %v", name, o, s)
+		}
+	}
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSlicePagedDifferential drives random adds and removes through
+// both backends and requires identical query results throughout: the
+// slice backend is the oracle the paged backend must match.
+func TestSlicePagedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := newWorld()
+	oracle := NewSlice(w.binding())
+	paged, err := OpenPaged(t.TempDir(), 8, w.binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+
+	names := []string{"book", "author", "title", "chapter", "section"}
+	nameOf := func(id int) string { return w.name[id] }
+	live := []int{}
+	nextID := 0
+
+	for round := 0; round < 40; round++ {
+		// A burst of inserts at random document positions...
+		for i := 0; i < 50; i++ {
+			id := nextID
+			nextID++
+			w.ord[id] = rng.Uint64()
+			nm := names[rng.Intn(len(names))]
+			w.name[id] = nm
+			live = append(live, id)
+			if err := oracle.Add(nm, id); err != nil {
+				t.Fatal(err)
+			}
+			if err := paged.Add(nm, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// ...then a random subtree-style removal.
+		if len(live) > 30 && rng.Intn(2) == 0 {
+			doomed := map[int]bool{}
+			k := rng.Intn(20) + 1
+			for i := 0; i < k; i++ {
+				at := rng.Intn(len(live))
+				doomed[live[at]] = true
+			}
+			if err := oracle.Remove(doomed, nameOf); err != nil {
+				t.Fatal(err)
+			}
+			if err := paged.Remove(doomed, nameOf); err != nil {
+				t.Fatal(err)
+			}
+			kept := live[:0]
+			for _, id := range live {
+				if !doomed[id] {
+					kept = append(kept, id)
+				} else {
+					delete(w.ord, id)
+					delete(w.name, id)
+				}
+			}
+			live = kept
+		}
+		checkEqual(t, w, oracle, paged, names)
+		switch round % 10 {
+		case 3:
+			if err := paged.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		case 7:
+			if err := paged.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			checkEqual(t, w, oracle, paged, names)
+		}
+	}
+
+	// Build() must reproduce the same state from a document-order walk.
+	elems := append([]int(nil), oracle.Elems()...)
+	rebuilt, err := OpenPaged(t.TempDir(), 8, w.binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rebuilt.Close()
+	if err := rebuilt.Build(elems, nameOf); err != nil {
+		t.Fatal(err)
+	}
+	checkEqual(t, w, oracle, rebuilt, names)
+}
+
+// TestPagedCloneIsolation clones a paged backend and mutates the
+// writer; the clone's view must stay frozen (copy-on-write pages).
+func TestPagedCloneIsolation(t *testing.T) {
+	w := newWorld()
+	b, err := OpenPaged(t.TempDir(), 8, w.binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 400; i++ {
+		w.ord[i] = uint64(i)
+		w.name[i] = "n"
+		if err := b.Add("n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := b.Clone(w.binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]int(nil), snap.Elems()...)
+	doomed := map[int]bool{}
+	for i := 0; i < 400; i += 2 {
+		doomed[i] = true
+	}
+	if err := b.Remove(doomed, func(id int) string { return "n" }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 400; i < 500; i++ {
+		w.ord[i] = uint64(i)
+		w.name[i] = "n"
+		if err := b.Add("n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := snap.Elems(); !sameIDs(got, before) {
+		t.Fatalf("snapshot view changed under writer mutations")
+	}
+	if snap.Entries() != 400 {
+		t.Fatalf("snapshot entries %d, want 400", snap.Entries())
+	}
+	if b.Entries() != 300 {
+		t.Fatalf("writer entries %d, want 300", b.Entries())
+	}
+}
+
+// TestPagedRequiresOrderedKeys: a Binding without Key must be refused.
+func TestPagedRequiresOrderedKeys(t *testing.T) {
+	_, err := OpenPaged(t.TempDir(), 8, Binding{Before: func(a, b int) bool { return a < b }})
+	if err != ErrNoOrderedKeys {
+		t.Fatalf("err = %v, want ErrNoOrderedKeys", err)
+	}
+}
+
+// TestSliceCloneSharesNothing guards the slice clone's independence.
+func TestSliceCloneSharesNothing(t *testing.T) {
+	w := newWorld()
+	s := NewSlice(w.binding())
+	for i := 0; i < 10; i++ {
+		w.ord[i] = uint64(i)
+		w.name[i] = "x"
+		if err := s.Add("x", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := s.Clone(w.binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ord[10] = 100
+	w.name[10] = "x"
+	if err := s.Add("x", 10); err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.IDs("x")) != 10 || len(s.IDs("x")) != 11 {
+		t.Fatalf("clone %d / original %d, want 10 / 11", len(cl.IDs("x")), len(s.IDs("x")))
+	}
+	if !reflect.DeepEqual(cl.Elems(), []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) {
+		t.Fatalf("clone elems %v", cl.Elems())
+	}
+}
+
+// TestStatsShape: both backends report coherent Stats.
+func TestStatsShape(t *testing.T) {
+	w := newWorld()
+	s := NewSlice(w.binding())
+	p, err := OpenPaged(t.TempDir(), 8, w.binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 1000; i++ {
+		w.ord[i] = uint64(i)
+		w.name[i] = "e"
+		if err := s.Add("e", i); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Add("e", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, ps := s.Stats(), p.Stats()
+	if ss.Backend != "slice" || ss.Entries != 1000 {
+		t.Fatalf("slice stats %+v", ss)
+	}
+	if ps.Backend != "paged" || ps.Entries != 1000 || ps.AllocatedPages == 0 {
+		t.Fatalf("paged stats %+v", ps)
+	}
+	if ps.ResidentPages > 8+1 { // clamped cache budget bounds residency
+		t.Fatalf("resident pages %d exceed budget", ps.ResidentPages)
+	}
+	if s.MemoryFootprint() <= 0 || p.MemoryFootprint() <= 0 {
+		t.Fatal("zero memory footprint")
+	}
+}

@@ -157,11 +157,23 @@ type replicaInfo struct {
 	LastErr       string `json:"last_err,omitempty"`
 }
 
+type storageInfo struct {
+	Backend        string  `json:"backend"`
+	Entries        int     `json:"entries"`
+	ResidentPages  int     `json:"resident_pages,omitempty"`
+	AllocatedPages int     `json:"allocated_pages,omitempty"`
+	CacheHits      uint64  `json:"cache_hits,omitempty"`
+	CacheMisses    uint64  `json:"cache_misses,omitempty"`
+	Writebacks     uint64  `json:"writebacks,omitempty"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio,omitempty"`
+}
+
 type statsResponse struct {
 	Name      string       `json:"name"`
 	Scheme    string       `json:"scheme"`
 	Nodes     int          `json:"nodes"`
 	Relabeled int64        `json:"relabeled"`
+	Storage   *storageInfo `json:"storage,omitempty"`
 	Journal   *journalInfo `json:"journal,omitempty"`
 	Replica   *replicaInfo `json:"replica,omitempty"`
 }
@@ -174,6 +186,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Scheme:    st.Scheme,
 			Nodes:     st.Nodes,
 			Relabeled: st.Relabeled,
+		}
+		if st.Storage.Backend != "" {
+			resp.Storage = &storageInfo{
+				Backend:        st.Storage.Backend,
+				Entries:        st.Storage.Entries,
+				ResidentPages:  st.Storage.ResidentPages,
+				AllocatedPages: st.Storage.AllocatedPages,
+				CacheHits:      st.Storage.CacheHits,
+				CacheMisses:    st.Storage.CacheMisses,
+				Writebacks:     st.Storage.Writebacks,
+				CacheHitRatio:  st.Storage.CacheHitRatio(),
+			}
 		}
 		if st.Journaled {
 			resp.Journal = &journalInfo{

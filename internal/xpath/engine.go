@@ -20,11 +20,35 @@ import (
 // at publish time — one Engine may be shared and evaluated from any
 // number of goroutines concurrently with no locking.
 type Engine struct {
-	lab    scheme.Labeling
-	names  []string
+	lab   scheme.Labeling
+	names []string
+	idx   Index
+}
+
+// Index is the element-name index view an Engine evaluates over: the
+// per-name id lists and the all-elements list, each in document
+// order. The in-memory maps NewEngine builds satisfy it, and so does
+// any storage backend (internal/store) — the engine never cares where
+// the lists live, only that they are document-ordered and stable for
+// the duration of a query.
+type Index interface {
+	// IDs returns the ids of elements with the given name in document
+	// order. The slice is borrowed: read-only, valid until the index
+	// is next mutated.
+	IDs(name string) []int
+	// Elems returns all element ids in document order, under the same
+	// borrowing rule.
+	Elems() []int
+}
+
+// sliceIndex is the engine's built-in Index over plain slices.
+type sliceIndex struct {
 	byName map[string][]int
 	elems  []int
 }
+
+func (s sliceIndex) IDs(name string) []int { return s.byName[name] }
+func (s sliceIndex) Elems() []int          { return s.elems }
 
 // NewEngine indexes doc (whose labeling must have been built from the
 // same document, so node ids coincide with document order).
@@ -33,29 +57,36 @@ func NewEngine(doc *xmltree.Document, lab scheme.Labeling) (*Engine, error) {
 	if len(nodes) != lab.Len() {
 		return nil, fmt.Errorf("xpath: document has %d nodes, labeling %d", len(nodes), lab.Len())
 	}
+	idx := sliceIndex{byName: make(map[string][]int)}
 	e := &Engine{
-		lab:    lab,
-		names:  make([]string, len(nodes)),
-		byName: make(map[string][]int),
+		lab:   lab,
+		names: make([]string, len(nodes)),
 	}
 	for i, n := range nodes {
 		if n.Kind != xmltree.Element {
 			continue
 		}
 		e.names[i] = n.Name
-		e.byName[n.Name] = append(e.byName[n.Name], i)
-		e.elems = append(e.elems, i)
+		idx.byName[n.Name] = append(idx.byName[n.Name], i)
+		idx.elems = append(idx.elems, i)
 	}
+	e.idx = idx
 	return e, nil
 }
 
 // NewEngineIndexed builds an engine over externally maintained index
 // structures (names per id, per-name id lists and the all-elements
-// list, each in document order). The dyndoc package uses this to keep
-// one incrementally updated index queryable; the slices are shared,
-// not copied, and must not be mutated during a query.
+// list, each in document order). The slices are shared, not copied,
+// and must not be mutated during a query.
 func NewEngineIndexed(lab scheme.Labeling, names []string, byName map[string][]int, elems []int) *Engine {
-	return &Engine{lab: lab, names: names, byName: byName, elems: elems}
+	return &Engine{lab: lab, names: names, idx: sliceIndex{byName: byName, elems: elems}}
+}
+
+// NewEngineWithIndex builds an engine over any Index implementation —
+// the entry point the dyndoc package uses so one incrementally
+// updated storage backend (slice or paged) serves every query.
+func NewEngineWithIndex(lab scheme.Labeling, names []string, idx Index) *Engine {
+	return &Engine{lab: lab, names: names, idx: idx}
 }
 
 // Eval runs an absolute query and returns matching node ids in
@@ -161,9 +192,9 @@ func (e *Engine) rootElement() int {
 // candidates returns the doc-ordered element ids matching a name test.
 func (e *Engine) candidates(name string) []int {
 	if name == "*" {
-		return e.elems
+		return e.idx.Elems()
 	}
-	return e.byName[name]
+	return e.idx.IDs(name)
 }
 
 func (e *Engine) nameMatches(test string, id int) bool {

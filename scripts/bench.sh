@@ -1,9 +1,9 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR9.json, the checked-in record of the
-# label-kernel, journal group-commit, query-planner, HTTP-serving and
-# journal-shipping replication benchmarks (see internal/bench/
-# kernels.go, journal.go, xpathbench.go, httpbench.go and
-# followerbench.go).
+# bench.sh — regenerate BENCH_PR10.json, the checked-in record of the
+# label-kernel, journal group-commit, store-backend (slice vs paged,
+# cold vs warm cache), query-planner, HTTP-serving and journal-shipping
+# replication benchmarks (see internal/bench/kernels.go, journal.go,
+# storebench.go, xpathbench.go, httpbench.go and followerbench.go).
 #
 #   sh scripts/bench.sh            # full run, benchtime 1s
 #   BENCH_TIME=1x sh scripts/bench.sh   # smoke run (CI)
@@ -13,7 +13,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCH_TIME="${BENCH_TIME:-1s}"
-BENCH_OUT="${BENCH_OUT:-BENCH_PR9.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_PR10.json}"
 
 echo "==> go run ./cmd/experiments -bench-json $BENCH_OUT -bench-time $BENCH_TIME"
 go run ./cmd/experiments -bench-json "$BENCH_OUT" -bench-time "$BENCH_TIME"

@@ -13,17 +13,22 @@
 #                      hook-install race, close-drain, journal stress,
 #                      watch storm and follower replication tests by name
 #   6. crash safety  — the recovery/fault-injection suite by name, the
-#                      journal kill matrix, the follower kill matrix,
-#                      then the FuzzReadAll, FuzzEncodeBetween,
-#                      FuzzEditCodec and FuzzStreamDecode seed corpora
-#                      as short fuzz runs
+#                      journal kill matrix, the paged-label damage
+#                      matrix (page files deleted/truncated/corrupted
+#                      between runs), the torn-page-file sweep, the
+#                      follower kill matrix, then the FuzzReadAll,
+#                      FuzzPageRoundTrip, FuzzMetaDecode,
+#                      FuzzEncodeBetween, FuzzEditCodec and
+#                      FuzzStreamDecode seed corpora as short fuzz runs
 #   7. labelvet      — the repo's own static-analysis suite (label invariants,
 #                      lock hygiene, dropped errors, panic allowlist), then
 #                      the concurrency/durability tier (guardedby, atomicmix,
 #                      ackorder, lockorder) explicitly in both tag states and
 #                      a fixture-coverage check over `labelvet -list`
-#   8. bench smoke   — every benchmark once (-benchtime 1x) plus a throwaway
-#                      BENCH JSON report, so the bench machinery cannot rot
+#   8. bench smoke   — every benchmark once (-benchtime 1x), the
+#                      store-backend kernels (slice vs paged, cold vs
+#                      warm page cache) by name, plus a throwaway BENCH
+#                      JSON report, so the bench machinery cannot rot
 #   9. metrics smoke — experiments binary dumps a -metrics-json snapshot and
 #                      the labelstore/cdbs/qed/dyndoc/journal-ship/watch/
 #                      follower keys must be present
@@ -66,8 +71,8 @@ go test ./...
 echo "==> go test -tags invariants ./internal/bitstr/... ./internal/cdbs/..."
 go test -tags invariants ./internal/bitstr/... ./internal/cdbs/...
 
-echo "==> go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/... ./client/..."
-go test -race ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/... ./client/...
+echo "==> go test -race ./internal/pagestore/... ./internal/store/... ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/... ./client/..."
+go test -race ./internal/pagestore/... ./internal/store/... ./internal/dyndoc/... ./internal/labelstore/... ./internal/journal/... ./internal/catalog/... ./internal/web/... ./client/...
 
 echo "==> snapshot + planned-query storms under the race detector"
 go test -race -count=1 -run 'TestSnapshotStorm|TestQueryDoesNotBlockOnWriter|TestPlannedQueryStorm|TestSetCommitHookInstallRace' ./internal/dyndoc
@@ -92,11 +97,19 @@ go test -count=1 -run 'TestRecover|TestFault|TestSynced|TestReadAllTorn' ./inter
 echo "==> journal kill matrix (every write/sync fault point at durability=always)"
 go test -count=1 -run 'TestKillMatrix|TestReplay|TestCheckpoint' ./internal/journal
 
+echo "==> paged-label damage matrix (delete/truncate/corrupt page files, replay must restore)"
+go test -count=1 -run 'TestPagedSurvivesPageFileDamage|TestPagedJournalRoundTrip' .
+go test -count=1 -run 'TestTornFileEveryOffset' ./internal/pagestore
+
 echo "==> follower kill matrix (kill the replica at every ship/persist point, catch up)"
 go test -count=1 -run 'TestFollowerKillMatrix' ./internal/journal
 
 echo "==> FuzzReadAll seed corpus (5s)"
 go test -run '^$' -fuzz 'FuzzReadAll' -fuzztime 5s ./internal/labelstore
+
+echo "==> FuzzPageRoundTrip + FuzzMetaDecode seed corpora (5s each, pagestore)"
+go test -run '^$' -fuzz 'FuzzPageRoundTrip' -fuzztime 5s ./internal/pagestore
+go test -run '^$' -fuzz 'FuzzMetaDecode' -fuzztime 5s ./internal/pagestore
 
 echo "==> FuzzEditCodec seed corpus (5s)"
 go test -run '^$' -fuzz 'FuzzEditCodec' -fuzztime 5s ./internal/journal
@@ -130,6 +143,7 @@ done
 echo "==> bench smoke (-benchtime 1x)"
 go test -run '^$' -bench . -benchtime 1x ./internal/bitstr ./internal/cdbs ./internal/qed
 go test -run '^$' -bench 'Kernels/xpath/' -benchtime 1x .
+go test -run '^$' -bench 'Kernels/store/' -benchtime 1x .
 BENCH_TIME=1x BENCH_OUT="${BENCH_SMOKE_OUT:-/tmp/bench_smoke.json}" sh scripts/bench.sh
 
 echo "==> metrics snapshot smoke (-metrics-json)"
