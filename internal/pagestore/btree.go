@@ -75,10 +75,13 @@ func decodeNode(buf []byte) (*node, error) {
 	return n, nil
 }
 
-// encodeNode seals n into a fresh PageSize buffer under id.
-func encodeNode(n *node, id uint32) []byte {
+// encodeNode seals n into a fresh PageSize buffer under id. A node
+// whose entries exceed PayloadSize is reported as an error — the split
+// logic keeps nodes within bounds, so this is a guard against writing
+// past the fixed buffer, never an expected path.
+func encodeNode(n *node, id uint32) ([]byte, error) {
 	buf := make([]byte, PageSize)
-	pl := buf[HeaderSize:]
+	pl := buf[HeaderSize : PageSize-FooterSize]
 	off := 0
 	typ := PageLeaf
 	if !n.leaf {
@@ -87,6 +90,9 @@ func encodeNode(n *node, id uint32) []byte {
 		off = 4
 	}
 	for i, k := range n.keys {
+		if off+entryOverhead+len(k) > len(pl) {
+			return nil, fmt.Errorf("pagestore: node for page %d overflows payload: %d keys need > %d bytes", id, len(n.keys), len(pl))
+		}
 		binary.BigEndian.PutUint16(pl[off:off+2], uint16(len(k)))
 		off += 2
 		copy(pl[off:], k)
@@ -102,7 +108,7 @@ func encodeNode(n *node, id uint32) []byte {
 	}
 	n.size = off
 	Seal(buf, id, typ, len(n.keys), off)
-	return buf
+	return buf, nil
 }
 
 // Tree is a B-tree over a shared pager, keyed by raw bytes with uint32
@@ -154,21 +160,11 @@ func (t *Tree) Clone() *Tree {
 // rewriting committed pages in place.
 func (t *Tree) Sealed() { t.owned = map[uint32]bool{} }
 
-// load returns the decoded node of a page, memoizing the decode on the
-// cache entry.
+// load returns the decoded node of a page. The pager memoizes the
+// decode on the cache entry under its own lock, so concurrent clone
+// readers sharing one pager never race on the memo.
 func (t *Tree) load(id uint32) (*node, error) {
-	e, err := t.pg.Get(id)
-	if err != nil {
-		return nil, err
-	}
-	if e.node == nil {
-		n, err := decodeNode(e.buf)
-		if err != nil {
-			return nil, err
-		}
-		e.node = n
-	}
-	return e.node, nil
+	return t.pg.GetNode(id)
 }
 
 // write stores n, reusing prev's page when this tree owns it (and the
@@ -180,7 +176,11 @@ func (t *Tree) write(n *node, prev uint32) (uint32, error) {
 		id = t.pg.Alloc()
 		t.owned[id] = true
 	}
-	if err := t.pg.Put(id, encodeNode(n, id), n); err != nil {
+	buf, err := encodeNode(n, id)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.pg.Put(id, buf, n); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -233,21 +233,50 @@ func cloneNode(n *node) *node {
 	return out
 }
 
-// split divides an over-full node in two by entry count and returns
-// the right half plus its separator key (the right half's smallest).
-func split(n *node) (*node, []byte) {
-	h := len(n.keys) / 2
-	right := &node{leaf: n.leaf}
-	right.keys = append(right.keys, n.keys[h:]...)
-	if n.leaf {
-		right.vals = append(right.vals, n.vals[h:]...)
-		n.vals = n.vals[:h]
-	} else {
-		right.children = append(right.children, n.children[h:]...)
-		n.children = n.children[:h+1]
+// splitPoint picks the boundary index that divides n's encoded payload
+// roughly in half by bytes rather than by entry count: with skewed key
+// sizes a count split can leave one half over PayloadSize. An over-full
+// node exceeds PayloadSize by at most one MaxKeySize entry (splits
+// happen immediately after the insert that overflowed), so byte
+// balance guarantees both halves fit. Both halves stay non-empty.
+func splitPoint(n *node) int {
+	total := 0
+	for i := range n.keys {
+		total += n.entrySize(i)
 	}
+	acc := 0
+	for h := 1; h < len(n.keys); h++ {
+		acc += n.entrySize(h - 1)
+		if 2*acc >= total {
+			return h
+		}
+	}
+	return len(n.keys) - 1
+}
+
+// split divides an over-full node in two and returns the right half
+// plus the separator key to install in the parent. A leaf keeps every
+// entry — the separator is the right half's smallest key, which stays
+// in that leaf — while an internal node pushes the boundary key up: it
+// moves into the parent and is kept by neither half, so each child page
+// stays reachable from exactly one side. (The sizes of both halves are
+// recomputed when they are encoded.)
+func split(n *node) (*node, []byte) {
+	h := splitPoint(n)
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[h:]...)
+		right.vals = append(right.vals, n.vals[h:]...)
+		n.keys = n.keys[:h]
+		n.vals = n.vals[:h]
+		return right, right.keys[0]
+	}
+	sep := n.keys[h]
+	right.keys = append(right.keys, n.keys[h+1:]...)
+	right.children = append(right.children, n.children[h+1:]...)
 	n.keys = n.keys[:h]
-	return right, right.keys[0]
+	n.children = n.children[:h+1]
+	return right, sep
 }
 
 // Insert stores val under key, replacing any existing value. The key

@@ -152,6 +152,35 @@ func (p *Pager) Alloc() uint32 {
 func (p *Pager) Get(id uint32) (*cached, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.getLocked(id)
+}
+
+// GetNode returns the decoded B-tree view of page id, reading the page
+// on a miss and memoizing the decode on the cache entry. The
+// memoization happens while p.mu is held so that concurrent snapshot
+// readers sharing one pager never race on the entry's node field.
+func (p *Pager) GetNode(id uint32) (*node, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, err := p.getLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if e.node == nil {
+		n, err := decodeNode(e.buf)
+		if err != nil {
+			return nil, err
+		}
+		e.node = n
+	}
+	return e.node, nil
+}
+
+// getLocked looks id up in the cache, faulting it in from disk on a
+// miss.
+//
+// vet:holds p.mu
+func (p *Pager) getLocked(id uint32) (*cached, error) {
 	if p.cache == nil {
 		return nil, fmt.Errorf("pagestore: pager is closed")
 	}

@@ -1,11 +1,14 @@
 package pagestore
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -295,6 +298,186 @@ func TestTreeDifferential(t *testing.T) {
 	}
 	if seen != len(oracle) {
 		t.Fatalf("scan visited %d, oracle holds %d", seen, len(oracle))
+	}
+}
+
+// TestTreeInternalSplitScan pushes the tree well past the internal-node
+// split threshold and checks a full scan visits every entry exactly
+// once in strict key order: a split that leaves a child reachable from
+// both halves shows up here as duplicate visits and order violations.
+// Wide keys keep the fan-out small so a few thousand inserts build and
+// repeatedly split several internal levels.
+func TestTreeInternalSplitScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages")
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPager(pf, 64)
+	defer p.Close()
+	tr := NewTree(p)
+	pad := strings.Repeat("x", 480)
+	keyFor := func(i int) []byte { return fmt.Appendf(nil, "key-%06d-%s", i, pad) }
+	const n = 4000
+	rng := rand.New(rand.NewSource(7))
+	for _, i := range rng.Perm(n) {
+		if err := tr.Insert(keyFor(i), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Count() != n {
+		t.Fatalf("count %d, want %d", tr.Count(), n)
+	}
+	seen := 0
+	prev := []byte(nil)
+	if err := tr.Scan(func(k []byte, v uint32) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan order violation at entry %d: %q after %q", seen, k[:10], prev[:10])
+		}
+		prev = append(prev[:0], k...)
+		seen++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("scan visited %d entries, want %d (duplicated or lost subtrees)", seen, n)
+	}
+	for i := 0; i < n; i += 131 {
+		v, ok, err := tr.Get(keyFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != uint32(i) {
+			t.Fatalf("key %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	// Deletes across the whole range must keep the scan consistent too.
+	for i := 0; i < n; i += 3 {
+		if removed, err := tr.Delete(keyFor(i)); err != nil || !removed {
+			t.Fatalf("delete %d: removed=%v err=%v", i, removed, err)
+		}
+	}
+	seen = 0
+	if err := tr.Scan(func(k []byte, v uint32) bool { seen++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != tr.Count() {
+		t.Fatalf("post-delete scan visited %d, count %d", seen, tr.Count())
+	}
+}
+
+// TestTreeSkewedKeySizes mixes keys near MaxKeySize with tiny ones so a
+// count-based split would pack nearly all the bytes into one half and
+// overflow a page; the byte-balanced split must keep every node
+// encodable, and every entry must stay retrievable.
+func TestTreeSkewedKeySizes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages")
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPager(pf, 64)
+	defer p.Close()
+	tr := NewTree(p)
+	rng := rand.New(rand.NewSource(11))
+	oracle := map[string]uint32{}
+	for i := 0; i < 3000; i++ {
+		var k []byte
+		if rng.Intn(2) == 0 {
+			k = fmt.Appendf(nil, "t%04d", rng.Intn(2000))
+		} else {
+			pad := strings.Repeat("y", MaxKeySize-6-rng.Intn(24))
+			k = fmt.Appendf(nil, "h%04d-%s", rng.Intn(2000), pad)
+		}
+		v := uint32(rng.Intn(1 << 20))
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatalf("insert %d (%d-byte key): %v", i, len(k), err)
+		}
+		oracle[string(k)] = v
+	}
+	if tr.Count() != len(oracle) {
+		t.Fatalf("count %d, oracle %d", tr.Count(), len(oracle))
+	}
+	for k, want := range oracle {
+		v, ok, err := tr.Get([]byte(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || v != want {
+			t.Fatalf("get %d-byte key = %d ok=%v, want %d", len(k), v, ok, want)
+		}
+	}
+	seen := 0
+	if err := tr.Scan(func(k []byte, v uint32) bool { seen++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(oracle) {
+		t.Fatalf("scan visited %d, oracle holds %d", seen, len(oracle))
+	}
+}
+
+// TestCloneConcurrentColdReads exercises the documented guarantee that
+// distinct clones sharing one pager may be read concurrently: several
+// clones scan through a minimum-size cache — constantly faulting the
+// same cold pages back in and memoizing their decodes — while the
+// writer keeps inserting. Run under -race this catches unsynchronized
+// sharing on the pager's cache entries.
+func TestCloneConcurrentColdReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages")
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPager(pf, MinCachePages)
+	defer p.Close()
+	tr := NewTree(p)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(fmt.Appendf(nil, "key-%06d", i), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush([2]uint32{tr.Root(), 0}, [2]uint64{uint64(tr.Count()), 0}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Sealed()
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	for g := 0; g < 4; g++ {
+		snap := tr.Clone()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Repeated scans keep re-faulting evicted pages, so the
+			// readers stay overlapped on the same cold entries.
+			for pass := 0; pass < 5; pass++ {
+				seen := 0
+				if err := snap.Scan(func(k []byte, v uint32) bool { seen++; return true }); err != nil {
+					errs <- err
+					return
+				}
+				if seen != n {
+					errs <- fmt.Errorf("clone scan saw %d entries, want %d", seen, n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := n; i < n+500; i++ {
+			if err := tr.Insert(fmt.Appendf(nil, "key-%06d", i), uint32(i)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -202,6 +202,15 @@ func (p *paged) Remove(doomed map[int]bool, nameOf func(int) string) error {
 		if name == "" {
 			continue // only elements are indexed
 		}
+		nameID, ok := p.nameIDs[name]
+		if !ok {
+			// Every Add inserts into both trees under the element's
+			// name, so a name with no allocated id has no entries in
+			// either tree; allocating one here would permanently grow
+			// the name table (and every future clone's copy) for names
+			// only ever seen in deletes.
+			continue
+		}
 		var err error
 		label, err = p.labelKey(label[:0], id)
 		if err != nil {
@@ -210,7 +219,7 @@ func (p *paged) Remove(doomed map[int]bool, nameOf func(int) string) error {
 		if _, err := p.labels.Delete(label); err != nil {
 			return err
 		}
-		nk := p.nameKey(nil, p.nameIDLocked(name), label)
+		nk := p.nameKey(nil, nameID, label)
 		if _, err := p.names.Delete(nk); err != nil {
 			return err
 		}

@@ -193,6 +193,46 @@ func TestPagedCloneIsolation(t *testing.T) {
 	}
 }
 
+// TestPagedRemoveUnknownName: removing elements whose name was never
+// indexed must be a no-op that does not allocate name-table ids — a
+// name first seen in a delete would otherwise grow nameIDs (and every
+// future clone's copy) forever.
+func TestPagedRemoveUnknownName(t *testing.T) {
+	w := newWorld()
+	b, err := OpenPaged(t.TempDir(), 8, w.binding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		w.ord[i] = uint64(i)
+		w.name[i] = "known"
+		if err := b.Add("known", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 10; i < 20; i++ {
+		w.ord[i] = uint64(i)
+	}
+	p := b.(*paged)
+	namesBefore := len(p.nameIDs)
+	doomed := map[int]bool{}
+	for i := 10; i < 20; i++ {
+		doomed[i] = true
+	}
+	err = b.Remove(doomed, func(id int) string { return fmt.Sprintf("never-indexed-%d", id) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.nameIDs) != namesBefore || len(p.nameList) != namesBefore {
+		t.Fatalf("remove of unknown names grew the name table: %d ids, %d listed, want %d",
+			len(p.nameIDs), len(p.nameList), namesBefore)
+	}
+	if b.Entries() != 10 {
+		t.Fatalf("entries %d, want 10", b.Entries())
+	}
+}
+
 // TestPagedRequiresOrderedKeys: a Binding without Key must be refused.
 func TestPagedRequiresOrderedKeys(t *testing.T) {
 	_, err := OpenPaged(t.TempDir(), 8, Binding{Before: func(a, b int) bool { return a < b }})
